@@ -1,0 +1,49 @@
+// Command autotune runs the auto-tuner the paper proposes as future work:
+// for one benchmark, sweep its implementation variants (the step-4 knobs of
+// the fair-comparison pipeline) on every device the toolchain supports and
+// report the per-device winner. The winning variant differs across
+// devices — the performance-portability gap the tuner closes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpucmp/internal/stats"
+	"gpucmp/internal/tune"
+)
+
+func main() {
+	name := flag.String("bench", "SPMV", "benchmark to tune (MD, SPMV, Sobel, FDTD)")
+	toolchain := flag.String("toolchain", "opencl", "cuda or opencl")
+	scale := flag.Int("scale", 2, "problem-size divisor")
+	flag.Parse()
+
+	if tune.RelevantKnobs(*name) == nil {
+		log.Fatalf("benchmark %q has no variant knobs to tune", *name)
+	}
+	reports, err := tune.TuneEverywhere(*toolchain, *name, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, rep := range reports {
+		tb := stats.NewTable(
+			fmt.Sprintf("%s on %s (%s, metric %s)", rep.Benchmark, rep.Device, rep.Toolchain, rep.Metric),
+			"variant", "metric", "status")
+		for _, p := range rep.Points {
+			val := "-"
+			if p.Status == "OK" {
+				val = fmt.Sprintf("%.4g", p.Raw)
+			}
+			tb.Add(p.Label(), val, p.Status)
+		}
+		fmt.Println(tb)
+		if best, ok := rep.Best(); ok {
+			fmt.Printf("  winner: %s\n\n", best.Label())
+		} else {
+			fmt.Printf("  no runnable variant on this device\n\n")
+		}
+	}
+}

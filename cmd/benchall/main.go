@@ -1,0 +1,98 @@
+// Command benchall runs the complete measurement grid — every benchmark on
+// every device with every toolchain that supports it — and emits the raw
+// results as JSON (for downstream analysis) plus a human-readable summary.
+// This is the union of the data behind Fig. 3 and Table VI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/bench"
+	"gpucmp/internal/stats"
+)
+
+// Record is one cell of the grid in the JSON output.
+type Record struct {
+	Benchmark string  `json:"benchmark"`
+	Device    string  `json:"device"`
+	Toolchain string  `json:"toolchain"`
+	Metric    string  `json:"metric"`
+	Value     float64 `json:"value,omitempty"`
+	KernelSec float64 `json:"kernel_seconds,omitempty"`
+	Status    string  `json:"status"`
+	Error     string  `json:"error,omitempty"`
+}
+
+func main() {
+	scale := flag.Int("scale", 2, "problem-size divisor (1 = full size)")
+	jsonPath := flag.String("json", "", "write raw results as JSON to this file ('-' for stdout)")
+	flag.Parse()
+
+	var records []Record
+	for _, a := range arch.All() {
+		for _, tc := range []string{"cuda", "opencl"} {
+			if tc == "cuda" && a.Vendor != "NVIDIA" {
+				continue
+			}
+			for _, spec := range bench.Registry() {
+				d, err := bench.NewDriver(tc, a)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cfg := bench.NativeConfig(tc)
+				cfg.Scale = *scale
+				res, err := spec.Run(d, cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				rec := Record{
+					Benchmark: spec.Name,
+					Device:    a.Name,
+					Toolchain: tc,
+					Metric:    spec.Metric,
+					Status:    res.Status(),
+				}
+				if res.Err != nil {
+					rec.Error = res.Err.Error()
+				} else {
+					rec.Value = res.Value
+					rec.KernelSec = res.KernelSeconds
+				}
+				records = append(records, rec)
+			}
+		}
+	}
+
+	tb := stats.NewTable(fmt.Sprintf("full grid at scale %d (%d cells)", *scale, len(records)),
+		"benchmark", "device", "toolchain", "value", "metric", "status")
+	for _, r := range records {
+		val := "-"
+		if r.Status == "OK" {
+			val = fmt.Sprintf("%.4g", r.Value)
+		}
+		tb.Add(r.Benchmark, r.Device, r.Toolchain, val, r.Metric, r.Status)
+	}
+	fmt.Println(tb)
+
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Command peakperf regenerates Fig. 1 and Fig. 2 of the paper: theoretical
+// versus achieved peak device-memory bandwidth (DeviceMemory) and peak
+// floating-point throughput (MaxFlops) on the GTX280 and GTX480, under
+// both CUDA and OpenCL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/core"
+	"gpucmp/internal/stats"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "problem-size divisor (1 = full size)")
+	flag.Parse()
+
+	devices := []*arch.Device{arch.GTX280(), arch.GTX480()}
+
+	bw := stats.NewTable("Fig. 1 — peak device-memory bandwidth (GB/s)",
+		"device", "theoretical", "CUDA", "OpenCL", "CUDA %TP", "OpenCL %TP", "OpenCL/CUDA")
+	for _, a := range devices {
+		r, err := core.PeakBandwidth(a, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bw.Add(r.Device, r.Theoretical, r.CUDA, r.OpenCL,
+			stats.Pct(r.FractionCUDA()), stats.Pct(r.FractionOpenCL()),
+			fmt.Sprintf("%.3f", r.OpenCL/r.CUDA))
+	}
+	fmt.Println(bw)
+
+	fl := stats.NewTable("Fig. 2 — peak floating-point throughput (GFlops/s)",
+		"device", "theoretical", "CUDA", "OpenCL", "CUDA %TP", "OpenCL %TP")
+	for _, a := range devices {
+		r, err := core.PeakFlops(a, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fl.Add(r.Device, r.Theoretical, r.CUDA, r.OpenCL,
+			stats.Pct(r.FractionCUDA()), stats.Pct(r.FractionOpenCL()))
+	}
+	fmt.Println(fl)
+	fmt.Println("Paper reference: OpenCL reaches 68.6% / 87.7% of TP_BW and ~71.5% / ~97.7%")
+	fmt.Println("of TP_FLOPS on GTX280 / GTX480, outrunning CUDA's bandwidth by 8.5% / 2.4%.")
+}

@@ -1,0 +1,60 @@
+// Command prcompare regenerates Fig. 3 of the paper: the PerformanceRatio
+// (Eq. 1) of every real-world benchmark, comparing each toolchain's native
+// unmodified implementation on the GTX280 and GTX480.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/core"
+	"gpucmp/internal/stats"
+)
+
+func main() {
+	scale := flag.Int("scale", 2, "problem-size divisor (1 = full size)")
+	device := flag.String("device", "", "restrict to one device name (default: both NVIDIA GPUs)")
+	flag.Parse()
+
+	devices := []*arch.Device{arch.GTX280(), arch.GTX480()}
+	if *device != "" {
+		d := arch.ByName(*device)
+		if d == nil {
+			log.Fatalf("unknown device %q", *device)
+		}
+		devices = []*arch.Device{d}
+	}
+
+	for _, a := range devices {
+		rows, err := core.NativePRSeries(a, *scale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb := stats.NewTable(fmt.Sprintf("Fig. 3 — PerformanceRatio on %s (PR>1: OpenCL faster)", a.Name),
+			"benchmark", "metric", "CUDA", "OpenCL", "PR", "verdict")
+		var prs []float64
+		for _, c := range rows {
+			verdict := "CUDA faster"
+			switch {
+			case core.Similar(c.PR):
+				verdict = "similar"
+			case c.PR > 1:
+				verdict = "OpenCL faster"
+			}
+			tb.Add(c.Benchmark, c.Metric, c.CUDA.Value, c.OpenCL.Value,
+				fmt.Sprintf("%.3f", c.PR), verdict)
+			prs = append(prs, c.PR)
+		}
+		fmt.Println(tb)
+		var bars []stats.Bar
+		for _, c := range rows {
+			bars = append(bars, stats.Bar{Label: c.Benchmark, Value: c.PR})
+		}
+		fmt.Println(stats.BarChart(
+			fmt.Sprintf("PR on %s ('|' marks PR = 1; '#' past it means OpenCL wins)", a.Name),
+			bars, 60, 1.0))
+		fmt.Printf("geometric-mean PR on %s: %.3f\n\n", a.Name, stats.GeoMean(prs))
+	}
+}

@@ -1,0 +1,129 @@
+// Command profile runs one benchmark and prints the simulator's full
+// profile: per-launch timing decomposition (launch/issue/memory/latency),
+// occupancy, the dynamic instruction mix, and the memory-system counters.
+// This is the drill-down view behind every analysis in the paper's
+// Section IV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/bench"
+	"gpucmp/internal/ptx"
+	"gpucmp/internal/stats"
+)
+
+func main() {
+	name := flag.String("bench", "FFT", "benchmark to profile (see Table II names)")
+	toolchain := flag.String("toolchain", "opencl", "cuda or opencl")
+	device := flag.String("device", arch.GTX480().Name, "device name")
+	scale := flag.Int("scale", 1, "problem-size divisor")
+	flag.Parse()
+
+	a := arch.ByName(*device)
+	if a == nil {
+		log.Fatalf("unknown device %q; known devices:", *device)
+	}
+	spec, err := bench.SpecByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := bench.NewDriver(*toolchain, a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := bench.NativeConfig(*toolchain)
+	cfg.Scale = *scale
+	res, err := spec.Run(d, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Err != nil {
+		log.Fatalf("benchmark aborted: %v", res.Err)
+	}
+
+	fmt.Printf("%s on %s via %s: %.4g %s (status %s)\n\n",
+		res.Benchmark, res.Device, res.Toolchain, res.Value, res.Metric, res.Status())
+
+	lt := stats.NewTable("per-launch timing (microseconds)",
+		"kernel", "grid", "block", "occupancy", "launch", "issue", "memory", "latency", "total", "bound")
+	breakdowns := bench.Breakdowns(d)
+	for i, tr := range res.Traces {
+		b := breakdowns[i]
+		bound := "issue"
+		if b.Memory >= b.Issue && b.Memory >= b.Latency {
+			bound = "memory"
+		} else if b.Latency >= b.Issue {
+			bound = "latency"
+		}
+		lt.Add(tr.Kernel,
+			fmt.Sprintf("%dx%d", tr.Grid.X, tr.Grid.Y),
+			fmt.Sprintf("%dx%d", tr.Block.X, tr.Block.Y),
+			tr.ResidentGroups,
+			fmt.Sprintf("%.1f", b.Launch*1e6),
+			fmt.Sprintf("%.1f", b.Issue*1e6),
+			fmt.Sprintf("%.1f", b.Memory*1e6),
+			fmt.Sprintf("%.1f", b.Latency*1e6),
+			fmt.Sprintf("%.1f", b.Total*1e6),
+			bound)
+		if i >= 15 {
+			lt.Add("...", "", "", "", "", "", "", "", "", "")
+			break
+		}
+	}
+	fmt.Println(lt)
+
+	// Aggregate dynamic instruction mix.
+	dyn := ptx.NewStats()
+	for _, tr := range res.Traces {
+		dyn.Merge(tr.Dyn)
+	}
+	it := stats.NewTable("dynamic warp-instruction mix", "class", "count", "share")
+	for c := ptx.Class(0); c < ptx.NumClasses; c++ {
+		if dyn.Class(c) == 0 {
+			continue
+		}
+		it.Add(c.String(), dyn.Class(c), stats.Pct(float64(dyn.Class(c))/float64(dyn.Total)))
+	}
+	it.Add("TOTAL", dyn.Total, "100.0%")
+	fmt.Println(it)
+
+	mt := stats.NewTable("memory system", "counter", "value")
+	var m = res.Traces[0].Mem
+	for _, tr := range res.Traces[1:] {
+		c := tr.Mem
+		m.GlobalLoadTrans += c.GlobalLoadTrans
+		m.GlobalStoreTrans += c.GlobalStoreTrans
+		m.L1Hits += c.L1Hits
+		m.L1Misses += c.L1Misses
+		m.TexHits += c.TexHits
+		m.TexMisses += c.TexMisses
+		m.TexTrans += c.TexTrans
+		m.ConstAccesses += c.ConstAccesses
+		m.SharedAccesses += c.SharedAccesses
+		m.SharedSerial += c.SharedSerial
+		m.LocalTrans += c.LocalTrans
+		m.AtomicOps += c.AtomicOps
+	}
+	mt.Add("global load transactions (DRAM)", m.GlobalLoadTrans)
+	mt.Add("global store transactions (DRAM)", m.GlobalStoreTrans)
+	if m.L1Hits+m.L1Misses > 0 {
+		mt.Add("L1 hit rate", stats.Pct(float64(m.L1Hits)/float64(m.L1Hits+m.L1Misses)))
+	}
+	if m.TexHits+m.TexMisses > 0 {
+		mt.Add("texture cache hit rate", stats.Pct(float64(m.TexHits)/float64(m.TexHits+m.TexMisses)))
+		mt.Add("texture DRAM fetches", m.TexTrans)
+	}
+	mt.Add("constant accesses", m.ConstAccesses)
+	if m.SharedAccesses > 0 {
+		mt.Add("shared accesses", m.SharedAccesses)
+		mt.Add("shared serialization factor", fmt.Sprintf("%.2f", float64(m.SharedSerial)/float64(m.SharedAccesses)))
+	}
+	mt.Add("local-memory DRAM transactions", m.LocalTrans)
+	mt.Add("atomic operations", m.AtomicOps)
+	mt.Add("total DRAM bytes", m.DRAMBytes(a.GlobalSegmentSize))
+	fmt.Println(mt)
+}

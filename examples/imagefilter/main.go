@@ -1,0 +1,50 @@
+// Imagefilter: the paper's Sobel case study as an application. It runs the
+// same Sobel-X kernel with the filter coefficients placed in constant
+// versus global memory on both NVIDIA GPUs and prints the per-launch
+// timing decomposition, making the Fig. 8 mechanism visible: the GT200 has
+// no general-purpose cache, so repeated global reads of the tiny filter
+// cost DRAM transactions and latency that the constant cache absorbs; the
+// Fermi L1 absorbs them anyway.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/bench"
+	"gpucmp/internal/stats"
+)
+
+func main() {
+	tb := stats.NewTable("Sobel 1024x1024, CUDA toolchain",
+		"device", "filter placement", "kernel time (us)", "DRAM bytes", "verified")
+	for _, a := range []*arch.Device{arch.GTX280(), arch.GTX480()} {
+		for _, constFilter := range []bool{true, false} {
+			d, err := bench.NewCUDADriver(a)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := bench.RunSobel(d, bench.Config{Scale: 1, UseConstant: constFilter})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Err != nil {
+				log.Fatal(res.Err)
+			}
+			placement := "global"
+			if constFilter {
+				placement = "constant"
+			}
+			var dram int64
+			for _, tr := range res.Traces {
+				dram += tr.Mem.DRAMBytes(a.GlobalSegmentSize)
+			}
+			tb.Add(a.Name, placement, fmt.Sprintf("%.1f", res.KernelSeconds*1e6), dram, res.Correct)
+		}
+	}
+	fmt.Println(tb)
+	fmt.Println("The global-filter version moves more DRAM traffic on the GTX280 because")
+	fmt.Println("every filter read is an uncached transaction; on the GTX480 the L1 absorbs")
+	fmt.Println("them, which is why the paper sees no constant-memory effect on Fermi.")
+}

@@ -1,0 +1,152 @@
+// Quickstart: write one kernel in the kernel IR, run it through both the
+// CUDA and the OpenCL runtime on a simulated GTX480, verify the results
+// and compare the simulated execution times with the paper's
+// PerformanceRatio metric.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/core"
+	"gpucmp/internal/cuda"
+	"gpucmp/internal/kir"
+	"gpucmp/internal/opencl"
+	"gpucmp/internal/sim"
+)
+
+// saxpyKernel builds y = a*x + y, written once in the kernel IR. Both
+// toolchains compile this same source with their own front-end
+// personalities — exactly the setup of the paper's comparisons.
+func saxpyKernel() *kir.Kernel {
+	b := kir.NewKernel("saxpy")
+	x := b.GlobalBuffer("x", kir.F32)
+	y := b.GlobalBuffer("y", kir.F32)
+	alpha := b.ScalarParam("alpha", kir.F32)
+	n := b.ScalarParam("n", kir.U32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	b.If(kir.Lt(gid, n), func() {
+		b.Store(y, gid, kir.Add(kir.Mul(alpha, b.Load(x, gid)), b.Load(y, gid)))
+	})
+	return b.MustBuild()
+}
+
+const (
+	n     = 1 << 20
+	alpha = float32(2.5)
+	block = 256
+)
+
+func main() {
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i % 100)
+		ys[i] = 1
+	}
+
+	cudaSecs := runCUDA(xs, ys)
+	clSecs := runOpenCL(xs, ys)
+
+	pr := core.PR(clSecs, cudaSecs, true)
+	fmt.Printf("\nsaxpy over %d elements on a simulated %s\n", n, arch.GTX480().Name)
+	fmt.Printf("  CUDA:   %8.1f us\n", cudaSecs*1e6)
+	fmt.Printf("  OpenCL: %8.1f us\n", clSecs*1e6)
+	fmt.Printf("  PerformanceRatio (Eq. 1): %.3f", pr)
+	if core.Similar(pr) {
+		fmt.Print("  -> |1-PR| < 0.1: similar performance")
+	}
+	fmt.Println()
+}
+
+func runCUDA(xs, ys []float32) float64 {
+	ctx, err := cuda.NewContext(arch.GTX480())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod, err := ctx.CompileModule("quickstart", []*kir.Kernel{saxpyKernel()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	k, err := mod.Kernel("saxpy")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	xBuf, _ := ctx.Malloc(4 * n)
+	yBuf, _ := ctx.Malloc(4 * n)
+	must(ctx.MemcpyHtoD(xBuf, cuda.F32Words(xs)))
+	must(ctx.MemcpyHtoD(yBuf, cuda.F32Words(ys)))
+
+	ctx.ResetTimer()
+	must(ctx.LaunchKernel(k, cuda.Dim3{X: n / block, Y: 1}, cuda.Dim3{X: block, Y: 1},
+		cuda.Ptr(xBuf), cuda.Ptr(yBuf), cuda.F32(alpha), cuda.U32(n)))
+	secs := ctx.KernelTime()
+
+	out := make([]uint32, n)
+	must(ctx.MemcpyDtoH(out, yBuf))
+	verify(cuda.WordsF32(out), xs, ys)
+	return secs
+}
+
+func runOpenCL(xs, ys []float32) float64 {
+	devs, err := opencl.GetDeviceIDs(opencl.DeviceTypeGPU)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var dev *opencl.Device
+	for _, d := range devs {
+		if d.Arch.Name == arch.GTX480().Name {
+			dev = d
+		}
+	}
+	ctx, err := opencl.CreateContext(dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queue := ctx.CreateCommandQueue()
+	prog := ctx.CreateProgram(saxpyKernel())
+	must(prog.Build())
+	k, err := prog.CreateKernel("saxpy")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	xBuf, _ := ctx.CreateBuffer(4 * n)
+	yBuf, _ := ctx.CreateBuffer(4 * n)
+	must(queue.EnqueueWriteBuffer(xBuf, opencl.F32Words(xs)))
+	must(queue.EnqueueWriteBuffer(yBuf, opencl.F32Words(ys)))
+
+	must(k.SetArgBuffer(0, xBuf))
+	must(k.SetArgBuffer(1, yBuf))
+	must(k.SetArgF32(2, alpha))
+	must(k.SetArgU32(3, n))
+
+	queue.ResetTimer()
+	if _, err := queue.EnqueueNDRangeKernel(k, sim.Dim3{X: n, Y: 1}, sim.Dim3{X: block, Y: 1}); err != nil {
+		log.Fatal(err)
+	}
+	secs := queue.KernelTime()
+
+	out := make([]uint32, n)
+	must(queue.EnqueueReadBuffer(out, yBuf))
+	verify(opencl.WordsF32(out), xs, ys)
+	return secs
+}
+
+func verify(got, xs, ys []float32) {
+	for i := range got {
+		want := alpha*xs[i] + ys[i]
+		if got[i] != want {
+			log.Fatalf("verification failed at %d: got %g, want %g", i, got[i], want)
+		}
+	}
+	fmt.Println("verified:", len(got), "elements correct")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module gpucmp
+
+go 1.22

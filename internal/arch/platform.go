@@ -1,0 +1,51 @@
+package arch
+
+// Platform is one of the paper's experimental testbeds (Table III): a host
+// CPU with one attached device and the toolchain versions installed on it.
+type Platform struct {
+	Name        string
+	HostCPU     string
+	Device      *Device
+	GCCVersion  string
+	CUDAVersion string // empty when CUDA is unavailable on the testbed
+	APPVersion  string // empty when the AMD APP SDK is not installed
+}
+
+// HasCUDA reports whether the testbed can run CUDA programs.
+func (p *Platform) HasCUDA() bool { return p.CUDAVersion != "" }
+
+// Saturn is the GTX480 testbed.
+func Saturn() *Platform {
+	return &Platform{
+		Name:        "Saturn",
+		HostCPU:     "Intel(R) Core(TM) i7 CPU 920@2.67GHz",
+		Device:      GTX480(),
+		GCCVersion:  "4.4.1",
+		CUDAVersion: "3.2",
+	}
+}
+
+// Dutijc is the GTX280 testbed.
+func Dutijc() *Platform {
+	return &Platform{
+		Name:        "Dutijc",
+		HostCPU:     "Intel(R) Core(TM) i7 CPU 920@2.67GHz",
+		Device:      GTX280(),
+		GCCVersion:  "4.4.3",
+		CUDAVersion: "3.2",
+	}
+}
+
+// Jupiter is the HD5870 testbed (OpenCL only, via APP 2.2).
+func Jupiter() *Platform {
+	return &Platform{
+		Name:       "Jupiter",
+		HostCPU:    "Intel(R) Core(TM) i7 CPU 920@2.67GHz",
+		Device:     HD5870(),
+		GCCVersion: "4.4.1",
+		APPVersion: "2.2",
+	}
+}
+
+// Testbeds returns the three platforms of Table III.
+func Testbeds() []*Platform { return []*Platform{Saturn(), Dutijc(), Jupiter()} }

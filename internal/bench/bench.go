@@ -1,0 +1,228 @@
+// Package bench implements the paper's sixteen benchmarks (Table II plus
+// the two synthetic SHOC probes) on top of the simulated CUDA and OpenCL
+// runtimes. Each benchmark is written once against the Driver abstraction;
+// the two runtime adapters preserve the per-toolchain differences that
+// matter (front-end personality, launch overhead, NDRange semantics), and
+// NativeConfig captures the per-toolchain implementation choices the paper
+// documents (texture memory in the CUDA MD/SPMV, constant memory in the
+// OpenCL Sobel, unroll pragma placement in FDTD).
+package bench
+
+import (
+	"fmt"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/kir"
+	"gpucmp/internal/ptx"
+	"gpucmp/internal/sim"
+)
+
+// Buf is a device allocation handle.
+type Buf struct {
+	Addr uint32
+	Size uint32
+}
+
+// Module is an opaque compiled-program handle.
+type Module interface {
+	Kernel(name string) (*ptx.Kernel, error)
+}
+
+// Driver abstracts the host runtime so each benchmark is written once.
+type Driver interface {
+	Name() string // "cuda" or "opencl"
+	Arch() *arch.Device
+	Alloc(bytes uint32) (Buf, error)
+	Write(dst Buf, words []uint32) error
+	Read(dst []uint32, src Buf) error
+	Build(kernels ...*kir.Kernel) (Module, error)
+	// Launch runs a kernel with grid x block geometry (the OpenCL adapter
+	// converts to NDRange global sizes).
+	Launch(m Module, kernel string, grid, block sim.Dim3, args ...Arg) error
+	KernelTime() float64
+	Elapsed() float64
+	Traces() []*sim.Trace
+	ResetTimer()
+}
+
+// Arg is a launch argument: either a buffer or a 32-bit scalar.
+type Arg struct {
+	IsBuf bool
+	Buf   Buf
+	Val   uint32
+}
+
+// B passes a buffer argument.
+func B(b Buf) Arg { return Arg{IsBuf: true, Buf: b} }
+
+// V passes a raw 32-bit scalar.
+func V(v uint32) Arg { return Arg{Val: v} }
+
+// Result is the outcome of one benchmark run on one driver.
+type Result struct {
+	Benchmark string
+	Toolchain string
+	Device    string
+
+	Metric string  // unit of Value, per Table II
+	Value  float64 // the reported performance number
+
+	KernelSeconds   float64
+	EndToEndSeconds float64
+
+	// Correct is false when the run completed but produced wrong output —
+	// the Table VI "FL" state.
+	Correct bool
+	// Err is non-nil when the run aborted — the Table VI "ABT" state.
+	Err error
+
+	Traces []*sim.Trace
+}
+
+// Status summarises the run the way Table VI prints it.
+func (r *Result) Status() string {
+	switch {
+	case r.Err != nil:
+		return "ABT"
+	case !r.Correct:
+		return "FL"
+	default:
+		return "OK"
+	}
+}
+
+// Config selects the implementation variant and problem scale.
+type Config struct {
+	// Scale divides the default problem size (1 = paper-like default,
+	// 2 = half-size for fast tests, etc.).
+	Scale int
+
+	// UseTexture places the irregularly-read vector of MD/SPMV in texture
+	// memory (the CUDA implementations' native choice, Fig. 4).
+	UseTexture bool
+
+	// UseConstant places the Sobel filter in constant memory (the OpenCL
+	// implementation's native choice, Fig. 8).
+	UseConstant bool
+
+	// UnrollA / UnrollB apply "#pragma unroll" at FDTD's two unroll points
+	// (Fig. 6/7).
+	UnrollA bool
+	UnrollB bool
+
+	// VectorSPMV uses the warp-per-row CSR-vector kernel instead of the
+	// thread-per-row scalar kernel (the Section V CPU-portability note).
+	VectorSPMV bool
+
+	// NaiveTranspose skips the shared-memory tile in TranP — slower on
+	// GPUs, faster on the implicitly-cached CPU device (the Section V
+	// TranP note: 2.411 vs 0.215 GB/s).
+	NaiveTranspose bool
+}
+
+func (c Config) scale(n int) int {
+	s := c.Scale
+	if s <= 0 {
+		s = 1
+	}
+	v := n / s
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// NativeConfig returns the paper's "native", unmodified implementation
+// choices for a toolchain: the configurations behind Fig. 3.
+func NativeConfig(toolchain string) Config {
+	if toolchain == "cuda" {
+		return Config{Scale: 1, UseTexture: true, UseConstant: false, UnrollA: true, UnrollB: true}
+	}
+	return Config{Scale: 1, UseTexture: false, UseConstant: true, UnrollA: false, UnrollB: true}
+}
+
+// Spec describes one registered benchmark.
+type Spec struct {
+	Name   string
+	Metric string
+	// LowerIsBetter is true for time-valued metrics (sec).
+	LowerIsBetter bool
+	Run           func(d Driver, cfg Config) (*Result, error)
+}
+
+// Registry returns the real-world benchmarks in the order of Table II,
+// followed by the two synthetic probes.
+func Registry() []Spec {
+	return []Spec{
+		{Name: "BFS", Metric: "sec", LowerIsBetter: true, Run: RunBFS},
+		{Name: "Sobel", Metric: "sec", LowerIsBetter: true, Run: RunSobel},
+		{Name: "TranP", Metric: "GB/sec", Run: RunTranP},
+		{Name: "Reduce", Metric: "GB/sec", Run: RunReduce},
+		{Name: "FFT", Metric: "GFlops/sec", Run: RunFFT},
+		{Name: "MD", Metric: "GFlops/sec", Run: RunMD},
+		{Name: "SPMV", Metric: "GFlops/sec", Run: RunSPMV},
+		{Name: "St2D", Metric: "sec", LowerIsBetter: true, Run: RunSt2D},
+		{Name: "DXTC", Metric: "MPixels/sec", Run: RunDXTC},
+		{Name: "RdxS", Metric: "MElements/sec", Run: RunRdxS},
+		{Name: "Scan", Metric: "MElements/sec", Run: RunScan},
+		{Name: "STNW", Metric: "MElements/sec", Run: RunSTNW},
+		{Name: "MxM", Metric: "GFlops/sec", Run: RunMxM},
+		{Name: "FDTD", Metric: "MPoints/sec", Run: RunFDTD},
+		{Name: "MaxFlops", Metric: "GFlops/sec", Run: RunMaxFlops},
+		{Name: "DeviceMemory", Metric: "GB/sec", Run: RunDeviceMemory},
+	}
+}
+
+// SpecByName finds a registered benchmark.
+func SpecByName(name string) (Spec, error) {
+	for _, s := range Registry() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("bench: unknown benchmark %q", name)
+}
+
+// result assembles the common Result fields from a finished driver run.
+func result(d Driver, name, metric string, value float64, correct bool) *Result {
+	return &Result{
+		Benchmark:       name,
+		Toolchain:       d.Name(),
+		Device:          d.Arch().Name,
+		Metric:          metric,
+		Value:           value,
+		KernelSeconds:   d.KernelTime(),
+		EndToEndSeconds: d.Elapsed(),
+		Correct:         correct,
+		Traces:          d.Traces(),
+	}
+}
+
+// abort wraps a launch/build failure as an ABT result.
+func abort(d Driver, name, metric string, err error) *Result {
+	return &Result{
+		Benchmark: name,
+		Toolchain: d.Name(),
+		Device:    d.Arch().Name,
+		Metric:    metric,
+		Err:       err,
+	}
+}
+
+func f32eq(a, b, tol float32) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	if b > m {
+		m = b
+	}
+	if -b > m {
+		m = -b
+	}
+	return d <= tol+tol*m
+}

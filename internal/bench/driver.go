@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"gpucmp/internal/arch"
+	"gpucmp/internal/cuda"
+	"gpucmp/internal/kir"
+	"gpucmp/internal/opencl"
+	"gpucmp/internal/perfmodel"
+	"gpucmp/internal/ptx"
+	"gpucmp/internal/sim"
+)
+
+// CUDADriver adapts a cuda.Context to the Driver interface.
+type CUDADriver struct{ Ctx *cuda.Context }
+
+// NewCUDADriver opens a CUDA context on the device.
+func NewCUDADriver(a *arch.Device) (*CUDADriver, error) {
+	ctx, err := cuda.NewContext(a)
+	if err != nil {
+		return nil, err
+	}
+	return &CUDADriver{Ctx: ctx}, nil
+}
+
+// Name returns "cuda".
+func (d *CUDADriver) Name() string { return "cuda" }
+
+// Arch returns the device description.
+func (d *CUDADriver) Arch() *arch.Device { return d.Ctx.Arch() }
+
+// Alloc allocates device memory.
+func (d *CUDADriver) Alloc(bytes uint32) (Buf, error) {
+	p, err := d.Ctx.Malloc(bytes)
+	if err != nil {
+		return Buf{}, err
+	}
+	return Buf{Addr: p.Addr, Size: p.Size}, nil
+}
+
+// Write copies host words to the device.
+func (d *CUDADriver) Write(dst Buf, words []uint32) error {
+	return d.Ctx.MemcpyHtoD(cuda.DevicePtr{Addr: dst.Addr, Size: dst.Size}, words)
+}
+
+// Read copies device words to the host.
+func (d *CUDADriver) Read(dst []uint32, src Buf) error {
+	return d.Ctx.MemcpyDtoH(dst, cuda.DevicePtr{Addr: src.Addr, Size: src.Size})
+}
+
+type cudaModule struct{ m *cuda.Module }
+
+func (m cudaModule) Kernel(name string) (*ptx.Kernel, error) { return m.m.Kernel(name) }
+
+// Build compiles KIR kernels with the CUDA front-end.
+func (d *CUDADriver) Build(kernels ...*kir.Kernel) (Module, error) {
+	m, err := d.Ctx.CompileModule("bench", kernels)
+	if err != nil {
+		return nil, err
+	}
+	return cudaModule{m: m}, nil
+}
+
+// Launch runs a kernel.
+func (d *CUDADriver) Launch(m Module, kernel string, grid, block sim.Dim3, args ...Arg) error {
+	k, err := m.Kernel(kernel)
+	if err != nil {
+		return err
+	}
+	cargs := make([]cuda.Arg, len(args))
+	for i, a := range args {
+		if a.IsBuf {
+			cargs[i] = cuda.Ptr(cuda.DevicePtr{Addr: a.Buf.Addr, Size: a.Buf.Size})
+		} else {
+			cargs[i] = cuda.U32(a.Val)
+		}
+	}
+	return d.Ctx.LaunchKernel(k, grid, block, cargs...)
+}
+
+// KernelTime returns simulated kernel-only seconds.
+func (d *CUDADriver) KernelTime() float64 { return d.Ctx.KernelTime() }
+
+// Elapsed returns simulated end-to-end seconds.
+func (d *CUDADriver) Elapsed() float64 { return d.Ctx.Elapsed() }
+
+// Traces returns launch traces.
+func (d *CUDADriver) Traces() []*sim.Trace { return d.Ctx.Traces() }
+
+// ResetTimer clears the clock.
+func (d *CUDADriver) ResetTimer() { d.Ctx.ResetTimer() }
+
+// OpenCLDriver adapts an opencl context+queue to the Driver interface.
+type OpenCLDriver struct {
+	Ctx   *opencl.Context
+	Queue *opencl.CommandQueue
+}
+
+// NewOpenCLDriver opens an OpenCL context on the device.
+func NewOpenCLDriver(a *arch.Device) (*OpenCLDriver, error) {
+	ctx, err := opencl.CreateContext(&opencl.Device{Arch: a})
+	if err != nil {
+		return nil, err
+	}
+	return &OpenCLDriver{Ctx: ctx, Queue: ctx.CreateCommandQueue()}, nil
+}
+
+// Name returns "opencl".
+func (d *OpenCLDriver) Name() string { return "opencl" }
+
+// Arch returns the device description.
+func (d *OpenCLDriver) Arch() *arch.Device { return d.Ctx.Arch() }
+
+// Alloc allocates a buffer.
+func (d *OpenCLDriver) Alloc(bytes uint32) (Buf, error) {
+	b, err := d.Ctx.CreateBuffer(bytes)
+	if err != nil {
+		return Buf{}, err
+	}
+	return Buf{Addr: b.Addr, Size: b.Size}, nil
+}
+
+// Write copies host words into a buffer.
+func (d *OpenCLDriver) Write(dst Buf, words []uint32) error {
+	return d.Queue.EnqueueWriteBuffer(opencl.Buffer{Addr: dst.Addr, Size: dst.Size}, words)
+}
+
+// Read copies a buffer back to the host.
+func (d *OpenCLDriver) Read(dst []uint32, src Buf) error {
+	return d.Queue.EnqueueReadBuffer(dst, opencl.Buffer{Addr: src.Addr, Size: src.Size})
+}
+
+type clModule struct{ p *opencl.Program }
+
+func (m clModule) Kernel(name string) (*ptx.Kernel, error) {
+	k, err := m.p.CreateKernel(name)
+	if err != nil {
+		return nil, err
+	}
+	return k.PTX(), nil
+}
+
+// Build compiles KIR kernels with the OpenCL front-end.
+func (d *OpenCLDriver) Build(kernels ...*kir.Kernel) (Module, error) {
+	p := d.Ctx.CreateProgram(kernels...)
+	if err := p.Build(); err != nil {
+		return nil, err
+	}
+	return clModule{p: p}, nil
+}
+
+// Launch converts grid x block to NDRange global/local sizes and enqueues.
+func (d *OpenCLDriver) Launch(m Module, kernel string, grid, block sim.Dim3, args ...Arg) error {
+	cm := m.(clModule)
+	k, err := cm.p.CreateKernel(kernel)
+	if err != nil {
+		return err
+	}
+	for i, a := range args {
+		if a.IsBuf {
+			if err := k.SetArgBuffer(i, opencl.Buffer{Addr: a.Buf.Addr, Size: a.Buf.Size}); err != nil {
+				return err
+			}
+		} else if err := k.SetArgU32(i, a.Val); err != nil {
+			return err
+		}
+	}
+	global := sim.Dim3{X: grid.X * block.X, Y: grid.Y * block.Y}
+	_, err = d.Queue.EnqueueNDRangeKernel(k, global, block)
+	return err
+}
+
+// KernelTime returns simulated kernel-only seconds.
+func (d *OpenCLDriver) KernelTime() float64 { return d.Queue.KernelTime() }
+
+// Elapsed returns simulated end-to-end seconds.
+func (d *OpenCLDriver) Elapsed() float64 { return d.Queue.Elapsed() }
+
+// Traces returns launch traces.
+func (d *OpenCLDriver) Traces() []*sim.Trace { return d.Queue.Traces() }
+
+// ResetTimer clears the clock.
+func (d *OpenCLDriver) ResetTimer() { d.Queue.ResetTimer() }
+
+// NewDriver opens a driver by toolchain name.
+func NewDriver(toolchain string, a *arch.Device) (Driver, error) {
+	if toolchain == "cuda" {
+		return NewCUDADriver(a)
+	}
+	return NewOpenCLDriver(a)
+}
+
+// Breakdowns exposes the per-launch timing decompositions of a driver.
+func Breakdowns(d Driver) []perfmodel.Breakdown {
+	switch dd := d.(type) {
+	case *CUDADriver:
+		return dd.Ctx.Breakdowns()
+	case *OpenCLDriver:
+		return dd.Queue.Breakdowns()
+	default:
+		return nil
+	}
+}
+
+// ExecSeconds sums the per-launch execution time excluding launch overhead
+// — the event-timer view (CL_PROFILING_COMMAND_START to _END) that the
+// synthetic peak probes report.
+func ExecSeconds(d Driver) float64 {
+	sum := 0.0
+	for _, b := range Breakdowns(d) {
+		sum += b.Total - b.Launch
+	}
+	return sum
+}

@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/ptx"
+)
+
+func TestDebugFDTD(t *testing.T) {
+	for _, ua := range []bool{true, false} {
+		d, _ := NewCUDADriver(arch.GTX280())
+		r, err := RunFDTD(d, Config{Scale: 4, UnrollA: ua, UnrollB: true})
+		if err != nil || r.Err != nil {
+			t.Fatal(err, r.Err)
+		}
+		tr := r.Traces[0]
+		bd := Breakdowns(d)[0]
+		fmt.Printf("unrollA=%v val=%.1f dynTotal=%d bra=%d setp=%d regsGroups=%d %s\n",
+			ua, r.Value, tr.Dyn.Total, tr.Dyn.Get(ptx.OpBra, ptx.SpaceNone), tr.Dyn.Get(ptx.OpSetp, ptx.SpaceNone), tr.ResidentGroups, bd)
+		fmt.Printf("  ldglobal=%d trans=%d local=%d lAcc=%d const=%d arith=%d mov=%d\n",
+			tr.Dyn.Get(ptx.OpLd, ptx.SpaceGlobal), tr.Mem.GlobalLoadTrans, tr.Mem.LocalTrans, tr.Mem.LocalAccesses, tr.Mem.ConstAccesses, tr.Dyn.Class(ptx.ClassArithmetic), tr.Dyn.Get(ptx.OpMov, ptx.SpaceNone))
+	}
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"gpucmp/internal/kir"
+	"gpucmp/internal/sim"
+	"gpucmp/internal/workload"
+)
+
+const mxmTile = 16
+
+// MxMKernel builds the shared-memory tiled SGEMM (C = A*B, square n).
+func MxMKernel() *kir.Kernel {
+	b := kir.NewKernel("sgemm")
+	a := b.GlobalBuffer("A", kir.F32)
+	bb := b.GlobalBuffer("B", kir.F32)
+	c := b.GlobalBuffer("C", kir.F32)
+	n := b.ScalarParam("n", kir.U32)
+	as := b.SharedArray("As", kir.F32, mxmTile*mxmTile)
+	bs := b.SharedArray("Bs", kir.F32, mxmTile*mxmTile)
+
+	tx := kir.Bi(kir.TidX)
+	ty := kir.Bi(kir.TidY)
+	row := b.Declare("row", b.GlobalIDY())
+	col := b.Declare("col", b.GlobalIDX())
+	acc := b.Declare("acc", kir.F(0))
+	tiles := b.Declare("tiles", kir.Div(n, kir.U(mxmTile)))
+	b.For("t", kir.U(0), tiles, kir.U(1), func(t kir.Expr) {
+		b.Store(as, kir.Add(kir.Mul(ty, kir.U(mxmTile)), tx),
+			b.Load(a, kir.Add(kir.Mul(row, n), kir.Add(kir.Mul(t, kir.U(mxmTile)), tx))))
+		b.Store(bs, kir.Add(kir.Mul(ty, kir.U(mxmTile)), tx),
+			b.Load(bb, kir.Add(kir.Mul(kir.Add(kir.Mul(t, kir.U(mxmTile)), ty), n), col)))
+		b.Barrier()
+		b.For("k", kir.U(0), kir.U(mxmTile), kir.U(1), func(k kir.Expr) {
+			b.Assign(acc, kir.Add(acc, kir.Mul(
+				b.Load(as, kir.Add(kir.Mul(ty, kir.U(mxmTile)), k)),
+				b.Load(bs, kir.Add(kir.Mul(k, kir.U(mxmTile)), tx)))))
+		})
+		b.Barrier()
+	})
+	b.Store(c, kir.Add(kir.Mul(row, n), col), acc)
+	return b.MustBuild()
+}
+
+// mxmRef computes the reference product with the same tile-ordered float
+// accumulation as the kernel (k-major within the row).
+func mxmRef(a, bm []float32, n int) []float32 {
+	c := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for k := 0; k < n; k++ {
+				acc += a[i*n+k] * bm[k*n+j]
+			}
+			c[i*n+j] = acc
+		}
+	}
+	return c
+}
+
+// RunMxM measures dense matrix multiplication in GFlops/sec (Table II).
+func RunMxM(d Driver, cfg Config) (*Result, error) {
+	const metric = "GFlops/sec"
+	n := cfg.scale(256)
+	if n < mxmTile {
+		n = mxmTile
+	}
+	n = (n / mxmTile) * mxmTile
+
+	rng := workload.NewRNG(41)
+	av := rng.Floats(n*n, -1, 1)
+	bv := rng.Floats(n*n, -1, 1)
+
+	k := MxMKernel()
+	mod, err := d.Build(k)
+	if err != nil {
+		return abort(d, "MxM", metric, err), nil
+	}
+	ab, err := allocWriteF(d, av)
+	if err != nil {
+		return abort(d, "MxM", metric, err), nil
+	}
+	bbuf, _ := allocWriteF(d, bv)
+	cb, err := allocZero(d, n*n)
+	if err != nil {
+		return abort(d, "MxM", metric, err), nil
+	}
+
+	d.ResetTimer()
+	block := sim.Dim3{X: mxmTile, Y: mxmTile}
+	grid := sim.Dim3{X: n / mxmTile, Y: n / mxmTile}
+	if err := d.Launch(mod, "sgemm", grid, block, B(ab), B(bbuf), B(cb), V(uint32(n))); err != nil {
+		return abort(d, "MxM", metric, err), nil
+	}
+	kernelSecs := d.KernelTime()
+
+	got, err := readF32(d, cb, n*n)
+	if err != nil {
+		return abort(d, "MxM", metric, err), nil
+	}
+	want := mxmRef(av, bv, n)
+	correct := true
+	for i := range want {
+		if !f32eq(got[i], want[i], 2e-2) {
+			correct = false
+			break
+		}
+	}
+
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	return result(d, "MxM", metric, flops/kernelSecs/1e9, correct), nil
+}

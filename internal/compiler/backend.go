@@ -1,0 +1,248 @@
+package compiler
+
+import "gpucmp/internal/ptx"
+
+// Optimize is the shared second-stage compiler (PTXAS in the paper's
+// development flow, step 6): dead-code elimination followed by mul+add
+// fusion into mad/fma. Both toolchains run it, mirroring the paper's
+// observation that the back-end is common while the front-ends differ.
+func Optimize(k *ptx.Kernel) {
+	copyPropagate(k)
+	deadCodeEliminate(k)
+	fuseMulAdd(k)
+}
+
+// copyPropagate forwards register-to-register mov sources into later uses
+// within each basic block, after which dead-code elimination removes the
+// movs themselves. This models the register-allocation phase of the real
+// back end: the mov-heavy PTX that NVOPENCC emits (Table V) does not cost
+// issue slots in the final machine code.
+func copyPropagate(k *ptx.Kernel) {
+	n := len(k.Instrs)
+	if n == 0 {
+		return
+	}
+	// Basic-block boundaries: branch targets and instructions after
+	// branches end the propagation window.
+	leader := make([]bool, n+1)
+	for i := range k.Instrs {
+		if k.Instrs[i].Op == ptx.OpBra {
+			leader[k.Instrs[i].Target] = true
+			leader[k.Instrs[i].Join] = true
+			if i+1 <= n {
+				leader[i+1] = true
+			}
+		}
+	}
+	copies := make(map[ptx.Reg]ptx.Operand)
+	invalidate := func(r ptx.Reg) {
+		delete(copies, r)
+		for dst, src := range copies {
+			if !src.IsImm && !src.IsSpec && src.Reg == r {
+				delete(copies, dst)
+			}
+		}
+	}
+	for i := range k.Instrs {
+		if leader[i] {
+			copies = make(map[ptx.Reg]ptx.Operand)
+		}
+		in := &k.Instrs[i]
+		// Rewrite sources through known copies.
+		for s := range in.Src {
+			op := in.Src[s]
+			if !op.IsImm && !op.IsSpec && op.Reg != ptx.NoReg {
+				if src, ok := copies[op.Reg]; ok {
+					// selp's predicate slot must stay a register.
+					if in.Op == ptx.OpSelp && s == 2 && (src.IsImm || src.IsSpec) {
+						continue
+					}
+					in.Src[s] = src
+				}
+			}
+		}
+		if in.GuardPred != ptx.NoReg {
+			if src, ok := copies[in.GuardPred]; ok && !src.IsImm && !src.IsSpec {
+				in.GuardPred = src.Reg
+			}
+		}
+		if in.Dst != ptx.NoReg {
+			invalidate(in.Dst)
+			// A guarded mov only overwrites active lanes; it is not a
+			// full copy, so do not propagate it.
+			if in.Op == ptx.OpMov && in.GuardPred == ptx.NoReg {
+				copies[in.Dst] = in.Src[0]
+			}
+		}
+	}
+}
+
+// hasSideEffect reports whether an instruction must be preserved regardless
+// of whether its destination is read.
+func hasSideEffect(in *ptx.Instruction) bool {
+	switch in.Op {
+	case ptx.OpSt, ptx.OpBra, ptx.OpBar, ptx.OpRet, ptx.OpAtom:
+		return true
+	}
+	return false
+}
+
+func readsOf(in *ptx.Instruction, mark func(ptx.Reg)) {
+	for _, s := range in.Src {
+		if !s.IsImm && !s.IsSpec && s.Reg != ptx.NoReg {
+			mark(s.Reg)
+		}
+	}
+	if in.GuardPred != ptx.NoReg {
+		mark(in.GuardPred)
+	}
+}
+
+// deadCodeEliminate removes side-effect-free instructions whose destination
+// register is never read anywhere in the kernel, iterating to a fixpoint,
+// then compacts the instruction stream and remaps branch targets.
+func deadCodeEliminate(k *ptx.Kernel) {
+	n := len(k.Instrs)
+	dead := make([]bool, n)
+	for {
+		used := make([]bool, k.NumRegs)
+		for i := range k.Instrs {
+			if dead[i] {
+				continue
+			}
+			readsOf(&k.Instrs[i], func(r ptx.Reg) {
+				if int(r) < len(used) {
+					used[r] = true
+				}
+			})
+		}
+		changed := false
+		for i := range k.Instrs {
+			in := &k.Instrs[i]
+			if dead[i] || hasSideEffect(in) || in.Dst == ptx.NoReg {
+				continue
+			}
+			if int(in.Dst) < len(used) && !used[in.Dst] {
+				dead[i] = true
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	compact(k, dead)
+}
+
+// compact removes instructions marked dead and remaps Target/Join indices.
+// A target pointing at a removed instruction is redirected to the next kept
+// one (or the end).
+func compact(k *ptx.Kernel, dead []bool) {
+	n := len(k.Instrs)
+	// newIndex[i] = number of kept instructions strictly before i.
+	newIndex := make([]int, n+1)
+	cnt := 0
+	for i := 0; i < n; i++ {
+		newIndex[i] = cnt
+		if !dead[i] {
+			cnt++
+		}
+	}
+	newIndex[n] = cnt
+
+	out := make([]ptx.Instruction, 0, cnt)
+	for i := 0; i < n; i++ {
+		if dead[i] {
+			continue
+		}
+		in := k.Instrs[i]
+		if in.Op == ptx.OpBra {
+			in.Target = newIndex[in.Target]
+			in.Join = newIndex[in.Join]
+		}
+		out = append(out, in)
+	}
+	k.Instrs = out
+}
+
+// fuseMulAdd rewrites adjacent mul+add pairs into a single mad (integer) or
+// fma (float) when the intermediate register has exactly one use, the pair
+// is not split by a branch target, and both carry the same guard.
+func fuseMulAdd(k *ptx.Kernel) {
+	n := len(k.Instrs)
+	if n == 0 {
+		return
+	}
+	isTarget := make([]bool, n+1)
+	for i := range k.Instrs {
+		in := &k.Instrs[i]
+		if in.Op == ptx.OpBra {
+			isTarget[in.Target] = true
+			isTarget[in.Join] = true
+		}
+	}
+	// deadAfter reports whether register t has no further uses after
+	// instruction j before being redefined. Registers are recycled, so
+	// liveness must be scanned per definition; a basic-block boundary
+	// before the redefinition is treated conservatively as live.
+	deadAfter := func(t ptx.Reg, j int) bool {
+		for p := j + 1; p < n; p++ {
+			if isTarget[p] || k.Instrs[p].Op == ptx.OpBra {
+				return false
+			}
+			used := false
+			readsOf(&k.Instrs[p], func(r ptx.Reg) {
+				if r == t {
+					used = true
+				}
+			})
+			if used {
+				return false
+			}
+			if k.Instrs[p].Dst == t {
+				return true
+			}
+		}
+		return true
+	}
+
+	dead := make([]bool, n)
+	for i := 0; i+1 < n; i++ {
+		mul := &k.Instrs[i]
+		add := &k.Instrs[i+1]
+		if mul.Op != ptx.OpMul || add.Op != ptx.OpAdd || isTarget[i+1] {
+			continue
+		}
+		if mul.Typ != add.Typ || mul.GuardPred != add.GuardPred || mul.GuardNeg != add.GuardNeg {
+			continue
+		}
+		t := mul.Dst
+		if t == ptx.NoReg || !deadAfter(t, i+1) {
+			continue
+		}
+		var other ptx.Operand
+		if !add.Src[0].IsImm && !add.Src[0].IsSpec && add.Src[0].Reg == t {
+			other = add.Src[1]
+		} else if !add.Src[1].IsImm && !add.Src[1].IsSpec && add.Src[1].Reg == t {
+			other = add.Src[0]
+		} else {
+			continue
+		}
+		// The accumulator operand must not be the intermediate itself.
+		if !other.IsImm && !other.IsSpec && other.Reg == t {
+			continue
+		}
+		op := ptx.OpMad
+		if mul.Typ == ptx.F32 {
+			op = ptx.OpFma
+		}
+		fused := *add
+		fused.Op = op
+		fused.Src[0] = mul.Src[0]
+		fused.Src[1] = mul.Src[1]
+		fused.Src[2] = other
+		k.Instrs[i+1] = fused
+		dead[i] = true
+	}
+	compact(k, dead)
+}

@@ -1,0 +1,119 @@
+package compiler
+
+// Cross-personality differential testing with shared memory and barriers:
+// the host reference cannot easily model barrier interleavings, so these
+// kernels are executed under BOTH personalities on the simulator and the
+// two compilations must agree with each other bit-for-bit. Kernels follow
+// a produce-barrier-consume shape so they are deterministic by
+// construction.
+
+import (
+	"fmt"
+	"testing"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/kir"
+	"gpucmp/internal/sim"
+	"gpucmp/internal/workload"
+)
+
+// genSharedKernel builds a random deterministic shared-memory kernel:
+// every thread publishes a value derived from its input, all threads
+// barrier, then each thread combines a random-but-fixed selection of other
+// threads' slots.
+func genSharedKernel(seed uint64) *kir.Kernel {
+	r := workload.NewRNG(seed)
+	g := &exprGen{r: r}
+	b := kir.NewKernel(fmt.Sprintf("shfuzz%d", seed))
+	b.GlobalBuffer("in", kir.U32)
+	out := b.GlobalBuffer("out", kir.U32)
+	b.ScalarParam("s", kir.U32)
+	sh := b.SharedArray("sh", kir.U32, fuzzThreads)
+	tid := kir.Bi(kir.TidX)
+
+	b.Declare("gid", b.GlobalIDX())
+	g.vars = nil
+
+	// Publish phase.
+	b.Store(sh, tid, g.expr(2))
+	b.Barrier()
+
+	// Consume phase: combine 2-4 pseudo-random neighbour slots.
+	b.Declare("acc", &kir.Load{Buf: "sh", Index: tid, T: kir.U32})
+	g.vars = append(g.vars, "acc")
+	reads := 2 + r.Intn(3)
+	for i := 0; i < reads; i++ {
+		stride := uint32(1 + r.Intn(fuzzThreads-1))
+		idx := &kir.Bin{Op: kir.OpRem,
+			L: &kir.Bin{Op: kir.OpAdd, L: tid, R: kir.U(stride)},
+			R: kir.U(fuzzThreads)}
+		b.Assign(&kir.VarRef{Name: "acc", T: kir.U32},
+			&kir.Bin{Op: kir.OpXor,
+				L: &kir.Bin{Op: kir.OpMul, L: &kir.VarRef{Name: "acc", T: kir.U32}, R: kir.U(33)},
+				R: &kir.Load{Buf: "sh", Index: idx, T: kir.U32}})
+		if r.Intn(2) == 0 {
+			// A second round: republish and re-read, with a barrier on
+			// both sides so every warp sees the update.
+			b.Barrier()
+			b.Store(sh, tid, &kir.VarRef{Name: "acc", T: kir.U32})
+			b.Barrier()
+		}
+	}
+	b.Store(out, &kir.VarRef{Name: "gid", T: kir.U32}, &kir.VarRef{Name: "acc", T: kir.U32})
+	return b.MustBuild()
+}
+
+func TestDifferentialSharedMemoryKernels(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	data := workload.NewRNG(4242)
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		k := genSharedKernel(seed)
+		in := make([]uint32, fuzzBufLen)
+		for i := range in {
+			in[i] = data.Uint32()
+		}
+		s := data.Uint32() % 5000
+
+		var outs [2][]uint32
+		for pi, p := range []Personality{CUDA(), OpenCL()} {
+			outs[pi] = runCompiled(t, k, p, in, s)
+		}
+		for i := range outs[0] {
+			if outs[0][i] != outs[1][i] {
+				t.Fatalf("seed %d: out[%d]: cuda %d != opencl %d", seed, i, outs[0][i], outs[1][i])
+			}
+		}
+		// Determinism across devices with different warp widths: the
+		// barriers make the kernel schedule-independent, so a 64-wide
+		// wavefront machine must agree too.
+		pk, err := Compile(k, OpenCL())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := sim.NewDevice(arch.HD5870())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inAddr, _ := dev.Global.Alloc(uint32(4 * len(in)))
+		outAddr, _ := dev.Global.Alloc(4 * fuzzThreads)
+		if err := dev.Global.WriteWords(inAddr, in); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dev.Launch(pk, sim.Dim3{X: 1, Y: 1}, sim.Dim3{X: fuzzThreads, Y: 1},
+			[]uint32{inAddr, outAddr, s}); err != nil {
+			t.Fatal(err)
+		}
+		wide := make([]uint32, fuzzThreads)
+		if err := dev.Global.ReadWords(outAddr, wide); err != nil {
+			t.Fatal(err)
+		}
+		for i := range wide {
+			if wide[i] != outs[0][i] {
+				t.Fatalf("seed %d: 64-wide device diverges at %d: %d != %d", seed, i, wide[i], outs[0][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,396 @@
+package compiler
+
+// Differential testing of the whole compile-and-execute stack: random
+// barrier-free kernels are generated in the kernel IR, evaluated directly
+// on the host (the reference), then compiled with BOTH front-end
+// personalities and executed on the SIMT simulator. All three must agree
+// bit-for-bit on integer outputs. This exercises CSE, strength reduction,
+// guard/selp if-conversion, loop unrolling, copy propagation, DCE, mad
+// fusion, divergence handling, and the memory paths in combination.
+
+import (
+	"fmt"
+	"testing"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/kir"
+	"gpucmp/internal/sim"
+	"gpucmp/internal/workload"
+)
+
+const (
+	fuzzThreads = 128
+	fuzzBufLen  = 256
+)
+
+// exprGen builds random u32 expression trees.
+type exprGen struct {
+	r     *workload.RNG
+	vars  []string // in-scope scalar variables
+	depth int
+}
+
+func (g *exprGen) expr(depth int) kir.Expr {
+	if depth <= 0 {
+		return g.leaf()
+	}
+	switch g.r.Intn(10) {
+	case 0, 1, 2:
+		return g.leaf()
+	case 3:
+		ops := []kir.BinOp{kir.OpAdd, kir.OpSub, kir.OpMul, kir.OpAnd, kir.OpOr, kir.OpXor,
+			kir.OpMin, kir.OpMax}
+		return &kir.Bin{Op: ops[g.r.Intn(len(ops))], L: g.expr(depth - 1), R: g.expr(depth - 1)}
+	case 4:
+		// Shifts with bounded amounts.
+		op := kir.OpShl
+		if g.r.Intn(2) == 0 {
+			op = kir.OpShr
+		}
+		return &kir.Bin{Op: op, L: g.expr(depth - 1), R: kir.U(uint32(g.r.Intn(31)))}
+	case 5:
+		// Division/remainder with a non-zero denominator.
+		op := kir.OpDiv
+		if g.r.Intn(2) == 0 {
+			op = kir.OpRem
+		}
+		den := &kir.Bin{Op: kir.OpOr, L: g.expr(depth - 1), R: kir.U(1)}
+		return &kir.Bin{Op: op, L: g.expr(depth - 1), R: den}
+	case 6:
+		// Powers of two feed the strength reducer.
+		pow := uint32(1) << uint(1+g.r.Intn(5))
+		ops := []kir.BinOp{kir.OpMul, kir.OpDiv, kir.OpRem}
+		return &kir.Bin{Op: ops[g.r.Intn(3)], L: g.expr(depth - 1), R: kir.U(pow)}
+	case 7:
+		return kir.Select(g.cond(depth-1), g.expr(depth-1), g.expr(depth-1))
+	case 8:
+		return kir.Not(g.expr(depth - 1))
+	default:
+		// A load from the input buffer at a wrapped index.
+		idx := &kir.Bin{Op: kir.OpRem, L: g.expr(depth - 1), R: kir.U(fuzzBufLen)}
+		return &kir.Load{Buf: "in", Index: idx, T: kir.U32}
+	}
+}
+
+func (g *exprGen) cond(depth int) kir.Expr {
+	ops := []kir.BinOp{kir.OpEq, kir.OpNe, kir.OpLt, kir.OpLe, kir.OpGt, kir.OpGe}
+	c := &kir.Bin{Op: ops[g.r.Intn(len(ops))], L: g.expr(depth), R: g.expr(depth)}
+	switch g.r.Intn(4) {
+	case 0:
+		return kir.LAnd(c, &kir.Bin{Op: ops[g.r.Intn(len(ops))], L: g.expr(depth), R: g.expr(depth)})
+	case 1:
+		return kir.LOr(c, &kir.Bin{Op: ops[g.r.Intn(len(ops))], L: g.expr(depth), R: g.expr(depth)})
+	}
+	return c
+}
+
+func (g *exprGen) leaf() kir.Expr {
+	switch g.r.Intn(4) {
+	case 0:
+		return kir.U(g.r.Uint32() % 1000)
+	case 1:
+		return &kir.ParamRef{Name: "s", T: kir.U32}
+	case 2:
+		if len(g.vars) > 0 {
+			name := g.vars[g.r.Intn(len(g.vars))]
+			return &kir.VarRef{Name: name, T: kir.U32}
+		}
+		fallthrough
+	default:
+		return &kir.VarRef{Name: "gid", T: kir.U32}
+	}
+}
+
+// genKernel builds a random kernel: declarations, assignments, nested ifs,
+// and bounded loops, ending in a store of an accumulator.
+func genKernel(seed uint64) *kir.Kernel {
+	r := workload.NewRNG(seed)
+	g := &exprGen{r: r}
+	b := kir.NewKernel(fmt.Sprintf("fuzz%d", seed))
+	b.GlobalBuffer("in", kir.U32)
+	out := b.GlobalBuffer("out", kir.U32)
+	b.ScalarParam("s", kir.U32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	_ = gid
+	g.vars = nil
+
+	nstmt := 2 + r.Intn(4)
+	for i := 0; i < nstmt; i++ {
+		g.genStmt(b, i, 2)
+	}
+
+	// Final store accumulates every declared variable so nothing is dead.
+	var sum kir.Expr = &kir.VarRef{Name: "gid", T: kir.U32}
+	for _, v := range g.vars {
+		sum = &kir.Bin{Op: kir.OpAdd, L: sum, R: &kir.VarRef{Name: v, T: kir.U32}}
+	}
+	b.Store(out, &kir.VarRef{Name: "gid", T: kir.U32}, sum)
+	return b.MustBuild()
+}
+
+func (g *exprGen) genStmt(b *kir.Builder, id, depth int) {
+	switch g.r.Intn(4) {
+	case 0:
+		name := fmt.Sprintf("v%d_%d", id, len(g.vars))
+		b.Declare(name, g.expr(2))
+		g.vars = append(g.vars, name)
+	case 1:
+		if len(g.vars) == 0 {
+			g.genStmt(b, id, depth)
+			return
+		}
+		name := g.vars[g.r.Intn(len(g.vars))]
+		b.Assign(&kir.VarRef{Name: name, T: kir.U32}, g.expr(2))
+	case 2:
+		if depth <= 0 || len(g.vars) == 0 {
+			g.genStmt(b, id, depth)
+			return
+		}
+		cond := g.cond(1)
+		b.IfElse(cond, func() {
+			name := g.vars[g.r.Intn(len(g.vars))]
+			b.Assign(&kir.VarRef{Name: name, T: kir.U32}, g.expr(1))
+		}, func() {
+			name := g.vars[g.r.Intn(len(g.vars))]
+			b.Assign(&kir.VarRef{Name: name, T: kir.U32}, g.expr(1))
+		})
+	default:
+		if depth <= 0 || len(g.vars) == 0 {
+			g.genStmt(b, id, depth)
+			return
+		}
+		// Data-dependent trip count, bounded to keep runs fast.
+		name := g.vars[g.r.Intn(len(g.vars))]
+		trips := &kir.Bin{Op: kir.OpRem, L: g.expr(1), R: kir.U(uint32(2 + g.r.Intn(6)))}
+		loopVar := fmt.Sprintf("i%d_%d", id, len(g.vars))
+		unroll := 0
+		if g.r.Intn(3) == 0 {
+			unroll = []int{kir.UnrollFull, 2, 3}[g.r.Intn(3)]
+		}
+		b.ForUnroll(loopVar, kir.U(0), trips, kir.U(1), unroll, func(i kir.Expr) {
+			b.Assign(&kir.VarRef{Name: name, T: kir.U32},
+				&kir.Bin{Op: kir.OpAdd,
+					L: &kir.Bin{Op: kir.OpMul, L: &kir.VarRef{Name: name, T: kir.U32}, R: kir.U(3)},
+					R: &kir.Bin{Op: kir.OpXor, L: i, R: g.expr(1)}})
+		})
+	}
+}
+
+// hostEval interprets the KIR directly, one thread at a time.
+type hostEval struct {
+	in   []uint32
+	out  []uint32
+	s    uint32
+	gid  uint32
+	vars map[string]uint32
+}
+
+func (h *hostEval) stmts(stmts []kir.Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *kir.DeclStmt:
+			h.vars[s.Name] = h.expr(s.Init)
+		case *kir.AssignStmt:
+			h.vars[s.Name] = h.expr(s.Value)
+		case *kir.StoreStmt:
+			h.out[h.expr(s.Index)%uint32(len(h.out))] = h.expr(s.Value)
+		case *kir.IfStmt:
+			if h.expr(s.Cond) != 0 {
+				h.stmts(s.Then)
+			} else {
+				h.stmts(s.Else)
+			}
+		case *kir.ForStmt:
+			// KIR For re-evaluates Limit and Step every iteration (the
+			// body may mutate variables they read), matching the rolled
+			// loop the compilers emit.
+			h.vars[s.Var] = h.expr(s.Init)
+			for h.vars[s.Var] < h.expr(s.Limit) {
+				h.stmts(s.Body)
+				h.vars[s.Var] += h.expr(s.Step)
+			}
+			delete(h.vars, s.Var)
+		default:
+			panic(fmt.Sprintf("hostEval: unsupported statement %T", s))
+		}
+	}
+}
+
+func (h *hostEval) expr(e kir.Expr) uint32 {
+	switch e := e.(type) {
+	case *kir.ConstInt:
+		return uint32(e.V)
+	case *kir.ParamRef:
+		return h.s
+	case *kir.VarRef:
+		if e.Name == "gid" {
+			if v, ok := h.vars["gid"]; ok {
+				return v
+			}
+			return h.gid
+		}
+		return h.vars[e.Name]
+	case *kir.Builtin:
+		switch e.Kind {
+		case kir.TidX:
+			return h.gid % fuzzThreads
+		case kir.NtidX:
+			return fuzzThreads
+		case kir.CtaidX:
+			return h.gid / fuzzThreads
+		case kir.NctaidX:
+			return 1
+		default:
+			return 0
+		}
+	case *kir.Load:
+		return h.in[h.expr(e.Index)%uint32(len(h.in))]
+	case *kir.Sel:
+		if h.expr(e.Cond) != 0 {
+			return h.expr(e.A)
+		}
+		return h.expr(e.B)
+	case *kir.Un:
+		x := h.expr(e.X)
+		switch e.Op {
+		case kir.OpNot:
+			if e.X.Type() == kir.Bool {
+				return x ^ 1
+			}
+			return ^x
+		case kir.OpNeg:
+			return -x
+		default:
+			panic("hostEval: unsupported unary op")
+		}
+	case *kir.Bin:
+		a, b := h.expr(e.L), h.expr(e.R)
+		switch e.Op {
+		case kir.OpAdd:
+			return a + b
+		case kir.OpSub:
+			return a - b
+		case kir.OpMul:
+			return a * b
+		case kir.OpDiv:
+			if b == 0 {
+				return ^uint32(0)
+			}
+			return a / b
+		case kir.OpRem:
+			if b == 0 {
+				return a
+			}
+			return a % b
+		case kir.OpAnd:
+			return a & b
+		case kir.OpOr:
+			return a | b
+		case kir.OpXor:
+			return a ^ b
+		case kir.OpShl:
+			return a << (b & 31)
+		case kir.OpShr:
+			return a >> (b & 31)
+		case kir.OpMin:
+			if a < b {
+				return a
+			}
+			return b
+		case kir.OpMax:
+			if a > b {
+				return a
+			}
+			return b
+		case kir.OpEq:
+			return boolU32(a == b)
+		case kir.OpNe:
+			return boolU32(a != b)
+		case kir.OpLt:
+			return boolU32(a < b)
+		case kir.OpLe:
+			return boolU32(a <= b)
+		case kir.OpGt:
+			return boolU32(a > b)
+		case kir.OpGe:
+			return boolU32(a >= b)
+		case kir.OpLAnd:
+			return boolU32(a != 0 && b != 0)
+		case kir.OpLOr:
+			return boolU32(a != 0 || b != 0)
+		default:
+			panic("hostEval: unsupported binary op")
+		}
+	default:
+		panic(fmt.Sprintf("hostEval: unsupported expression %T", e))
+	}
+}
+
+func boolU32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func runReference(k *kir.Kernel, in []uint32, s uint32) []uint32 {
+	out := make([]uint32, fuzzThreads)
+	for gid := 0; gid < fuzzThreads; gid++ {
+		h := &hostEval{in: in, out: out, s: s, gid: uint32(gid), vars: map[string]uint32{}}
+		h.stmts(k.Body)
+	}
+	return out
+}
+
+func runCompiled(t *testing.T, k *kir.Kernel, p Personality, in []uint32, s uint32) []uint32 {
+	t.Helper()
+	pk, err := Compile(k, p)
+	if err != nil {
+		t.Fatalf("compile %s/%s: %v", k.Name, p.Name, err)
+	}
+	dev, err := sim.NewDevice(arch.GTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inAddr, _ := dev.Global.Alloc(uint32(4 * len(in)))
+	outAddr, _ := dev.Global.Alloc(4 * fuzzThreads)
+	if err := dev.Global.WriteWords(inAddr, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.Launch(pk, sim.Dim3{X: 1, Y: 1}, sim.Dim3{X: fuzzThreads, Y: 1},
+		[]uint32{inAddr, outAddr, s}); err != nil {
+		t.Fatalf("launch %s/%s: %v\n%s", k.Name, p.Name, err, pk.Disassemble())
+	}
+	out := make([]uint32, fuzzThreads)
+	if err := dev.Global.ReadWords(outAddr, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDifferentialRandomKernels is the main differential sweep.
+func TestDifferentialRandomKernels(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	data := workload.NewRNG(999)
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		k := genKernel(seed)
+		in := make([]uint32, fuzzBufLen)
+		for i := range in {
+			in[i] = data.Uint32() % 10000
+		}
+		s := data.Uint32() % 1000
+
+		want := runReference(k, in, s)
+		for _, p := range []Personality{CUDA(), OpenCL()} {
+			got := runCompiled(t, k, p, in, s)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d, %s: out[%d] = %d, reference %d", seed, p.Name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

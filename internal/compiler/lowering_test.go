@@ -1,0 +1,199 @@
+package compiler
+
+import (
+	"testing"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/kir"
+	"gpucmp/internal/ptx"
+	"gpucmp/internal/sim"
+)
+
+// TestAtomicLowering compiles and executes atomics with a result binding.
+func TestAtomicLowering(t *testing.T) {
+	b := kir.NewKernel("ticket")
+	ctr := b.GlobalBuffer("ctr", kir.U32)
+	out := b.GlobalBuffer("out", kir.U32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	old := b.Declare("old", kir.U(0))
+	b.AtomicResult(ctr, kir.U(0), kir.AtomicAdd, kir.U(1), old)
+	b.Store(out, gid, old)
+	k := b.MustBuild()
+
+	for _, p := range []Personality{CUDA(), OpenCL()} {
+		pk, err := Compile(k, p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if pk.StaticStats().Get(ptx.OpAtom, ptx.SpaceGlobal) != 1 {
+			t.Fatalf("%s: expected one global atomic:\n%s", p.Name, pk.Disassemble())
+		}
+		dev, err := sim.NewDevice(arch.GTX480())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrAddr, _ := dev.Global.Alloc(4)
+		outAddr, _ := dev.Global.Alloc(4 * 64)
+		if _, err := dev.Launch(pk, sim.Dim3{X: 1, Y: 1}, sim.Dim3{X: 64, Y: 1},
+			[]uint32{ctrAddr, outAddr}); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		// Every thread must have received a distinct ticket in [0, 64).
+		got := make([]uint32, 64)
+		if err := dev.Global.ReadWords(outAddr, got); err != nil {
+			t.Fatal(err)
+		}
+		seen := map[uint32]bool{}
+		for _, v := range got {
+			if v >= 64 || seen[v] {
+				t.Fatalf("%s: tickets not a permutation: %v", p.Name, got)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// TestUncachedParamPersonality keeps the reload-per-use argument style
+// working (a valid configuration even though neither stock personality
+// uses it any more).
+func TestUncachedParamPersonality(t *testing.T) {
+	p := OpenCL()
+	p.CacheParams = false
+	b := kir.NewKernel("u")
+	out := b.GlobalBuffer("out", kir.U32)
+	n := b.ScalarParam("n", kir.U32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	b.Store(out, gid, kir.Add(kir.Add(n, n), n))
+	k := b.MustBuild()
+	pk, err := Compile(k, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n is referenced three times -> at least three constant-bank loads
+	// beyond the pointer parameter (CSE may not cache loads it reloads).
+	if got := pk.FrontEndStats.Get(ptx.OpLd, ptx.SpaceConst); got < 2 {
+		t.Errorf("expected per-use ld.const, got %d:\n%s", got, pk.Disassemble())
+	}
+	dev, _ := sim.NewDevice(arch.GTX480())
+	addr, _ := dev.Global.Alloc(4 * 32)
+	if _, err := dev.Launch(pk, sim.Dim3{X: 1, Y: 1}, sim.Dim3{X: 32, Y: 1}, []uint32{addr, 5}); err != nil {
+		t.Fatal(err)
+	}
+	var got [1]uint32
+	if err := dev.Global.ReadWords(addr, got[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 15 {
+		t.Errorf("out = %d, want 15", got[0])
+	}
+}
+
+// TestConstantFolding covers the folding table.
+func TestConstantFolding(t *testing.T) {
+	cases := []struct {
+		op   kir.BinOp
+		a, b uint32
+		want uint32
+		ok   bool
+	}{
+		{kir.OpAdd, 3, 4, 7, true},
+		{kir.OpSub, 3, 4, 0xffffffff, true},
+		{kir.OpMul, 5, 6, 30, true},
+		{kir.OpDiv, 20, 4, 5, true},
+		{kir.OpDiv, 20, 0, 0, false},
+		{kir.OpRem, 20, 6, 2, true},
+		{kir.OpRem, 20, 0, 0, false},
+		{kir.OpAnd, 0xff, 0x0f, 0x0f, true},
+		{kir.OpOr, 0xf0, 0x0f, 0xff, true},
+		{kir.OpXor, 0xff, 0x0f, 0xf0, true},
+		{kir.OpShl, 1, 4, 16, true},
+		{kir.OpShr, 16, 4, 1, true},
+		{kir.OpMin, 3, 9, 3, true},
+		{kir.OpMax, 3, 9, 9, true},
+	}
+	for _, tc := range cases {
+		got, ok := foldConst(tc.op, &kir.ConstInt{T: kir.U32, V: int64(tc.a)}, &kir.ConstInt{T: kir.U32, V: int64(tc.b)})
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("fold %v(%d,%d) = %d,%v; want %d,%v", tc.op, tc.a, tc.b, got, ok, tc.want, tc.ok)
+		}
+	}
+	// Signed cases.
+	if v, ok := foldConst(kir.OpDiv, &kir.ConstInt{T: kir.I32, V: -20}, &kir.ConstInt{T: kir.I32, V: 4}); !ok || int32(v) != -5 {
+		t.Errorf("signed div = %d, %v", int32(v), ok)
+	}
+	if v, ok := foldConst(kir.OpShr, &kir.ConstInt{T: kir.I32, V: -16}, &kir.ConstInt{T: kir.I32, V: 2}); !ok || int32(v) != -4 {
+		t.Errorf("arithmetic shift = %d, %v", int32(v), ok)
+	}
+	if v, ok := foldConst(kir.OpMin, &kir.ConstInt{T: kir.I32, V: -3}, &kir.ConstInt{T: kir.I32, V: 2}); !ok || int32(v) != -3 {
+		t.Errorf("signed min = %d, %v", int32(v), ok)
+	}
+	if v, ok := foldConst(kir.OpMax, &kir.ConstInt{T: kir.I32, V: -3}, &kir.ConstInt{T: kir.I32, V: 2}); !ok || int32(v) != 2 {
+		t.Errorf("signed max = %d, %v", int32(v), ok)
+	}
+}
+
+// TestHasLoadAndMutatesLimit covers the unroll-safety analysis.
+func TestHasLoadAndMutatesLimit(t *testing.T) {
+	ld := &kir.Load{Buf: "x", Index: kir.U(0), T: kir.U32}
+	if !hasLoad(kir.Add(kir.U(1), ld)) {
+		t.Error("load under add not detected")
+	}
+	if !hasLoad(kir.Select(kir.Lt(kir.U(0), kir.U(1)), ld, kir.U(0))) {
+		t.Error("load under select not detected")
+	}
+	if !hasLoad(kir.CastTo(kir.F32, ld)) || !hasLoad(kir.Neg(ld)) {
+		t.Error("load under cast/unary not detected")
+	}
+	if hasLoad(kir.Add(kir.U(1), kir.U(2))) {
+		t.Error("false positive")
+	}
+
+	body := []kir.Stmt{&kir.AssignStmt{Name: "lim", Value: kir.U(0)}}
+	s := &kir.ForStmt{Var: "i", T: kir.U32, Init: kir.U(0),
+		Limit: &kir.VarRef{Name: "lim", T: kir.U32}, Step: kir.U(1), Body: body}
+	if !bodyMutatesLimit(s) {
+		t.Error("limit mutation not detected")
+	}
+	s.Limit = kir.U(10)
+	if bodyMutatesLimit(s) {
+		t.Error("false mutation positive")
+	}
+	s.Limit = ld
+	if !bodyMutatesLimit(s) {
+		t.Error("memory-dependent limit should be treated as mutable")
+	}
+}
+
+// TestMovToRegViaImmediateSelect exercises the predicate-materialisation
+// path (select with a literal condition survives constant folding of the
+// comparison only when the condition is opaque).
+func TestMovToRegViaImmediateSelect(t *testing.T) {
+	b := kir.NewKernel("selimm")
+	out := b.GlobalBuffer("out", kir.U32)
+	n := b.ScalarParam("n", kir.U32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	// The condition lowers to a setp register; exercise selp both ways.
+	v := kir.Select(kir.Gt(n, kir.U(10)), kir.U(111), kir.U(222))
+	b.Store(out, gid, v)
+	k := b.MustBuild()
+	for _, p := range []Personality{CUDA(), OpenCL()} {
+		pk, err := Compile(k, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, _ := sim.NewDevice(arch.GTX480())
+		addr, _ := dev.Global.Alloc(4 * 32)
+		for _, tc := range []struct{ n, want uint32 }{{5, 222}, {50, 111}} {
+			if _, err := dev.Launch(pk, sim.Dim3{X: 1, Y: 1}, sim.Dim3{X: 32, Y: 1}, []uint32{addr, tc.n}); err != nil {
+				t.Fatal(err)
+			}
+			var got [1]uint32
+			if err := dev.Global.ReadWords(addr, got[:]); err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != tc.want {
+				t.Errorf("%s: n=%d -> %d, want %d", p.Name, tc.n, got[0], tc.want)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package compiler lowers kernels from the kernel IR (internal/kir) to the
+// PTX-like ISA (internal/ptx). One shared lowering core is parameterised by
+// a Personality that captures how the paper's two first-stage compilers
+// differ (Section IV-B4 and Table V):
+//
+//   - NVOPENCC (the CUDA front-end, mature): caches kernel parameters in
+//     registers at entry, performs value-numbering CSE, predicates small
+//     if-bodies with guard predicates instead of branching, automatically
+//     and fully unrolls small constant-trip loops, and moves named values
+//     through explicit register copies — producing the mov-heavy,
+//     control-flow-free PTX the paper measured.
+//
+//   - The OpenCL front-end (younger): keeps kernel arguments in the
+//     constant bank and reloads them at each use, performs no CSE (every
+//     addressing expression is recomputed), strength-reduces
+//     multiplications/divisions/remainders by powers of two into
+//     shifts and masks, if-converts pure conditionals into setp+selp
+//     chains, and only unrolls loops when the source carries a pragma —
+//     producing the shift/flow-control-heavy PTX the paper measured.
+//
+// The shared back-end (PTXAS in the paper's step 6) runs dead-code
+// elimination and mul+add fusion on both toolchains' output.
+package compiler
+
+import "gpucmp/internal/ptx"
+
+// Personality captures one front-end's code-generation behaviour.
+type Personality struct {
+	// Name tags generated kernels ("cuda" or "opencl").
+	Name string
+
+	// ParamSpace is where kernel arguments live: ptx.SpaceParam for CUDA,
+	// ptx.SpaceConst for OpenCL.
+	ParamSpace ptx.Space
+
+	// CacheParams loads every argument once at kernel entry into a pinned
+	// register. Both front-ends do this; they differ in the space the
+	// arguments are fetched from (ParamSpace).
+	CacheParams bool
+
+	// CSE enables value-numbering common-subexpression elimination.
+	CSE bool
+
+	// MaxCSERegs bounds how many registers live CSE entries may pin at
+	// once; the oldest entries are evicted (rematerialised on reuse) once
+	// the bound is hit, modelling register-pressure-aware CSE.
+	MaxCSERegs int
+
+	// StrengthReduce rewrites mul/div/rem by powers of two into
+	// shl/shr/and.
+	StrengthReduce bool
+
+	// MovCopies binds named variables by copying through an explicit mov
+	// (the register-allocation style visible in NVOPENCC output).
+	MovCopies bool
+
+	// GuardSmallIf predicates small branch-free if-bodies with a guard
+	// predicate (no bra emitted). MaxGuardInstrs bounds the body size.
+	GuardSmallIf   bool
+	MaxGuardInstrs int
+
+	// SelpPureIf converts if-bodies consisting only of scalar assignments
+	// into setp+selp chains. MaxSelpAssigns bounds the number of
+	// assignments converted.
+	SelpPureIf     bool
+	MaxSelpAssigns int
+
+	// AutoUnrollTrips fully unrolls constant-trip loops without a pragma
+	// when the trip count is at most this value and the unrolled body
+	// size estimate stays below AutoUnrollMaxNodes. Zero disables.
+	AutoUnrollTrips    int
+	AutoUnrollMaxNodes int
+
+	// HonorUnrollPragma applies "#pragma unroll N" from the source.
+	HonorUnrollPragma bool
+
+	// SpillOnUnroll models a register-pressure-naive unroller: every
+	// replicated copy of a pragma-unrolled body spills and reloads
+	// through per-thread local memory. This is the mechanism behind the
+	// paper's Fig. 7 observation that adding "#pragma unroll" at FDTD's
+	// point a makes the OpenCL build collapse to half of CUDA's speed.
+	SpillOnUnroll bool
+	SpillsPerCopy int
+}
+
+// CUDA returns the NVOPENCC personality.
+func CUDA() Personality {
+	return Personality{
+		Name:               "cuda",
+		ParamSpace:         ptx.SpaceParam,
+		CacheParams:        true,
+		CSE:                true,
+		MaxCSERegs:         20,
+		StrengthReduce:     false,
+		MovCopies:          true,
+		GuardSmallIf:       true,
+		MaxGuardInstrs:     8,
+		AutoUnrollTrips:    8,
+		AutoUnrollMaxNodes: 1024,
+		HonorUnrollPragma:  true,
+	}
+}
+
+// OpenCL returns the OpenCL front-end personality.
+func OpenCL() Personality {
+	return Personality{
+		Name:               "opencl",
+		ParamSpace:         ptx.SpaceConst,
+		CacheParams:        true,
+		CSE:                true,
+		MaxCSERegs:         10, // a narrower window than NVOPENCC's
+		StrengthReduce:     true,
+		AutoUnrollTrips:    4, // less aggressive than NVOPENCC's 8
+		AutoUnrollMaxNodes: 256,
+		MovCopies:          false,
+		SpillOnUnroll:      true,
+		SpillsPerCopy:      3,
+		SelpPureIf:         true,
+		MaxSelpAssigns:     4,
+		HonorUnrollPragma:  true,
+	}
+}

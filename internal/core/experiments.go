@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/bench"
+	"gpucmp/internal/compiler"
+	"gpucmp/internal/ptx"
+)
+
+// PeakResult is one bar of Fig. 1 / Fig. 2.
+type PeakResult struct {
+	Device      string
+	Theoretical float64
+	CUDA        float64
+	OpenCL      float64
+}
+
+// FractionCUDA returns achieved/theoretical for the CUDA bar.
+func (p PeakResult) FractionCUDA() float64 { return p.CUDA / p.Theoretical }
+
+// FractionOpenCL returns achieved/theoretical for the OpenCL bar.
+func (p PeakResult) FractionOpenCL() float64 { return p.OpenCL / p.Theoretical }
+
+func runBoth(a *arch.Device, spec bench.Spec, scale int) (cu, cl *bench.Result, err error) {
+	dc, err := bench.NewCUDADriver(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := bench.Config{Scale: scale}
+	cu, err = spec.Run(dc, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	do, err := bench.NewOpenCLDriver(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	cl, err = spec.Run(do, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cu, cl, nil
+}
+
+// PeakBandwidth regenerates one device's Fig. 1 bars with the
+// DeviceMemory probe.
+func PeakBandwidth(a *arch.Device, scale int) (PeakResult, error) {
+	spec, _ := bench.SpecByName("DeviceMemory")
+	cu, cl, err := runBoth(a, spec, scale)
+	if err != nil {
+		return PeakResult{}, err
+	}
+	return PeakResult{
+		Device:      a.Name,
+		Theoretical: a.TheoreticalPeakBandwidth(),
+		CUDA:        cu.Value,
+		OpenCL:      cl.Value,
+	}, nil
+}
+
+// PeakFlops regenerates one device's Fig. 2 bars with the MaxFlops probe.
+func PeakFlops(a *arch.Device, scale int) (PeakResult, error) {
+	spec, _ := bench.SpecByName("MaxFlops")
+	cu, cl, err := runBoth(a, spec, scale)
+	if err != nil {
+		return PeakResult{}, err
+	}
+	return PeakResult{
+		Device:      a.Name,
+		Theoretical: a.TheoreticalPeakFLOPS(),
+		CUDA:        cu.Value,
+		OpenCL:      cl.Value,
+	}, nil
+}
+
+// Fig3Benchmarks lists the real-world benchmarks of the PR comparison
+// (Table II order, excluding the synthetic probes).
+func Fig3Benchmarks() []bench.Spec {
+	var out []bench.Spec
+	for _, s := range bench.Registry() {
+		if s.Name == "MaxFlops" || s.Name == "DeviceMemory" {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// NativePRSeries regenerates Fig. 3: the PR of every real-world benchmark
+// with each toolchain's native implementation on the given device.
+func NativePRSeries(a *arch.Device, scale int) ([]*Comparison, error) {
+	var out []*Comparison
+	for _, spec := range Fig3Benchmarks() {
+		c, err := CompareNative(a, spec, scale)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s on %s: %w", spec.Name, a.Name, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// TextureImpact is one benchmark's Fig. 4 pair: the CUDA implementation
+// with and without texture memory.
+type TextureImpact struct {
+	Benchmark string
+	Device    string
+	With      float64
+	Without   float64
+}
+
+// Ratio returns without/with — the paper's "performance drops to X%".
+func (t TextureImpact) Ratio() float64 { return t.Without / t.With }
+
+// TextureStudy regenerates Fig. 4 for MD and SPMV on one device.
+func TextureStudy(a *arch.Device, scale int) ([]TextureImpact, error) {
+	var out []TextureImpact
+	for _, name := range []string{"MD", "SPMV"} {
+		spec, _ := bench.SpecByName(name)
+		with, err := runCUDA(a, spec, bench.Config{Scale: scale, UseTexture: true})
+		if err != nil {
+			return nil, err
+		}
+		without, err := runCUDA(a, spec, bench.Config{Scale: scale, UseTexture: false})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TextureImpact{Benchmark: name, Device: a.Name, With: with.Value, Without: without.Value})
+	}
+	return out, nil
+}
+
+// TexturePRStudy regenerates Fig. 5: the PR of MD and SPMV after removing
+// texture memory from the CUDA implementation (a fair step-4 comparison).
+func TexturePRStudy(a *arch.Device, scale int) ([]*Comparison, error) {
+	var out []*Comparison
+	for _, name := range []string{"MD", "SPMV"} {
+		spec, _ := bench.SpecByName(name)
+		cfg := bench.Config{Scale: scale, UseTexture: false}
+		c, err := Compare(a, spec, cfg, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func runCUDA(a *arch.Device, spec bench.Spec, cfg bench.Config) (*bench.Result, error) {
+	d, err := bench.NewCUDADriver(a)
+	if err != nil {
+		return nil, err
+	}
+	r, err := spec.Run(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return r, nil
+}
+
+func runOpenCL(a *arch.Device, spec bench.Spec, cfg bench.Config) (*bench.Result, error) {
+	d, err := bench.NewOpenCLDriver(a)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Run(d, cfg)
+}
+
+// UnrollImpact is Fig. 6: the CUDA FDTD with and without the pragma at
+// unroll point a.
+type UnrollImpact struct {
+	Device   string
+	With     float64 // MPoints/s, pragma at a and b
+	WithoutA float64 // pragma only at b
+}
+
+// Ratio returns without/with.
+func (u UnrollImpact) Ratio() float64 { return u.WithoutA / u.With }
+
+// UnrollStudyCUDA regenerates Fig. 6 on one device.
+func UnrollStudyCUDA(a *arch.Device, scale int) (UnrollImpact, error) {
+	spec, _ := bench.SpecByName("FDTD")
+	with, err := runCUDA(a, spec, bench.Config{Scale: scale, UnrollA: true, UnrollB: true})
+	if err != nil {
+		return UnrollImpact{}, err
+	}
+	without, err := runCUDA(a, spec, bench.Config{Scale: scale, UnrollA: false, UnrollB: true})
+	if err != nil {
+		return UnrollImpact{}, err
+	}
+	return UnrollImpact{Device: a.Name, With: with.Value, WithoutA: without.Value}, nil
+}
+
+// UnrollCombo is one group of Fig. 7: CUDA and OpenCL compiled with the
+// same unroll-point placement.
+type UnrollCombo struct {
+	Label  string
+	Device string
+	CUDA   float64
+	OpenCL float64
+	PR     float64
+}
+
+// UnrollCombos regenerates Fig. 7: pragma at b only, and pragma at both
+// points, for both toolchains.
+func UnrollCombos(a *arch.Device, scale int) ([]UnrollCombo, error) {
+	spec, _ := bench.SpecByName("FDTD")
+	combos := []struct {
+		label   string
+		unrollA bool
+	}{
+		{"unroll@b", false},
+		{"unroll@a,b", true},
+	}
+	var out []UnrollCombo
+	for _, cb := range combos {
+		cfg := bench.Config{Scale: scale, UnrollA: cb.unrollA, UnrollB: true}
+		c, err := Compare(a, spec, cfg, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, UnrollCombo{
+			Label: cb.label, Device: a.Name,
+			CUDA: c.CUDA.Value, OpenCL: c.OpenCL.Value, PR: c.PR,
+		})
+	}
+	return out, nil
+}
+
+// ConstantImpact is Fig. 8: Sobel kernel time with and without constant
+// memory on one device.
+type ConstantImpact struct {
+	Device       string
+	WithConst    float64 // seconds
+	WithoutConst float64 // seconds
+}
+
+// Speedup returns without/with: how much the constant cache buys.
+func (c ConstantImpact) Speedup() float64 { return c.WithoutConst / c.WithConst }
+
+// ConstantStudy regenerates Fig. 8 on one device: the same Sobel source
+// compiled with the filter in constant versus global memory — the
+// controlled comparison of the constant-memory choice itself.
+func ConstantStudy(a *arch.Device, scale int) (ConstantImpact, error) {
+	spec, _ := bench.SpecByName("Sobel")
+	with, err := runCUDA(a, spec, bench.Config{Scale: scale, UseConstant: true})
+	if err != nil {
+		return ConstantImpact{}, err
+	}
+	without, err := runCUDA(a, spec, bench.Config{Scale: scale, UseConstant: false})
+	if err != nil {
+		return ConstantImpact{}, err
+	}
+	return ConstantImpact{Device: a.Name, WithConst: with.KernelSeconds, WithoutConst: without.KernelSeconds}, nil
+}
+
+// PTXStudy regenerates Table V: the static PTX statistics of the FFT
+// "forward" kernel under both front-ends.
+func PTXStudy() (cuda, opencl *ptx.Stats, report string, err error) {
+	k := bench.FFTKernel()
+	cu, err := compiler.Compile(k, compiler.CUDA())
+	if err != nil {
+		return nil, nil, "", err
+	}
+	cl, err := compiler.Compile(k, compiler.OpenCL())
+	if err != nil {
+		return nil, nil, "", err
+	}
+	cs, ls := cu.FrontEndStats, cl.FrontEndStats
+	return cs, ls, ptx.CompareTable("CUDA", cs, "OpenCL", ls), nil
+}
+
+// PortabilityCell is one entry of Table VI.
+type PortabilityCell struct {
+	Benchmark string
+	Device    string
+	Metric    string
+	Value     float64
+	Status    string // OK, FL, ABT
+}
+
+// PortabilityStudy regenerates Table VI: every real-world benchmark run
+// through OpenCL on the non-NVIDIA devices, with minor modifications only
+// (the device-type change is inside the opencl package).
+func PortabilityStudy(scale int) ([]PortabilityCell, error) {
+	devices := []*arch.Device{arch.HD5870(), arch.Intel920(), arch.CellBE()}
+	var out []PortabilityCell
+	for _, a := range devices {
+		for _, spec := range Fig3Benchmarks() {
+			if spec.Name == "TranP" && a.Kind == arch.KindCPU {
+				// Section V: the CPU port drops the local-memory tile.
+			}
+			cfg := bench.NativeConfig("opencl")
+			cfg.Scale = scale
+			r, err := runOpenCL(a, spec, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cell := PortabilityCell{
+				Benchmark: spec.Name, Device: a.Name, Metric: spec.Metric, Status: r.Status(),
+			}
+			if r.Err == nil {
+				cell.Value = r.Value
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gpucmp/internal/bench"
+)
+
+func TestAuditFairSetups(t *testing.T) {
+	cu := DescribeSetup("cuda", "MD", "GeForce GTX480", bench.Config{Scale: 1, UseTexture: true}, 128)
+	cl := DescribeSetup("opencl", "MD", "GeForce GTX480", bench.Config{Scale: 1, UseTexture: true}, 128)
+	r := Audit(cu, cl)
+	if r.Fair() {
+		t.Error("the front-end compilers differ, so the full audit cannot be FAIR")
+	}
+	if !r.ProgrammerFair() {
+		t.Errorf("identical programmer steps should be programmer-fair:\n%s", r)
+	}
+	// The only mismatch must be the compiler step.
+	for _, m := range r.Mismatches {
+		if m.Role != RoleCompiler {
+			t.Errorf("unexpected mismatch at %v (%v)", m.Step, m.Role)
+		}
+	}
+}
+
+func TestAuditCatchesNativeDifferences(t *testing.T) {
+	// The paper's Fig. 3 comparison is unfair at step 4: the CUDA MD uses
+	// texture memory, the OpenCL one does not.
+	cu := DescribeSetup("cuda", "MD", "GeForce GTX280", bench.NativeConfig("cuda"), 128)
+	cl := DescribeSetup("opencl", "MD", "GeForce GTX280", bench.NativeConfig("opencl"), 128)
+	r := Audit(cu, cl)
+	if r.ProgrammerFair() {
+		t.Error("native configurations differ at step 4 and must not be programmer-fair")
+	}
+	found := false
+	for _, m := range r.Mismatches {
+		if m.Step == StepNativeOptimisation {
+			found = true
+			if m.Role != RoleProgrammer {
+				t.Error("step 4 belongs to the programmer")
+			}
+		}
+	}
+	if !found {
+		t.Error("audit missed the step-4 mismatch")
+	}
+	if !strings.Contains(r.String(), "UNFAIR") {
+		t.Error("report should flag unfairness")
+	}
+}
+
+func TestAuditConfigurationAndHardware(t *testing.T) {
+	left := DescribeSetup("cuda", "FFT", "GeForce GTX280", bench.Config{Scale: 1}, 64)
+	right := DescribeSetup("opencl", "FFT", "GeForce GTX480", bench.Config{Scale: 2}, 128)
+	r := Audit(left, right)
+	var steps []Step
+	for _, m := range r.Mismatches {
+		steps = append(steps, m.Step)
+	}
+	has := func(s Step) bool {
+		for _, x := range steps {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(StepConfiguration) || !has(StepHardware) {
+		t.Errorf("audit missed configuration/hardware mismatches: %v", steps)
+	}
+}
+
+func TestRolesAndStepNames(t *testing.T) {
+	if RoleOf(StepProblem) != RoleProgrammer || RoleOf(StepNativeOptimisation) != RoleProgrammer {
+		t.Error("steps 1-4 belong to the programmer")
+	}
+	if RoleOf(StepFrontEndCompile) != RoleCompiler || RoleOf(StepBackEndCompile) != RoleCompiler {
+		t.Error("steps 5-6 belong to the compiler")
+	}
+	if RoleOf(StepConfiguration) != RoleUser || RoleOf(StepHardware) != RoleUser {
+		t.Error("steps 7-8 belong to the user")
+	}
+	for s := Step(0); s < NumSteps; s++ {
+		if s.String() == "" {
+			t.Error("step without a name")
+		}
+	}
+	if RoleProgrammer.String() != "programmer" || RoleCompiler.String() != "compiler" || RoleUser.String() != "user" {
+		t.Error("role names wrong")
+	}
+}
+
+func TestFairReportString(t *testing.T) {
+	s := DescribeSetup("cuda", "X", "dev", bench.Config{}, 64)
+	r := Audit(s, s)
+	if !r.Fair() || !strings.Contains(r.String(), "FAIR") {
+		t.Error("identical setups must audit as fair")
+	}
+}

@@ -1,0 +1,266 @@
+// Package cuda is the CUDA-style host runtime over the simulator: contexts
+// on NVIDIA devices, device memory management, module compilation through
+// the NVOPENCC front-end personality, kernel launches, and simulated-time
+// accounting. Its API mirrors the CUDA driver/runtime shapes the paper's
+// benchmarks use (cudaMalloc/cudaMemcpy/kernel<<<grid,block>>>), adapted to
+// Go.
+package cuda
+
+import (
+	"errors"
+	"fmt"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/compiler"
+	"gpucmp/internal/kir"
+	"gpucmp/internal/perfmodel"
+	"gpucmp/internal/ptx"
+	"gpucmp/internal/sim"
+)
+
+// ErrNoCUDADevice is returned when a context is requested on hardware CUDA
+// does not support (anything non-NVIDIA — the reason Table VI has no CUDA
+// column for HD5870, Intel920 or the Cell/BE).
+var ErrNoCUDADevice = errors.New("cuda: no CUDA-capable device")
+
+// Dim3 re-exports the simulator launch dimensions.
+type Dim3 = sim.Dim3
+
+// DevicePtr is a device allocation: base address plus size.
+type DevicePtr struct {
+	Addr uint32
+	Size uint32
+}
+
+// Context owns a device, its allocations, and the simulated clock.
+type Context struct {
+	dev *sim.Device
+	tc  *perfmodel.Toolchain
+
+	elapsed         float64 // end-to-end simulated seconds
+	kernelTime      float64 // kernel-only simulated seconds
+	streamHighWater float64 // longest unsynchronised stream
+	traces          []*sim.Trace
+	breakdowns      []perfmodel.Breakdown
+	constOffs       map[uint32]uint32 // global addr -> const segment offset
+}
+
+// NewContext creates a CUDA context on the given device description.
+func NewContext(a *arch.Device) (*Context, error) {
+	if a.Vendor != "NVIDIA" {
+		return nil, fmt.Errorf("%w (device %s is %s)", ErrNoCUDADevice, a.Name, a.Vendor)
+	}
+	d, err := sim.NewDevice(a)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{dev: d, tc: perfmodel.CUDAToolchain(), constOffs: make(map[uint32]uint32)}, nil
+}
+
+// Device exposes the underlying simulated device.
+func (c *Context) Device() *sim.Device { return c.dev }
+
+// Arch returns the device description.
+func (c *Context) Arch() *arch.Device { return c.dev.Arch }
+
+// Malloc allocates device memory.
+func (c *Context) Malloc(bytes uint32) (DevicePtr, error) {
+	addr, err := c.dev.Global.Alloc(bytes)
+	if err != nil {
+		return DevicePtr{}, err
+	}
+	return DevicePtr{Addr: addr, Size: bytes}, nil
+}
+
+// MemcpyHtoD copies host words to the device and charges transfer time.
+func (c *Context) MemcpyHtoD(dst DevicePtr, src []uint32) error {
+	if uint32(4*len(src)) > dst.Size {
+		return fmt.Errorf("cuda: MemcpyHtoD of %d words overflows allocation of %d bytes", len(src), dst.Size)
+	}
+	if err := c.dev.Global.WriteWords(dst.Addr, src); err != nil {
+		return err
+	}
+	c.elapsed += perfmodel.TransferTime(c.tc, int64(4*len(src)))
+	return nil
+}
+
+// MemcpyDtoH copies device words to the host and charges transfer time.
+func (c *Context) MemcpyDtoH(dst []uint32, src DevicePtr) error {
+	if uint32(4*len(dst)) > src.Size {
+		return fmt.Errorf("cuda: MemcpyDtoH of %d words overruns allocation of %d bytes", len(dst), src.Size)
+	}
+	if err := c.dev.Global.ReadWords(src.Addr, dst); err != nil {
+		return err
+	}
+	c.elapsed += perfmodel.TransferTime(c.tc, int64(4*len(dst)))
+	return nil
+}
+
+// Module is a compiled set of kernels.
+type Module struct {
+	m *ptx.Module
+}
+
+// CompileModule builds KIR kernels with the CUDA front-end.
+func (c *Context) CompileModule(name string, kernels []*kir.Kernel) (*Module, error) {
+	m, err := compiler.CompileModule(name, kernels, compiler.CUDA())
+	if err != nil {
+		return nil, err
+	}
+	return &Module{m: m}, nil
+}
+
+// Kernel retrieves a compiled kernel handle.
+func (m *Module) Kernel(name string) (*ptx.Kernel, error) { return m.m.Kernel(name) }
+
+// Arg is one kernel launch argument.
+type Arg struct {
+	isPtr bool
+	val   uint32
+	ptr   DevicePtr
+}
+
+// Ptr passes a device allocation.
+func Ptr(p DevicePtr) Arg { return Arg{isPtr: true, ptr: p} }
+
+// U32 passes a 32-bit scalar.
+func U32(v uint32) Arg { return Arg{val: v} }
+
+// I32 passes a signed scalar.
+func I32(v int32) Arg { return Arg{val: uint32(v)} }
+
+// F32 passes a float scalar.
+func F32(v float32) Arg { return Arg{val: fbits(v)} }
+
+// resolveArgs converts launch arguments to the raw parameter words,
+// staging constant-space buffers into the constant segment.
+func (c *Context) resolveArgs(k *ptx.Kernel, args []Arg) ([]uint32, error) {
+	if len(args) != len(k.Params) {
+		return nil, fmt.Errorf("cuda: kernel %s takes %d arguments, got %d", k.Name, len(k.Params), len(args))
+	}
+	raw := make([]uint32, len(args))
+	for i, a := range args {
+		p := k.Params[i]
+		switch {
+		case p.Pointer && p.Space == ptx.SpaceConst:
+			if !a.isPtr {
+				return nil, fmt.Errorf("cuda: kernel %s argument %d (%s) must be a device pointer", k.Name, i, p.Name)
+			}
+			off, err := c.stageConst(a.ptr)
+			if err != nil {
+				return nil, err
+			}
+			raw[i] = off
+		case p.Pointer:
+			if !a.isPtr {
+				return nil, fmt.Errorf("cuda: kernel %s argument %d (%s) must be a device pointer", k.Name, i, p.Name)
+			}
+			raw[i] = a.ptr.Addr
+		default:
+			if a.isPtr {
+				return nil, fmt.Errorf("cuda: kernel %s argument %d (%s) must be a scalar", k.Name, i, p.Name)
+			}
+			raw[i] = a.val
+		}
+	}
+	return raw, nil
+}
+
+// stageConst copies a global allocation into the constant segment
+// (cudaMemcpyToSymbol semantics) and returns its constant-space offset.
+func (c *Context) stageConst(p DevicePtr) (uint32, error) {
+	off, ok := c.constOffs[p.Addr]
+	if !ok {
+		var err error
+		off, err = c.dev.ConstAlloc(p.Size)
+		if err != nil {
+			return 0, err
+		}
+		c.constOffs[p.Addr] = off
+	}
+	words := make([]uint32, p.Size/4)
+	if err := c.dev.Global.ReadWords(p.Addr, words); err != nil {
+		return 0, err
+	}
+	if err := c.dev.ConstWrite(off, words); err != nil {
+		return 0, err
+	}
+	return off, nil
+}
+
+// LaunchKernel executes the kernel and advances the simulated clock.
+func (c *Context) LaunchKernel(k *ptx.Kernel, grid, block Dim3, args ...Arg) error {
+	raw, err := c.resolveArgs(k, args)
+	if err != nil {
+		return err
+	}
+	tr, err := c.dev.Launch(k, grid, block, raw)
+	if err != nil {
+		return err
+	}
+	b := perfmodel.KernelTime(c.dev.Arch, c.tc, tr)
+	c.traces = append(c.traces, tr)
+	c.breakdowns = append(c.breakdowns, b)
+	c.elapsed += b.Total
+	c.kernelTime += b.Total
+	return nil
+}
+
+// Elapsed returns the simulated end-to-end seconds (kernels + transfers)
+// since the last ResetTimer.
+func (c *Context) Elapsed() float64 { return c.elapsed }
+
+// KernelTime returns the simulated kernel-only seconds.
+func (c *Context) KernelTime() float64 { return c.kernelTime }
+
+// Traces returns the launch traces since the last ResetTimer.
+func (c *Context) Traces() []*sim.Trace { return c.traces }
+
+// Breakdowns returns the per-launch timing decompositions.
+func (c *Context) Breakdowns() []perfmodel.Breakdown { return c.breakdowns }
+
+// ResetTimer clears the simulated clock and trace history.
+func (c *Context) ResetTimer() {
+	c.elapsed = 0
+	c.kernelTime = 0
+	c.traces = nil
+	c.breakdowns = nil
+}
+
+func fbits(f float32) uint32 {
+	return floatBits(f)
+}
+
+// DeviceProperties mirrors cudaGetDeviceProperties for the attributes the
+// benchmarks care about.
+type DeviceProperties struct {
+	Name               string
+	ComputeUnits       int
+	WarpSize           int
+	MaxThreadsPerBlock int
+	SharedMemPerBlock  int
+	RegsPerBlock       int
+	ClockRateKHz       int
+	MemoryClockRateKHz int
+	MemoryBusWidthBits int
+	TotalGlobalMem     uint64
+	HasL1Cache         bool
+}
+
+// Properties returns the context device's attributes.
+func (c *Context) Properties() DeviceProperties {
+	a := c.dev.Arch
+	return DeviceProperties{
+		Name:               a.Name,
+		ComputeUnits:       a.ComputeUnits,
+		WarpSize:           a.SIMDWidth,
+		MaxThreadsPerBlock: a.MaxWorkGroupSize,
+		SharedMemPerBlock:  a.SharedMemPerUnit,
+		RegsPerBlock:       a.RegistersPerUnit,
+		ClockRateKHz:       int(a.CoreClockMHz * 1000),
+		MemoryClockRateKHz: int(a.MemClockMHz * 1000),
+		MemoryBusWidthBits: a.MemoryBusBits,
+		TotalGlobalMem:     uint64(a.MemoryGB * float64(1<<30)),
+		HasL1Cache:         a.HasL1L2,
+	}
+}

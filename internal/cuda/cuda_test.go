@@ -1,0 +1,280 @@
+package cuda
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/kir"
+)
+
+func scaleKernel() *kir.Kernel {
+	b := kir.NewKernel("scale")
+	in := b.GlobalBuffer("in", kir.F32)
+	out := b.GlobalBuffer("out", kir.F32)
+	f := b.ScalarParam("f", kir.F32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	b.Store(out, gid, kir.Mul(b.Load(in, gid), f))
+	return b.MustBuild()
+}
+
+func constKernel() *kir.Kernel {
+	b := kir.NewKernel("cmul")
+	coef := b.ConstBuffer("coef", kir.F32)
+	out := b.GlobalBuffer("out", kir.F32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	b.Store(out, gid, kir.Mul(b.Load(coef, kir.Rem(gid, kir.U(4))), kir.F(2)))
+	return b.MustBuild()
+}
+
+func TestContextRefusesNonNVIDIA(t *testing.T) {
+	for _, a := range []*arch.Device{arch.HD5870(), arch.Intel920(), arch.CellBE()} {
+		if _, err := NewContext(a); !errors.Is(err, ErrNoCUDADevice) {
+			t.Errorf("%s: err = %v, want ErrNoCUDADevice", a.Name, err)
+		}
+	}
+	if _, err := NewContext(arch.GTX280()); err != nil {
+		t.Errorf("GTX280 context: %v", err)
+	}
+}
+
+func TestMallocMemcpyLaunchRoundTrip(t *testing.T) {
+	ctx, err := NewContext(arch.GTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ctx.CompileModule("m", []*kir.Kernel{scaleKernel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := mod.Kernel("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 256
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = float32(i)
+	}
+	inBuf, err := ctx.Malloc(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outBuf, _ := ctx.Malloc(4 * n)
+	if err := ctx.MemcpyHtoD(inBuf, F32Words(in)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.LaunchKernel(k, Dim3{X: 1, Y: 1}, Dim3{X: n, Y: 1},
+		Ptr(inBuf), Ptr(outBuf), F32(1.5)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]uint32, n)
+	if err := ctx.MemcpyDtoH(got, outBuf); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range WordsF32(got) {
+		if w != in[i]*1.5 {
+			t.Fatalf("out[%d] = %g, want %g", i, w, in[i]*1.5)
+		}
+	}
+	if ctx.Elapsed() <= 0 || ctx.KernelTime() <= 0 {
+		t.Error("simulated clock did not advance")
+	}
+	if ctx.Elapsed() <= ctx.KernelTime() {
+		t.Error("end-to-end time must include the transfers")
+	}
+	if len(ctx.Traces()) != 1 || len(ctx.Breakdowns()) != 1 {
+		t.Error("trace bookkeeping wrong")
+	}
+	ctx.ResetTimer()
+	if ctx.Elapsed() != 0 || len(ctx.Traces()) != 0 {
+		t.Error("ResetTimer did not clear state")
+	}
+}
+
+func TestConstantStaging(t *testing.T) {
+	ctx, err := NewContext(arch.GTX280())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ctx.CompileModule("m", []*kir.Kernel{constKernel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := mod.Kernel("cmul")
+	coefs := []float32{1, 2, 3, 4}
+	coefBuf, _ := ctx.Malloc(16)
+	if err := ctx.MemcpyHtoD(coefBuf, F32Words(coefs)); err != nil {
+		t.Fatal(err)
+	}
+	outBuf, _ := ctx.Malloc(4 * 64)
+	// Launch twice: the second launch must reuse the staged constant slot.
+	for pass := 0; pass < 2; pass++ {
+		if err := ctx.LaunchKernel(k, Dim3{X: 1, Y: 1}, Dim3{X: 64, Y: 1},
+			Ptr(coefBuf), Ptr(outBuf)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]uint32, 64)
+	if err := ctx.MemcpyDtoH(got, outBuf); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range WordsF32(got) {
+		if w != coefs[i%4]*2 {
+			t.Fatalf("out[%d] = %g, want %g", i, w, coefs[i%4]*2)
+		}
+	}
+}
+
+func TestArgumentValidation(t *testing.T) {
+	ctx, err := NewContext(arch.GTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, _ := ctx.CompileModule("m", []*kir.Kernel{scaleKernel()})
+	k, _ := mod.Kernel("scale")
+	buf, _ := ctx.Malloc(1024)
+
+	if err := ctx.LaunchKernel(k, Dim3{X: 1, Y: 1}, Dim3{X: 32, Y: 1}, Ptr(buf)); err == nil {
+		t.Error("wrong arg count accepted")
+	}
+	if err := ctx.LaunchKernel(k, Dim3{X: 1, Y: 1}, Dim3{X: 32, Y: 1},
+		Ptr(buf), F32(1), F32(1)); err == nil {
+		t.Error("scalar passed for pointer accepted")
+	}
+	if err := ctx.LaunchKernel(k, Dim3{X: 1, Y: 1}, Dim3{X: 32, Y: 1},
+		Ptr(buf), Ptr(buf), Ptr(buf)); err == nil {
+		t.Error("pointer passed for scalar accepted")
+	}
+}
+
+func TestMemcpyBounds(t *testing.T) {
+	ctx, _ := NewContext(arch.GTX480())
+	buf, _ := ctx.Malloc(16)
+	if err := ctx.MemcpyHtoD(buf, make([]uint32, 8)); err == nil {
+		t.Error("oversized HtoD accepted")
+	}
+	if err := ctx.MemcpyDtoH(make([]uint32, 8), buf); err == nil {
+		t.Error("oversized DtoH accepted")
+	}
+}
+
+func TestWordConversions(t *testing.T) {
+	f := []float32{0, 1.5, -2.25, float32(math.Pi)}
+	got := WordsF32(F32Words(f))
+	for i := range f {
+		if got[i] != f[i] {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestArgConstructors(t *testing.T) {
+	if U32(7).val != 7 || I32(-1).val != 0xffffffff {
+		t.Error("integer args wrong")
+	}
+	if F32(1.0).val != math.Float32bits(1.0) {
+		t.Error("float arg wrong")
+	}
+	p := Ptr(DevicePtr{Addr: 256, Size: 64})
+	if !p.isPtr || p.ptr.Addr != 256 {
+		t.Error("pointer arg wrong")
+	}
+}
+
+func TestStreamsAndEvents(t *testing.T) {
+	ctx, err := NewContext(arch.GTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := ctx.CompileModule("m", []*kir.Kernel{scaleKernel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := mod.Kernel("scale")
+
+	const n = 256
+	in := make([]float32, n)
+	for i := range in {
+		in[i] = 2
+	}
+	mk := func() (DevicePtr, DevicePtr) {
+		a, _ := ctx.Malloc(4 * n)
+		b, _ := ctx.Malloc(4 * n)
+		return a, b
+	}
+	in1, out1 := mk()
+	in2, out2 := mk()
+
+	s1 := ctx.NewStream()
+	s2 := ctx.NewStream()
+	start1 := s1.Record()
+	if err := s1.MemcpyHtoDAsync(in1, F32Words(in)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.LaunchKernel(k, Dim3{X: 1, Y: 1}, Dim3{X: n, Y: 1}, Ptr(in1), Ptr(out1), F32(3)); err != nil {
+		t.Fatal(err)
+	}
+	end1 := s1.Record()
+	if err := s2.MemcpyHtoDAsync(in2, F32Words(in)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.LaunchKernel(k, Dim3{X: 1, Y: 1}, Dim3{X: n, Y: 1}, Ptr(in2), Ptr(out2), F32(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	if EventElapsed(start1, end1) <= 0 {
+		t.Error("event pair should measure positive time")
+	}
+	if s1.Elapsed() <= 0 || s2.Elapsed() <= 0 {
+		t.Error("streams should accumulate time")
+	}
+
+	before := ctx.Elapsed()
+	s1.Synchronize()
+	s2.Synchronize()
+	ctx.Synchronize()
+	after := ctx.Elapsed()
+	// Overlapped streams: the context advances by the longest stream, not
+	// the sum.
+	wall := after - before
+	if wall <= 0 {
+		t.Fatal("Synchronize should advance the context clock")
+	}
+	longest := s1.Elapsed()
+	if s2.Elapsed() > longest {
+		longest = s2.Elapsed()
+	}
+	if wall != longest {
+		t.Errorf("context advanced %g, want the longest stream %g", wall, longest)
+	}
+	if wall >= s1.Elapsed()+s2.Elapsed() {
+		t.Error("streams should overlap, not serialise")
+	}
+
+	got := make([]uint32, n)
+	if err := ctx.MemcpyDtoH(got, out2); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range WordsF32(got) {
+		if w != 8 {
+			t.Fatalf("out2[%d] = %g, want 8", i, w)
+		}
+	}
+}
+
+func TestDeviceProperties(t *testing.T) {
+	ctx, _ := NewContext(arch.GTX480())
+	p := ctx.Properties()
+	if p.Name != arch.GTX480().Name || p.WarpSize != 32 || !p.HasL1Cache {
+		t.Errorf("properties wrong: %+v", p)
+	}
+	if p.ClockRateKHz != 1401000 || p.MemoryBusWidthBits != 384 {
+		t.Errorf("clock/bus wrong: %+v", p)
+	}
+	ctx280, _ := NewContext(arch.GTX280())
+	if ctx280.Properties().HasL1Cache {
+		t.Error("GT200 must not report an L1 cache")
+	}
+}

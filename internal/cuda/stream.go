@@ -1,0 +1,83 @@
+package cuda
+
+import (
+	"fmt"
+
+	"gpucmp/internal/perfmodel"
+	"gpucmp/internal/ptx"
+)
+
+// Stream is an ordered sequence of device work with its own simulated
+// clock, mirroring cudaStream_t. Work on different streams of the same
+// context may overlap on real hardware; the model accounts each stream's
+// time separately and Context.Synchronize folds them together.
+type Stream struct {
+	ctx     *Context
+	elapsed float64 // stream-local simulated time
+}
+
+// NewStream creates a stream on the context.
+func (c *Context) NewStream() *Stream { return &Stream{ctx: c} }
+
+// LaunchKernel enqueues a kernel on the stream.
+func (s *Stream) LaunchKernel(k *ptx.Kernel, grid, block Dim3, args ...Arg) error {
+	raw, err := s.ctx.resolveArgs(k, args)
+	if err != nil {
+		return err
+	}
+	tr, err := s.ctx.dev.Launch(k, grid, block, raw)
+	if err != nil {
+		return err
+	}
+	b := perfmodel.KernelTime(s.ctx.dev.Arch, s.ctx.tc, tr)
+	s.ctx.traces = append(s.ctx.traces, tr)
+	s.ctx.breakdowns = append(s.ctx.breakdowns, b)
+	s.elapsed += b.Total
+	s.ctx.kernelTime += b.Total
+	return nil
+}
+
+// MemcpyHtoDAsync copies host words to the device on this stream.
+func (s *Stream) MemcpyHtoDAsync(dst DevicePtr, src []uint32) error {
+	if uint32(4*len(src)) > dst.Size {
+		return fmt.Errorf("cuda: MemcpyHtoDAsync of %d words overflows allocation of %d bytes", len(src), dst.Size)
+	}
+	if err := s.ctx.dev.Global.WriteWords(dst.Addr, src); err != nil {
+		return err
+	}
+	s.elapsed += perfmodel.TransferTime(s.ctx.tc, int64(4*len(src)))
+	return nil
+}
+
+// Elapsed returns the stream-local simulated seconds.
+func (s *Stream) Elapsed() float64 { return s.elapsed }
+
+// Synchronize folds the stream's time into the context clock: streams
+// overlap, so the context advances to the longest stream seen so far.
+func (s *Stream) Synchronize() {
+	if s.elapsed > 0 {
+		if s.elapsed > s.ctx.streamHighWater {
+			s.ctx.streamHighWater = s.elapsed
+		}
+	}
+}
+
+// Synchronize waits for all streams: the context's end-to-end clock takes
+// the longest outstanding stream (concurrent execution), then resets the
+// high-water mark.
+func (c *Context) Synchronize() {
+	c.elapsed += c.streamHighWater
+	c.streamHighWater = 0
+}
+
+// Event is a point on a stream's timeline, mirroring cudaEvent_t.
+type Event struct {
+	at float64
+}
+
+// Record captures the stream's current simulated time.
+func (s *Stream) Record() Event { return Event{at: s.elapsed} }
+
+// EventElapsed returns the seconds between two recorded events (the
+// cudaEventElapsedTime of the model, in seconds rather than ms).
+func EventElapsed(start, end Event) float64 { return end.at - start.at }

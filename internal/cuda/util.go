@@ -1,0 +1,23 @@
+package cuda
+
+import "math"
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+
+// F32Words converts a float slice to raw words for Memcpy.
+func F32Words(src []float32) []uint32 {
+	out := make([]uint32, len(src))
+	for i, f := range src {
+		out[i] = math.Float32bits(f)
+	}
+	return out
+}
+
+// WordsF32 converts raw words back to floats.
+func WordsF32(src []uint32) []float32 {
+	out := make([]float32, len(src))
+	for i, w := range src {
+		out[i] = math.Float32frombits(w)
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package kir
+
+import "fmt"
+
+// Expr is a typed expression tree node.
+type Expr interface {
+	Type() Type
+	exprNode()
+}
+
+// ConstInt is an integer literal (U32 or I32).
+type ConstInt struct {
+	T Type
+	V int64
+}
+
+// ConstFloat is an F32 literal.
+type ConstFloat struct{ V float32 }
+
+// ParamRef reads a scalar kernel parameter.
+type ParamRef struct {
+	Name string
+	T    Type
+}
+
+// VarRef reads a kernel-local scalar variable.
+type VarRef struct {
+	Name string
+	T    Type
+}
+
+// Builtin reads a work-item identification register.
+type Builtin struct{ Kind BuiltinKind }
+
+// Bin applies a binary operator.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Un applies a unary operator or intrinsic.
+type Un struct {
+	Op UnOp
+	X  Expr
+}
+
+// Sel is a conditional select: Cond ? A : B.
+type Sel struct {
+	Cond Expr // Bool
+	A, B Expr
+}
+
+// Cast reinterprets or converts between scalar types.
+type Cast struct {
+	To Type
+	X  Expr
+}
+
+// Load reads Buf[Index]. Buf names either a buffer parameter or a
+// shared/local array declared on the kernel; its element type and space come
+// from that declaration.
+type Load struct {
+	Buf   string
+	Index Expr
+	T     Type // element type, filled by the builder
+}
+
+func (e *ConstInt) Type() Type   { return e.T }
+func (e *ConstFloat) Type() Type { return F32 }
+func (e *ParamRef) Type() Type   { return e.T }
+func (e *VarRef) Type() Type     { return e.T }
+func (e *Builtin) Type() Type    { return U32 }
+func (e *Cast) Type() Type       { return e.To }
+func (e *Load) Type() Type       { return e.T }
+func (e *Sel) Type() Type        { return e.A.Type() }
+
+// Type of a binary expression: comparisons/logicals are Bool, otherwise the
+// operand type.
+func (e *Bin) Type() Type {
+	if e.Op.IsCompare() || e.Op.IsLogical() {
+		return Bool
+	}
+	return e.L.Type()
+}
+
+// Type of a unary expression follows the operand.
+func (e *Un) Type() Type { return e.X.Type() }
+
+func (*ConstInt) exprNode()   {}
+func (*ConstFloat) exprNode() {}
+func (*ParamRef) exprNode()   {}
+func (*VarRef) exprNode()     {}
+func (*Builtin) exprNode()    {}
+func (*Bin) exprNode()        {}
+func (*Un) exprNode()         {}
+func (*Sel) exprNode()        {}
+func (*Cast) exprNode()       {}
+func (*Load) exprNode()       {}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// DeclStmt declares a scalar variable with an initial value.
+type DeclStmt struct {
+	Name string
+	T    Type
+	Init Expr
+}
+
+// AssignStmt overwrites a previously declared variable.
+type AssignStmt struct {
+	Name  string
+	Value Expr
+}
+
+// StoreStmt writes Buf[Index] = Value.
+type StoreStmt struct {
+	Buf   string
+	Index Expr
+	Value Expr
+}
+
+// AtomicStmt applies a read-modify-write to Buf[Index]. Result, when
+// non-empty, names a previously declared variable receiving the old value.
+type AtomicStmt struct {
+	Buf    string
+	Index  Expr
+	Value  Expr
+	Op     AtomicOp
+	Result string
+}
+
+// AtomicOp enumerates KIR atomic operations.
+type AtomicOp int
+
+const (
+	AtomicAdd AtomicOp = iota
+	AtomicOr
+	AtomicMax
+	AtomicExch
+)
+
+// IfStmt is structured two-way branching.
+type IfStmt struct {
+	Cond Expr // Bool
+	Then []Stmt
+	Else []Stmt
+}
+
+// ForStmt is a canonical counted loop:
+//
+//	for Var := Init; Var < Limit; Var += Step { Body }
+//
+// Unroll carries the source-level pragma: 0 means none, UnrollFull requests
+// full unrolling, and a positive value requests that factor — exactly the
+// "#pragma unroll N" of the paper's FDTD analysis (Fig. 6/7). How the
+// pragma is honoured is a front-end personality decision.
+type ForStmt struct {
+	Var    string
+	T      Type // U32 or I32
+	Init   Expr
+	Limit  Expr
+	Step   Expr
+	Body   []Stmt
+	Unroll int
+}
+
+// UnrollFull requests complete unrolling of a constant-trip loop.
+const UnrollFull = -1
+
+// BarrierStmt is __syncthreads() / barrier(CLK_LOCAL_MEM_FENCE).
+type BarrierStmt struct{}
+
+func (*DeclStmt) stmtNode()    {}
+func (*AssignStmt) stmtNode()  {}
+func (*StoreStmt) stmtNode()   {}
+func (*AtomicStmt) stmtNode()  {}
+func (*IfStmt) stmtNode()      {}
+func (*ForStmt) stmtNode()     {}
+func (*BarrierStmt) stmtNode() {}
+
+// Param is a kernel parameter: a scalar value or a typed buffer pointer.
+type Param struct {
+	Name   string
+	T      Type
+	Buffer bool
+	Space  MemSpace // Global, Const or Texture for buffers
+}
+
+// Array declares a shared or local array on a kernel.
+type Array struct {
+	Name  string
+	T     Type
+	Count int // elements
+}
+
+// Kernel is one complete KIR kernel.
+type Kernel struct {
+	Name         string
+	Params       []Param
+	SharedArrays []Array
+	LocalArrays  []Array
+	Body         []Stmt
+
+	// WarpWidthAssumption, when non-zero, records that the algorithm bakes
+	// a warp width into its logic (RdxS assumes 32); the runtimes propagate
+	// it so Table VI can detect silent wrong results on 64-wide devices.
+	WarpWidthAssumption int
+}
+
+// Param returns the named parameter, or nil.
+func (k *Kernel) Param(name string) *Param {
+	for i := range k.Params {
+		if k.Params[i].Name == name {
+			return &k.Params[i]
+		}
+	}
+	return nil
+}
+
+// SharedArray returns the named shared array, or nil.
+func (k *Kernel) SharedArray(name string) *Array {
+	for i := range k.SharedArrays {
+		if k.SharedArrays[i].Name == name {
+			return &k.SharedArrays[i]
+		}
+	}
+	return nil
+}
+
+// LocalArray returns the named local array, or nil.
+func (k *Kernel) LocalArray(name string) *Array {
+	for i := range k.LocalArrays {
+		if k.LocalArrays[i].Name == name {
+			return &k.LocalArrays[i]
+		}
+	}
+	return nil
+}
+
+// SpaceOf resolves the memory space of a buffer name used in Load/Store: a
+// buffer parameter's declared space, or Shared/Local for kernel arrays.
+func (k *Kernel) SpaceOf(buf string) (MemSpace, error) {
+	if p := k.Param(buf); p != nil {
+		if !p.Buffer {
+			return 0, fmt.Errorf("kir: %s: %q is a scalar parameter, not a buffer", k.Name, buf)
+		}
+		return p.Space, nil
+	}
+	if k.SharedArray(buf) != nil {
+		return Shared, nil
+	}
+	if k.LocalArray(buf) != nil {
+		return Local, nil
+	}
+	return 0, fmt.Errorf("kir: %s: unknown buffer %q", k.Name, buf)
+}
+
+// ElemType resolves the element type of a buffer name.
+func (k *Kernel) ElemType(buf string) (Type, error) {
+	if p := k.Param(buf); p != nil {
+		return p.T, nil
+	}
+	if a := k.SharedArray(buf); a != nil {
+		return a.T, nil
+	}
+	if a := k.LocalArray(buf); a != nil {
+		return a.T, nil
+	}
+	return 0, fmt.Errorf("kir: %s: unknown buffer %q", k.Name, buf)
+}

@@ -1,0 +1,294 @@
+package kir
+
+import "fmt"
+
+// Check type-checks and scope-checks a kernel. The compiler front-ends rely
+// on Check having passed: they do not re-validate.
+func Check(k *Kernel) error {
+	c := &checker{k: k, env: make(map[string]Type)}
+	for _, p := range k.Params {
+		if !p.Buffer {
+			c.env["param:"+p.Name] = p.T
+		}
+	}
+	return c.block(k.Body)
+}
+
+type checker struct {
+	k   *Kernel
+	env map[string]Type // declared scalar variables
+}
+
+func (c *checker) errf(format string, args ...any) error {
+	return fmt.Errorf("kir: kernel %s: "+format, append([]any{c.k.Name}, args...)...)
+}
+
+func isInt(t Type) bool { return t == U32 || t == I32 }
+
+// compatible reports whether two operand types can be combined; the two
+// integer types are interchangeable (as in C with implicit conversion).
+func compatible(a, b Type) bool {
+	if a == b {
+		return true
+	}
+	return isInt(a) && isInt(b)
+}
+
+func (c *checker) block(stmts []Stmt) error {
+	declared := []string{}
+	defer func() {
+		for _, name := range declared {
+			delete(c.env, name)
+		}
+	}()
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *DeclStmt:
+			if _, ok := c.env[s.Name]; ok {
+				return c.errf("redeclaration of %q", s.Name)
+			}
+			t, err := c.expr(s.Init)
+			if err != nil {
+				return err
+			}
+			if t != s.T {
+				return c.errf("declaration of %q: init type %v != declared %v", s.Name, t, s.T)
+			}
+			c.env[s.Name] = s.T
+			declared = append(declared, s.Name)
+		case *AssignStmt:
+			vt, ok := c.env[s.Name]
+			if !ok {
+				return c.errf("assignment to undeclared variable %q", s.Name)
+			}
+			t, err := c.expr(s.Value)
+			if err != nil {
+				return err
+			}
+			if !compatible(vt, t) {
+				return c.errf("assignment to %q: %v value into %v variable", s.Name, t, vt)
+			}
+		case *StoreStmt:
+			if err := c.checkAccess(s.Buf, s.Index, true); err != nil {
+				return err
+			}
+			et, _ := c.k.ElemType(s.Buf)
+			vt, err := c.expr(s.Value)
+			if err != nil {
+				return err
+			}
+			if !compatible(et, vt) {
+				return c.errf("store to %q: %v value into %v buffer", s.Buf, vt, et)
+			}
+		case *AtomicStmt:
+			if err := c.checkAccess(s.Buf, s.Index, true); err != nil {
+				return err
+			}
+			et, _ := c.k.ElemType(s.Buf)
+			if !isInt(et) {
+				return c.errf("atomic on %q: element type %v is not integer", s.Buf, et)
+			}
+			vt, err := c.expr(s.Value)
+			if err != nil {
+				return err
+			}
+			if !isInt(vt) {
+				return c.errf("atomic on %q: operand type %v is not integer", s.Buf, vt)
+			}
+			if s.Result != "" {
+				if _, ok := c.env[s.Result]; !ok {
+					return c.errf("atomic result variable %q undeclared", s.Result)
+				}
+			}
+		case *IfStmt:
+			t, err := c.expr(s.Cond)
+			if err != nil {
+				return err
+			}
+			if t != Bool {
+				return c.errf("if condition has type %v, want bool", t)
+			}
+			if err := c.block(s.Then); err != nil {
+				return err
+			}
+			if err := c.block(s.Else); err != nil {
+				return err
+			}
+		case *ForStmt:
+			for what, e := range map[string]Expr{"init": s.Init, "limit": s.Limit, "step": s.Step} {
+				t, err := c.expr(e)
+				if err != nil {
+					return err
+				}
+				if !isInt(t) {
+					return c.errf("for %q: %s has type %v, want integer", s.Var, what, t)
+				}
+			}
+			if _, ok := c.env[s.Var]; ok {
+				return c.errf("for variable %q shadows an existing variable", s.Var)
+			}
+			c.env[s.Var] = s.T
+			err := c.block(s.Body)
+			delete(c.env, s.Var)
+			if err != nil {
+				return err
+			}
+		case *BarrierStmt:
+		default:
+			return c.errf("unknown statement %T", s)
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkAccess(buf string, idx Expr, write bool) error {
+	space, err := c.k.SpaceOf(buf)
+	if err != nil {
+		return err
+	}
+	if write && (space == Const || space == Texture) {
+		return c.errf("store to read-only %v buffer %q", space, buf)
+	}
+	t, err := c.expr(idx)
+	if err != nil {
+		return err
+	}
+	if !isInt(t) {
+		return c.errf("index into %q has type %v, want integer", buf, t)
+	}
+	return nil
+}
+
+func (c *checker) expr(e Expr) (Type, error) {
+	switch e := e.(type) {
+	case nil:
+		return 0, c.errf("nil expression")
+	case *ConstInt:
+		if !isInt(e.T) {
+			return 0, c.errf("integer literal with type %v", e.T)
+		}
+		return e.T, nil
+	case *ConstFloat:
+		return F32, nil
+	case *ParamRef:
+		p := c.k.Param(e.Name)
+		if p == nil {
+			return 0, c.errf("reference to unknown parameter %q", e.Name)
+		}
+		if p.Buffer {
+			return 0, c.errf("buffer parameter %q used as a scalar", e.Name)
+		}
+		return p.T, nil
+	case *VarRef:
+		t, ok := c.env[e.Name]
+		if !ok {
+			return 0, c.errf("use of undeclared variable %q", e.Name)
+		}
+		return t, nil
+	case *Builtin:
+		return U32, nil
+	case *Bin:
+		lt, err := c.expr(e.L)
+		if err != nil {
+			return 0, err
+		}
+		rt, err := c.expr(e.R)
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case e.Op.IsLogical():
+			if lt != Bool || rt != Bool {
+				return 0, c.errf("%v applied to %v, %v", e.Op, lt, rt)
+			}
+			return Bool, nil
+		case e.Op.IsCompare():
+			if !compatible(lt, rt) {
+				return 0, c.errf("%v compares %v with %v", e.Op, lt, rt)
+			}
+			return Bool, nil
+		case e.Op == OpShl || e.Op == OpShr || e.Op == OpAnd || e.Op == OpOr ||
+			e.Op == OpXor || e.Op == OpRem:
+			if !isInt(lt) || !isInt(rt) {
+				return 0, c.errf("%v needs integer operands, got %v, %v", e.Op, lt, rt)
+			}
+			return lt, nil
+		default:
+			if !compatible(lt, rt) {
+				return 0, c.errf("%v mixes %v with %v", e.Op, lt, rt)
+			}
+			if lt == Bool {
+				return 0, c.errf("%v applied to bool", e.Op)
+			}
+			return lt, nil
+		}
+	case *Un:
+		t, err := c.expr(e.X)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case OpSqrt, OpRsqrt, OpSin, OpCos, OpExp2, OpLog2:
+			if t != F32 {
+				return 0, c.errf("%v needs f32, got %v", e.Op, t)
+			}
+		case OpNot:
+			if t == F32 {
+				return 0, c.errf("not applied to f32")
+			}
+		case OpNeg, OpAbs:
+			if t == Bool {
+				return 0, c.errf("%v applied to bool", e.Op)
+			}
+		}
+		return t, nil
+	case *Sel:
+		ct, err := c.expr(e.Cond)
+		if err != nil {
+			return 0, err
+		}
+		if ct != Bool {
+			return 0, c.errf("select condition has type %v", ct)
+		}
+		at, err := c.expr(e.A)
+		if err != nil {
+			return 0, err
+		}
+		bt, err := c.expr(e.B)
+		if err != nil {
+			return 0, err
+		}
+		if !compatible(at, bt) {
+			return 0, c.errf("select arms have types %v, %v", at, bt)
+		}
+		return at, nil
+	case *Cast:
+		if _, err := c.expr(e.X); err != nil {
+			return 0, err
+		}
+		return e.To, nil
+	case *Load:
+		space, err := c.k.SpaceOf(e.Buf)
+		if err != nil {
+			return 0, err
+		}
+		_ = space
+		t, err := c.expr(e.Index)
+		if err != nil {
+			return 0, err
+		}
+		if !isInt(t) {
+			return 0, c.errf("index into %q has type %v, want integer", e.Buf, t)
+		}
+		et, err := c.k.ElemType(e.Buf)
+		if err != nil {
+			return 0, err
+		}
+		if e.T != et {
+			return 0, c.errf("load from %q typed %v, buffer elements are %v", e.Buf, e.T, et)
+		}
+		return et, nil
+	default:
+		return 0, c.errf("unknown expression %T", e)
+	}
+}

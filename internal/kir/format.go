@@ -1,0 +1,139 @@
+package kir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a kernel as CUDA-flavoured pseudo-source, used by the
+// tooling to show what a benchmark kernel looks like and by tests as a
+// structural golden.
+func Format(k *Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "__global__ void %s(", k.Name)
+	for i, p := range k.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if p.Buffer {
+			fmt.Fprintf(&b, "%s %s*%s", p.Space, p.T, p.Name)
+		} else {
+			fmt.Fprintf(&b, "%s %s", p.T, p.Name)
+		}
+	}
+	b.WriteString(") {\n")
+	for _, a := range k.SharedArrays {
+		fmt.Fprintf(&b, "  __shared__ %s %s[%d];\n", a.T, a.Name, a.Count)
+	}
+	for _, a := range k.LocalArrays {
+		fmt.Fprintf(&b, "  %s %s[%d]; // per-thread local\n", a.T, a.Name, a.Count)
+	}
+	formatStmts(&b, k.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *DeclStmt:
+			indent(b, depth)
+			fmt.Fprintf(b, "%s %s = %s;\n", s.T, s.Name, FormatExpr(s.Init))
+		case *AssignStmt:
+			indent(b, depth)
+			fmt.Fprintf(b, "%s = %s;\n", s.Name, FormatExpr(s.Value))
+		case *StoreStmt:
+			indent(b, depth)
+			fmt.Fprintf(b, "%s[%s] = %s;\n", s.Buf, FormatExpr(s.Index), FormatExpr(s.Value))
+		case *AtomicStmt:
+			indent(b, depth)
+			op := map[AtomicOp]string{AtomicAdd: "atomicAdd", AtomicOr: "atomicOr",
+				AtomicMax: "atomicMax", AtomicExch: "atomicExch"}[s.Op]
+			if s.Result != "" {
+				fmt.Fprintf(b, "%s = ", s.Result)
+			}
+			fmt.Fprintf(b, "%s(&%s[%s], %s);\n", op, s.Buf, FormatExpr(s.Index), FormatExpr(s.Value))
+		case *IfStmt:
+			indent(b, depth)
+			fmt.Fprintf(b, "if (%s) {\n", FormatExpr(s.Cond))
+			formatStmts(b, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				indent(b, depth)
+				b.WriteString("} else {\n")
+				formatStmts(b, s.Else, depth+1)
+			}
+			indent(b, depth)
+			b.WriteString("}\n")
+		case *ForStmt:
+			indent(b, depth)
+			switch {
+			case s.Unroll == UnrollFull:
+				b.WriteString("#pragma unroll\n")
+				indent(b, depth)
+			case s.Unroll > 0:
+				fmt.Fprintf(b, "#pragma unroll %d\n", s.Unroll)
+				indent(b, depth)
+			}
+			fmt.Fprintf(b, "for (%s %s = %s; %s < %s; %s += %s) {\n",
+				s.T, s.Var, FormatExpr(s.Init), s.Var, FormatExpr(s.Limit), s.Var, FormatExpr(s.Step))
+			formatStmts(b, s.Body, depth+1)
+			indent(b, depth)
+			b.WriteString("}\n")
+		case *BarrierStmt:
+			indent(b, depth)
+			b.WriteString("__syncthreads();\n")
+		}
+	}
+}
+
+// FormatExpr renders one expression.
+func FormatExpr(e Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return "<nil>"
+	case *ConstInt:
+		if e.T == I32 {
+			return fmt.Sprintf("%d", int32(e.V))
+		}
+		return fmt.Sprintf("%du", uint32(e.V))
+	case *ConstFloat:
+		return fmt.Sprintf("%gf", e.V)
+	case *ParamRef:
+		return e.Name
+	case *VarRef:
+		return e.Name
+	case *Builtin:
+		return e.Kind.String()
+	case *Bin:
+		if e.Op == OpMin || e.Op == OpMax {
+			return fmt.Sprintf("%s(%s, %s)", e.Op, FormatExpr(e.L), FormatExpr(e.R))
+		}
+		return fmt.Sprintf("(%s %s %s)", FormatExpr(e.L), e.Op, FormatExpr(e.R))
+	case *Un:
+		switch e.Op {
+		case OpNeg:
+			return fmt.Sprintf("(-%s)", FormatExpr(e.X))
+		case OpNot:
+			if e.X.Type() == Bool {
+				return fmt.Sprintf("(!%s)", FormatExpr(e.X))
+			}
+			return fmt.Sprintf("(~%s)", FormatExpr(e.X))
+		default:
+			return fmt.Sprintf("%s(%s)", e.Op, FormatExpr(e.X))
+		}
+	case *Sel:
+		return fmt.Sprintf("(%s ? %s : %s)", FormatExpr(e.Cond), FormatExpr(e.A), FormatExpr(e.B))
+	case *Cast:
+		return fmt.Sprintf("(%s)%s", e.To, FormatExpr(e.X))
+	case *Load:
+		return fmt.Sprintf("%s[%s]", e.Buf, FormatExpr(e.Index))
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}

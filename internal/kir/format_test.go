@@ -1,0 +1,89 @@
+package kir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatKernel(t *testing.T) {
+	b := NewKernel("demo")
+	in := b.GlobalBuffer("in", F32)
+	filt := b.ConstBuffer("filt", F32)
+	out := b.GlobalBuffer("out", F32)
+	n := b.ScalarParam("n", U32)
+	tile := b.SharedArray("tile", F32, 64)
+	scratch := b.LocalArray("scratch", U32, 4)
+	_ = scratch
+	gid := b.Declare("gid", b.GlobalIDX())
+	b.If(Lt(gid, n), func() {
+		acc := b.Declare("acc", F(0))
+		b.ForUnroll("i", U(0), U(3), U(1), UnrollFull, func(i Expr) {
+			b.Assign(acc, Add(acc, Mul(b.Load(in, Add(gid, i)), b.Load(filt, i))))
+		})
+		b.Store(tile, Bi(TidX), acc)
+		b.Barrier()
+		b.Store(out, gid, b.Load(tile, Bi(TidX)))
+	})
+	k := b.MustBuild()
+	src := Format(k)
+	for _, want := range []string{
+		"__global__ void demo(",
+		"global f32*in",
+		"constant f32*filt",
+		"u32 n",
+		"__shared__ f32 tile[64]",
+		"scratch[4]; // per-thread local",
+		"u32 gid = ((blockIdx.x * blockDim.x) + threadIdx.x);",
+		"if ((gid < n)) {",
+		"#pragma unroll",
+		"for (u32 i = 0u; i < 3u; i += 1u) {",
+		"acc = (acc + (in[(gid + i)] * filt[i]));",
+		"tile[threadIdx.x] = acc;",
+		"__syncthreads();",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("formatted source missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestFormatExprVariants(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{I(-3), "-3"},
+		{U(7), "7u"},
+		{F(1.5), "1.5f"},
+		{Min(U(1), U(2)), "min(1u, 2u)"},
+		{Max(U(1), U(2)), "max(1u, 2u)"},
+		{Neg(F(1)), "(-1f)"},
+		{Not(U(1)), "(~1u)"},
+		{Not(Lt(U(0), U(1))), "(!(0u < 1u))"},
+		{Sqrt(F(2)), "sqrt(2f)"},
+		{Select(Lt(U(0), U(1)), F(1), F(2)), "((0u < 1u) ? 1f : 2f)"},
+		{CastTo(F32, U(3)), "(f32)3u"},
+		{Bi(WarpSize), "warpSize"},
+	}
+	for _, tc := range cases {
+		if got := FormatExpr(tc.e); got != tc.want {
+			t.Errorf("FormatExpr = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestFormatAtomicAndPartialPragma(t *testing.T) {
+	b := NewKernel("atomics")
+	ctr := b.GlobalBuffer("ctr", U32)
+	nn := b.ScalarParam("n", U32)
+	b.ForUnroll("i", U(0), nn, U(1), 9, func(i Expr) {
+		b.Atomic(ctr, U(0), AtomicAdd, U(1))
+	})
+	k := b.MustBuild()
+	src := Format(k)
+	for _, want := range []string{"#pragma unroll 9", "atomicAdd(&ctr[0u], 1u);"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in:\n%s", want, src)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package kir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildVecAdd builds the canonical guarded vector-add kernel used across
+// the test suite.
+func buildVecAdd(t *testing.T) *Kernel {
+	t.Helper()
+	b := NewKernel("vadd")
+	a := b.GlobalBuffer("a", F32)
+	bb := b.GlobalBuffer("b", F32)
+	c := b.GlobalBuffer("c", F32)
+	n := b.ScalarParam("n", U32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	b.If(Lt(gid, n), func() {
+		b.Store(c, gid, Add(b.Load(a, gid), b.Load(bb, gid)))
+	})
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return k
+}
+
+func TestBuilderVecAdd(t *testing.T) {
+	k := buildVecAdd(t)
+	if len(k.Params) != 4 {
+		t.Errorf("params = %d, want 4", len(k.Params))
+	}
+	if sp, err := k.SpaceOf("a"); err != nil || sp != Global {
+		t.Errorf("SpaceOf(a) = %v, %v", sp, err)
+	}
+	if et, err := k.ElemType("c"); err != nil || et != F32 {
+		t.Errorf("ElemType(c) = %v, %v", et, err)
+	}
+	if len(k.Body) != 2 {
+		t.Errorf("body statements = %d, want 2 (decl + if)", len(k.Body))
+	}
+}
+
+func TestBuilderStructuredNesting(t *testing.T) {
+	b := NewKernel("nest")
+	out := b.GlobalBuffer("out", U32)
+	acc := b.Declare("acc", U(0))
+	b.For("i", U(0), U(4), U(1), func(i Expr) {
+		b.If(Eq(Rem(i, U(2)), U(0)), func() {
+			b.Assign(acc, Add(acc, i))
+		})
+	})
+	b.Store(out, b.GlobalIDX(), acc)
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	f, ok := k.Body[1].(*ForStmt)
+	if !ok {
+		t.Fatalf("body[1] is %T, want *ForStmt", k.Body[1])
+	}
+	if len(f.Body) != 1 {
+		t.Fatalf("for body = %d stmts, want 1", len(f.Body))
+	}
+	if _, ok := f.Body[0].(*IfStmt); !ok {
+		t.Fatalf("for body[0] is %T, want *IfStmt", f.Body[0])
+	}
+}
+
+func TestBuilderUnrollPragma(t *testing.T) {
+	b := NewKernel("unroll")
+	out := b.GlobalBuffer("out", F32)
+	s := b.Declare("s", F(0))
+	b.ForUnroll("i", U(0), U(9), U(1), 9, func(i Expr) {
+		b.Assign(s, Add(s, F(1)))
+	})
+	b.ForUnroll("j", U(0), U(4), U(1), UnrollFull, func(j Expr) {
+		b.Assign(s, Add(s, F(2)))
+	})
+	b.Store(out, U(0), s)
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if k.Body[1].(*ForStmt).Unroll != 9 {
+		t.Error("unroll factor 9 not recorded")
+	}
+	if k.Body[2].(*ForStmt).Unroll != UnrollFull {
+		t.Error("full unroll not recorded")
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() (*Kernel, error)
+		errPart string
+	}{
+		{
+			"undeclared variable",
+			func() (*Kernel, error) {
+				b := NewKernel("k")
+				out := b.GlobalBuffer("out", U32)
+				b.Store(out, U(0), &VarRef{Name: "ghost", T: U32})
+				return b.Build()
+			},
+			"undeclared",
+		},
+		{
+			"type mismatch in store",
+			func() (*Kernel, error) {
+				b := NewKernel("k")
+				out := b.GlobalBuffer("out", F32)
+				b.Store(out, U(0), U(1))
+				return b.Build()
+			},
+			"store",
+		},
+		{
+			"store to constant buffer",
+			func() (*Kernel, error) {
+				b := NewKernel("k")
+				cb := b.ConstBuffer("filter", F32)
+				b.Store(cb, U(0), F(1))
+				return b.Build()
+			},
+			"read-only",
+		},
+		{
+			"store to texture buffer",
+			func() (*Kernel, error) {
+				b := NewKernel("k")
+				tb := b.TexBuffer("vec", F32)
+				b.Store(tb, U(0), F(1))
+				return b.Build()
+			},
+			"read-only",
+		},
+		{
+			"float loop bound",
+			func() (*Kernel, error) {
+				b := NewKernel("k")
+				out := b.GlobalBuffer("out", F32)
+				b.For("i", U(0), &ConstFloat{V: 3}, U(1), func(i Expr) {
+					b.Store(out, U(0), F(0))
+				})
+				return b.Build()
+			},
+			"integer",
+		},
+		{
+			"non-bool if condition",
+			func() (*Kernel, error) {
+				b := NewKernel("k")
+				out := b.GlobalBuffer("out", F32)
+				b.If(U(1), func() { b.Store(out, U(0), F(0)) })
+				return b.Build()
+			},
+			"bool",
+		},
+		{
+			"mixed float/int arithmetic",
+			func() (*Kernel, error) {
+				b := NewKernel("k")
+				out := b.GlobalBuffer("out", F32)
+				b.Store(out, U(0), Add(F(1), U(2)))
+				return b.Build()
+			},
+			"mixes",
+		},
+		{
+			"unknown buffer",
+			func() (*Kernel, error) {
+				b := NewKernel("k")
+				b.GlobalBuffer("out", F32)
+				b.Store(Buf{name: "nope", t: F32}, U(0), F(1))
+				return b.Build()
+			},
+			"unknown buffer",
+		},
+		{
+			"duplicate param",
+			func() (*Kernel, error) {
+				b := NewKernel("k")
+				b.GlobalBuffer("x", F32)
+				b.GlobalBuffer("x", F32)
+				return b.Build()
+			},
+			"duplicate",
+		},
+		{
+			"redeclaration",
+			func() (*Kernel, error) {
+				b := NewKernel("k")
+				b.GlobalBuffer("out", F32)
+				b.Declare("v", U(0))
+				b.Declare("v", U(1))
+				return b.Build()
+			},
+			"redeclaration",
+		},
+		{
+			"sqrt of int",
+			func() (*Kernel, error) {
+				b := NewKernel("k")
+				out := b.GlobalBuffer("out", U32)
+				b.Store(out, U(0), Sqrt(U(4)))
+				return b.Build()
+			},
+			"f32",
+		},
+		{
+			"atomic on float buffer",
+			func() (*Kernel, error) {
+				b := NewKernel("k")
+				out := b.GlobalBuffer("out", F32)
+				b.Atomic(out, U(0), AtomicAdd, U(1))
+				return b.Build()
+			},
+			"integer",
+		},
+	}
+	for _, tc := range cases {
+		_, err := tc.build()
+		if err == nil {
+			t.Errorf("%s: Build accepted invalid kernel", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errPart) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.errPart)
+		}
+	}
+}
+
+func TestSharedAndLocalArrays(t *testing.T) {
+	b := NewKernel("tile")
+	in := b.GlobalBuffer("in", F32)
+	out := b.GlobalBuffer("out", F32)
+	tile := b.SharedArray("tile", F32, 16*17)
+	scratch := b.LocalArray("scratch", F32, 8)
+	gid := b.Declare("gid", b.GlobalIDX())
+	b.Store(tile, Bi(TidX), b.Load(in, gid))
+	b.Barrier()
+	b.Store(scratch, U(0), b.Load(tile, Bi(TidX)))
+	b.Store(out, gid, b.Load(scratch, U(0)))
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if sp, _ := k.SpaceOf("tile"); sp != Shared {
+		t.Errorf("tile space = %v, want Shared", sp)
+	}
+	if sp, _ := k.SpaceOf("scratch"); sp != Local {
+		t.Errorf("scratch space = %v, want Local", sp)
+	}
+	if k.SharedArray("tile").Count != 16*17 {
+		t.Error("shared array count lost")
+	}
+}
+
+func TestSelectAndCast(t *testing.T) {
+	b := NewKernel("selcast")
+	out := b.GlobalBuffer("out", F32)
+	x := b.Declare("x", Select(Lt(Bi(TidX), U(16)), F(1), F(-1)))
+	y := b.Declare("y", CastTo(F32, Bi(TidX)))
+	b.Store(out, Bi(TidX), Mul(x, y))
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if Select(Lt(U(0), U(1)), F(1), F(2)).Type() != F32 {
+		t.Error("select type should follow arms")
+	}
+	if CastTo(I32, F(1.5)).Type() != I32 {
+		t.Error("cast type should be target type")
+	}
+}
+
+func TestTypeStringsAndOps(t *testing.T) {
+	if U32.String() != "u32" || F32.String() != "f32" || Bool.String() != "bool" {
+		t.Error("type strings wrong")
+	}
+	if !OpLt.IsCompare() || OpAdd.IsCompare() {
+		t.Error("IsCompare wrong")
+	}
+	if !OpLAnd.IsLogical() || OpLt.IsLogical() {
+		t.Error("IsLogical wrong")
+	}
+	if Global.String() != "global" || Texture.String() != "texture" {
+		t.Error("space strings wrong")
+	}
+	if TidX.String() != "threadIdx.x" || NctaidY.String() != "gridDim.y" {
+		t.Error("builtin strings wrong")
+	}
+}
+
+func TestWarpWidthAssumption(t *testing.T) {
+	b := NewKernel("radix")
+	out := b.GlobalBuffer("out", U32)
+	b.AssumeWarpWidth(32)
+	b.Store(out, Bi(TidX), And(Bi(TidX), U(31)))
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if k.WarpWidthAssumption != 32 {
+		t.Error("warp width assumption lost")
+	}
+}
+
+func TestBinTypePropagation(t *testing.T) {
+	e := Add(Mul(Bi(CtaidX), Bi(NtidX)), Bi(TidX))
+	if e.Type() != U32 {
+		t.Errorf("global-id expression type = %v, want U32", e.Type())
+	}
+	if Lt(U(1), U(2)).Type() != Bool {
+		t.Error("comparison should be Bool")
+	}
+	if Add(F(1), F(2)).Type() != F32 {
+		t.Error("float add should be F32")
+	}
+}

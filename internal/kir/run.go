@@ -1,0 +1,507 @@
+package kir
+
+// A host reference executor: runs a kernel directly from the IR, one
+// goroutine per work-item with a cyclic barrier, no compiler or simulator
+// involved. It defines the semantics of the IR — the compiled+simulated
+// pipeline is differentially tested against it — and doubles as a plain
+// CPU fallback for running kernels.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// RunConfig describes one launch for the reference executor.
+type RunConfig struct {
+	GridX, GridY   int
+	BlockX, BlockY int
+	// Buffers maps buffer-parameter names to their backing storage
+	// (global, constant and texture buffers all live host-side here).
+	Buffers map[string][]uint32
+	// Scalars maps value-parameter names to their 32-bit values.
+	Scalars map[string]uint32
+	// WarpSize is the value the WarpSize builtin reports (default 32).
+	WarpSize int
+}
+
+// Run executes the kernel over the whole grid. Blocks run sequentially;
+// the work-items of a block run concurrently and synchronise at barriers.
+func Run(k *Kernel, cfg RunConfig) error {
+	if cfg.GridX <= 0 || cfg.GridY <= 0 || cfg.BlockX <= 0 || cfg.BlockY <= 0 {
+		return fmt.Errorf("kir: Run: non-positive launch dimensions")
+	}
+	if cfg.WarpSize == 0 {
+		cfg.WarpSize = 32
+	}
+	for _, p := range k.Params {
+		if p.Buffer {
+			if _, ok := cfg.Buffers[p.Name]; !ok {
+				return fmt.Errorf("kir: Run: missing buffer %q", p.Name)
+			}
+		} else if _, ok := cfg.Scalars[p.Name]; !ok {
+			return fmt.Errorf("kir: Run: missing scalar %q", p.Name)
+		}
+	}
+
+	threads := cfg.BlockX * cfg.BlockY
+	for by := 0; by < cfg.GridY; by++ {
+		for bx := 0; bx < cfg.GridX; bx++ {
+			shared := map[string][]uint32{}
+			for _, a := range k.SharedArrays {
+				shared[a.Name] = make([]uint32, a.Count)
+			}
+			bar := newHostBarrier(threads)
+			errs := make([]error, threads)
+			var wg sync.WaitGroup
+			var mu sync.Mutex // serialises shared/global writes and atomics
+			for t := 0; t < threads; t++ {
+				wg.Add(1)
+				go func(t int) {
+					defer wg.Done()
+					ev := &runEval{
+						k: k, cfg: cfg, shared: shared, bar: bar, mu: &mu,
+						tidX: uint32(t % cfg.BlockX), tidY: uint32(t / cfg.BlockX),
+						ctaX: uint32(bx), ctaY: uint32(by),
+						vars: map[string]uint32{},
+						local: func() map[string][]uint32 {
+							m := map[string][]uint32{}
+							for _, a := range k.LocalArrays {
+								m[a.Name] = make([]uint32, a.Count)
+							}
+							return m
+						}(),
+					}
+					defer func() {
+						if r := recover(); r != nil {
+							errs[t] = fmt.Errorf("kir: Run: thread %d: %v", t, r)
+							bar.abort()
+						}
+					}()
+					ev.stmts(k.Body)
+				}(t)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// hostBarrier is a reusable (cyclic) barrier for n goroutines.
+type hostBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	waiting int
+	gen     int
+	broken  bool
+}
+
+func newHostBarrier(n int) *hostBarrier {
+	b := &hostBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *hostBarrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		panic("barrier abandoned by a failing thread")
+	}
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.n {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	if b.broken {
+		panic("barrier abandoned by a failing thread")
+	}
+}
+
+// abort releases everyone after a thread dies so Run can report the error
+// instead of deadlocking.
+func (b *hostBarrier) abort() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+type runEval struct {
+	k      *Kernel
+	cfg    RunConfig
+	shared map[string][]uint32
+	local  map[string][]uint32
+	bar    *hostBarrier
+	mu     *sync.Mutex
+
+	tidX, tidY uint32
+	ctaX, ctaY uint32
+	vars       map[string]uint32
+}
+
+func (e *runEval) buffer(name string) []uint32 {
+	if buf, ok := e.shared[name]; ok {
+		return buf
+	}
+	if buf, ok := e.local[name]; ok {
+		return buf
+	}
+	return e.cfg.Buffers[name]
+}
+
+func (e *runEval) isSharedOrGlobal(name string) bool {
+	if _, ok := e.local[name]; ok {
+		return false
+	}
+	return true
+}
+
+func (e *runEval) stmts(stmts []Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *DeclStmt:
+			e.vars[s.Name] = e.expr(s.Init)
+		case *AssignStmt:
+			e.vars[s.Name] = e.expr(s.Value)
+		case *StoreStmt:
+			buf := e.buffer(s.Buf)
+			idx := e.expr(s.Index)
+			val := e.expr(s.Value)
+			if int(idx) >= len(buf) {
+				panic(fmt.Sprintf("store to %s[%d] out of range (%d)", s.Buf, idx, len(buf)))
+			}
+			if e.isSharedOrGlobal(s.Buf) {
+				e.mu.Lock()
+				buf[idx] = val
+				e.mu.Unlock()
+			} else {
+				buf[idx] = val
+			}
+		case *AtomicStmt:
+			buf := e.buffer(s.Buf)
+			idx := e.expr(s.Index)
+			val := e.expr(s.Value)
+			if int(idx) >= len(buf) {
+				panic(fmt.Sprintf("atomic on %s[%d] out of range (%d)", s.Buf, idx, len(buf)))
+			}
+			e.mu.Lock()
+			old := buf[idx]
+			switch s.Op {
+			case AtomicAdd:
+				buf[idx] = old + val
+			case AtomicOr:
+				buf[idx] = old | val
+			case AtomicMax:
+				if val > old {
+					buf[idx] = val
+				}
+			case AtomicExch:
+				buf[idx] = val
+			}
+			e.mu.Unlock()
+			if s.Result != "" {
+				e.vars[s.Result] = old
+			}
+		case *IfStmt:
+			if e.expr(s.Cond) != 0 {
+				e.stmts(s.Then)
+			} else {
+				e.stmts(s.Else)
+			}
+		case *ForStmt:
+			e.vars[s.Var] = e.expr(s.Init)
+			for e.less(s.T, e.vars[s.Var], e.expr(s.Limit)) {
+				e.stmts(s.Body)
+				e.vars[s.Var] += e.expr(s.Step)
+			}
+			delete(e.vars, s.Var)
+		case *BarrierStmt:
+			e.bar.wait()
+		default:
+			panic(fmt.Sprintf("unknown statement %T", s))
+		}
+	}
+}
+
+func (e *runEval) less(t Type, a, b uint32) bool {
+	if t == I32 {
+		return int32(a) < int32(b)
+	}
+	return a < b
+}
+
+func bitsOf(f float32) uint32  { return math.Float32bits(f) }
+func floatOf(b uint32) float32 { return math.Float32frombits(b) }
+func runBool(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (e *runEval) expr(x Expr) uint32 {
+	switch x := x.(type) {
+	case *ConstInt:
+		return uint32(x.V)
+	case *ConstFloat:
+		return bitsOf(x.V)
+	case *ParamRef:
+		return e.cfg.Scalars[x.Name]
+	case *VarRef:
+		v, ok := e.vars[x.Name]
+		if !ok {
+			panic(fmt.Sprintf("unbound variable %q", x.Name))
+		}
+		return v
+	case *Builtin:
+		switch x.Kind {
+		case TidX:
+			return e.tidX
+		case TidY:
+			return e.tidY
+		case NtidX:
+			return uint32(e.cfg.BlockX)
+		case NtidY:
+			return uint32(e.cfg.BlockY)
+		case CtaidX:
+			return e.ctaX
+		case CtaidY:
+			return e.ctaY
+		case NctaidX:
+			return uint32(e.cfg.GridX)
+		case NctaidY:
+			return uint32(e.cfg.GridY)
+		case WarpSize:
+			return uint32(e.cfg.WarpSize)
+		}
+		return 0
+	case *Load:
+		buf := e.buffer(x.Buf)
+		idx := e.expr(x.Index)
+		if int(idx) >= len(buf) {
+			panic(fmt.Sprintf("load from %s[%d] out of range (%d)", x.Buf, idx, len(buf)))
+		}
+		if e.isSharedOrGlobal(x.Buf) {
+			e.mu.Lock()
+			v := buf[idx]
+			e.mu.Unlock()
+			return v
+		}
+		return buf[idx]
+	case *Sel:
+		if e.expr(x.Cond) != 0 {
+			return e.expr(x.A)
+		}
+		return e.expr(x.B)
+	case *Cast:
+		v := e.expr(x.X)
+		from, to := x.X.Type(), x.To
+		switch {
+		case from == to:
+			return v
+		case to == F32 && from == U32:
+			return bitsOf(float32(v))
+		case to == F32 && from == I32:
+			return bitsOf(float32(int32(v)))
+		case to == U32 && from == F32:
+			return uint32(int64(floatOf(v)))
+		case to == I32 && from == F32:
+			return uint32(int32(floatOf(v)))
+		default:
+			return v
+		}
+	case *Un:
+		v := e.expr(x.X)
+		isF := x.X.Type() == F32
+		switch x.Op {
+		case OpNeg:
+			if isF {
+				return bitsOf(-floatOf(v))
+			}
+			return -v
+		case OpNot:
+			if x.X.Type() == Bool {
+				return v ^ 1
+			}
+			return ^v
+		case OpAbs:
+			if isF {
+				return bitsOf(float32(math.Abs(float64(floatOf(v)))))
+			}
+			if int32(v) < 0 {
+				return uint32(-int32(v))
+			}
+			return v
+		case OpSqrt:
+			return bitsOf(float32(math.Sqrt(float64(floatOf(v)))))
+		case OpRsqrt:
+			return bitsOf(float32(1 / math.Sqrt(float64(floatOf(v)))))
+		case OpSin:
+			return bitsOf(float32(math.Sin(float64(floatOf(v)))))
+		case OpCos:
+			return bitsOf(float32(math.Cos(float64(floatOf(v)))))
+		case OpExp2:
+			return bitsOf(float32(math.Exp2(float64(floatOf(v)))))
+		case OpLog2:
+			return bitsOf(float32(math.Log2(float64(floatOf(v)))))
+		}
+		panic("unknown unary op")
+	case *Bin:
+		a := e.expr(x.L)
+		b := e.expr(x.R)
+		lt := x.L.Type()
+		switch lt {
+		case F32:
+			fa, fb := floatOf(a), floatOf(b)
+			switch x.Op {
+			case OpAdd:
+				return bitsOf(fa + fb)
+			case OpSub:
+				return bitsOf(fa - fb)
+			case OpMul:
+				return bitsOf(fa * fb)
+			case OpDiv:
+				return bitsOf(fa / fb)
+			case OpMin:
+				return bitsOf(float32(math.Min(float64(fa), float64(fb))))
+			case OpMax:
+				return bitsOf(float32(math.Max(float64(fa), float64(fb))))
+			case OpEq:
+				return runBool(fa == fb)
+			case OpNe:
+				return runBool(fa != fb)
+			case OpLt:
+				return runBool(fa < fb)
+			case OpLe:
+				return runBool(fa <= fb)
+			case OpGt:
+				return runBool(fa > fb)
+			case OpGe:
+				return runBool(fa >= fb)
+			}
+		case I32:
+			sa, sb := int32(a), int32(b)
+			switch x.Op {
+			case OpAdd:
+				return uint32(sa + sb)
+			case OpSub:
+				return uint32(sa - sb)
+			case OpMul:
+				return uint32(sa * sb)
+			case OpDiv:
+				if sb == 0 {
+					return ^uint32(0)
+				}
+				return uint32(sa / sb)
+			case OpRem:
+				if sb == 0 {
+					return a
+				}
+				return uint32(sa % sb)
+			case OpMin:
+				if sa < sb {
+					return a
+				}
+				return b
+			case OpMax:
+				if sa > sb {
+					return a
+				}
+				return b
+			case OpAnd:
+				return a & b
+			case OpOr:
+				return a | b
+			case OpXor:
+				return a ^ b
+			case OpShl:
+				return a << (b & 31)
+			case OpShr:
+				return uint32(sa >> (b & 31))
+			case OpEq:
+				return runBool(sa == sb)
+			case OpNe:
+				return runBool(sa != sb)
+			case OpLt:
+				return runBool(sa < sb)
+			case OpLe:
+				return runBool(sa <= sb)
+			case OpGt:
+				return runBool(sa > sb)
+			case OpGe:
+				return runBool(sa >= sb)
+			}
+		default: // U32 and Bool
+			switch x.Op {
+			case OpAdd:
+				return a + b
+			case OpSub:
+				return a - b
+			case OpMul:
+				return a * b
+			case OpDiv:
+				if b == 0 {
+					return ^uint32(0)
+				}
+				return a / b
+			case OpRem:
+				if b == 0 {
+					return a
+				}
+				return a % b
+			case OpMin:
+				if a < b {
+					return a
+				}
+				return b
+			case OpMax:
+				if a > b {
+					return a
+				}
+				return b
+			case OpAnd:
+				return a & b
+			case OpOr:
+				return a | b
+			case OpXor:
+				return a ^ b
+			case OpShl:
+				return a << (b & 31)
+			case OpShr:
+				return a >> (b & 31)
+			case OpEq:
+				return runBool(a == b)
+			case OpNe:
+				return runBool(a != b)
+			case OpLt:
+				return runBool(a < b)
+			case OpLe:
+				return runBool(a <= b)
+			case OpGt:
+				return runBool(a > b)
+			case OpGe:
+				return runBool(a >= b)
+			case OpLAnd:
+				return runBool(a != 0 && b != 0)
+			case OpLOr:
+				return runBool(a != 0 || b != 0)
+			}
+		}
+		panic("unknown binary op")
+	default:
+		panic(fmt.Sprintf("unknown expression %T", x))
+	}
+}

@@ -1,0 +1,229 @@
+package kir
+
+// CloneExpr deep-copies an expression tree.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *ConstInt:
+		c := *e
+		return &c
+	case *ConstFloat:
+		c := *e
+		return &c
+	case *ParamRef:
+		c := *e
+		return &c
+	case *VarRef:
+		c := *e
+		return &c
+	case *Builtin:
+		c := *e
+		return &c
+	case *Bin:
+		return &Bin{Op: e.Op, L: CloneExpr(e.L), R: CloneExpr(e.R)}
+	case *Un:
+		return &Un{Op: e.Op, X: CloneExpr(e.X)}
+	case *Sel:
+		return &Sel{Cond: CloneExpr(e.Cond), A: CloneExpr(e.A), B: CloneExpr(e.B)}
+	case *Cast:
+		return &Cast{To: e.To, X: CloneExpr(e.X)}
+	case *Load:
+		return &Load{Buf: e.Buf, Index: CloneExpr(e.Index), T: e.T}
+	default:
+		panic("kir: CloneExpr: unknown expression")
+	}
+}
+
+// CloneStmts deep-copies a statement list.
+func CloneStmts(stmts []Stmt) []Stmt {
+	out := make([]Stmt, len(stmts))
+	for i, s := range stmts {
+		out[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *DeclStmt:
+		return &DeclStmt{Name: s.Name, T: s.T, Init: CloneExpr(s.Init)}
+	case *AssignStmt:
+		return &AssignStmt{Name: s.Name, Value: CloneExpr(s.Value)}
+	case *StoreStmt:
+		return &StoreStmt{Buf: s.Buf, Index: CloneExpr(s.Index), Value: CloneExpr(s.Value)}
+	case *AtomicStmt:
+		return &AtomicStmt{Buf: s.Buf, Index: CloneExpr(s.Index), Value: CloneExpr(s.Value), Op: s.Op, Result: s.Result}
+	case *IfStmt:
+		return &IfStmt{Cond: CloneExpr(s.Cond), Then: CloneStmts(s.Then), Else: CloneStmts(s.Else)}
+	case *ForStmt:
+		return &ForStmt{Var: s.Var, T: s.T, Init: CloneExpr(s.Init), Limit: CloneExpr(s.Limit),
+			Step: CloneExpr(s.Step), Body: CloneStmts(s.Body), Unroll: s.Unroll}
+	case *BarrierStmt:
+		return &BarrierStmt{}
+	default:
+		panic("kir: cloneStmt: unknown statement")
+	}
+}
+
+// SubstVar returns a deep copy of stmts with every read of variable name
+// replaced by a copy of repl. Inner declarations or loop variables that
+// shadow the name stop the substitution in their scope.
+func SubstVar(stmts []Stmt, name string, repl Expr) []Stmt {
+	out := make([]Stmt, len(stmts))
+	shadowed := false
+	for i, s := range stmts {
+		if shadowed {
+			out[i] = cloneStmt(s)
+			continue
+		}
+		switch s := s.(type) {
+		case *DeclStmt:
+			out[i] = &DeclStmt{Name: s.Name, T: s.T, Init: substExpr(s.Init, name, repl)}
+			if s.Name == name {
+				shadowed = true
+			}
+		case *AssignStmt:
+			out[i] = &AssignStmt{Name: s.Name, Value: substExpr(s.Value, name, repl)}
+		case *StoreStmt:
+			out[i] = &StoreStmt{Buf: s.Buf, Index: substExpr(s.Index, name, repl), Value: substExpr(s.Value, name, repl)}
+		case *AtomicStmt:
+			out[i] = &AtomicStmt{Buf: s.Buf, Index: substExpr(s.Index, name, repl), Value: substExpr(s.Value, name, repl), Op: s.Op, Result: s.Result}
+		case *IfStmt:
+			out[i] = &IfStmt{Cond: substExpr(s.Cond, name, repl), Then: SubstVar(s.Then, name, repl), Else: SubstVar(s.Else, name, repl)}
+		case *ForStmt:
+			f := &ForStmt{Var: s.Var, T: s.T,
+				Init:   substExpr(s.Init, name, repl),
+				Limit:  substExpr(s.Limit, name, repl),
+				Step:   substExpr(s.Step, name, repl),
+				Unroll: s.Unroll}
+			if s.Var == name {
+				f.Body = CloneStmts(s.Body) // inner loop shadows
+			} else {
+				f.Body = SubstVar(s.Body, name, repl)
+			}
+			out[i] = f
+		case *BarrierStmt:
+			out[i] = &BarrierStmt{}
+		default:
+			panic("kir: SubstVar: unknown statement")
+		}
+	}
+	return out
+}
+
+func substExpr(e Expr, name string, repl Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *VarRef:
+		if e.Name == name {
+			return CloneExpr(repl)
+		}
+		c := *e
+		return &c
+	case *Bin:
+		return &Bin{Op: e.Op, L: substExpr(e.L, name, repl), R: substExpr(e.R, name, repl)}
+	case *Un:
+		return &Un{Op: e.Op, X: substExpr(e.X, name, repl)}
+	case *Sel:
+		return &Sel{Cond: substExpr(e.Cond, name, repl), A: substExpr(e.A, name, repl), B: substExpr(e.B, name, repl)}
+	case *Cast:
+		return &Cast{To: e.To, X: substExpr(e.X, name, repl)}
+	case *Load:
+		return &Load{Buf: e.Buf, Index: substExpr(e.Index, name, repl), T: e.T}
+	default:
+		return CloneExpr(e)
+	}
+}
+
+// AssignsVar reports whether any statement in the tree assigns the named
+// variable (which forbids unrolling over it).
+func AssignsVar(stmts []Stmt, name string) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *AssignStmt:
+			if s.Name == name {
+				return true
+			}
+		case *AtomicStmt:
+			if s.Result == name {
+				return true
+			}
+		case *IfStmt:
+			if AssignsVar(s.Then, name) || AssignsVar(s.Else, name) {
+				return true
+			}
+		case *ForStmt:
+			if s.Var != name && AssignsVar(s.Body, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CountNodes estimates the size of a statement list (used by front-ends to
+// bound automatic unrolling).
+func CountNodes(stmts []Stmt) int {
+	n := 0
+	for _, s := range stmts {
+		n++
+		switch s := s.(type) {
+		case *DeclStmt:
+			n += countExpr(s.Init)
+		case *AssignStmt:
+			n += countExpr(s.Value)
+		case *StoreStmt:
+			n += countExpr(s.Index) + countExpr(s.Value)
+		case *AtomicStmt:
+			n += countExpr(s.Index) + countExpr(s.Value)
+		case *IfStmt:
+			n += countExpr(s.Cond) + CountNodes(s.Then) + CountNodes(s.Else)
+		case *ForStmt:
+			n += CountNodes(s.Body) + 3
+		}
+	}
+	return n
+}
+
+func countExpr(e Expr) int {
+	switch e := e.(type) {
+	case nil:
+		return 0
+	case *Bin:
+		return 1 + countExpr(e.L) + countExpr(e.R)
+	case *Un:
+		return 1 + countExpr(e.X)
+	case *Sel:
+		return 1 + countExpr(e.Cond) + countExpr(e.A) + countExpr(e.B)
+	case *Cast:
+		return 1 + countExpr(e.X)
+	case *Load:
+		return 1 + countExpr(e.Index)
+	default:
+		return 1
+	}
+}
+
+// ReadVars collects the names of scalar variables an expression reads.
+func ReadVars(e Expr, into map[string]bool) {
+	switch e := e.(type) {
+	case nil:
+	case *VarRef:
+		into[e.Name] = true
+	case *Bin:
+		ReadVars(e.L, into)
+		ReadVars(e.R, into)
+	case *Un:
+		ReadVars(e.X, into)
+	case *Sel:
+		ReadVars(e.Cond, into)
+		ReadVars(e.A, into)
+		ReadVars(e.B, into)
+	case *Cast:
+		ReadVars(e.X, into)
+	case *Load:
+		ReadVars(e.Index, into)
+	}
+}

@@ -1,0 +1,205 @@
+package kir
+
+import (
+	"testing"
+)
+
+func sampleBody() []Stmt {
+	// acc = acc + in[i]*2; if (i < 4) { acc = acc ^ i } ; for j := 0; j < i; j++ { acc = acc + j }
+	return []Stmt{
+		&AssignStmt{Name: "acc", Value: Add(&VarRef{Name: "acc", T: U32},
+			Mul(&Load{Buf: "in", Index: &VarRef{Name: "i", T: U32}, T: U32}, U(2)))},
+		&IfStmt{Cond: Lt(&VarRef{Name: "i", T: U32}, U(4)),
+			Then: []Stmt{&AssignStmt{Name: "acc", Value: Xor(&VarRef{Name: "acc", T: U32}, &VarRef{Name: "i", T: U32})}}},
+		&ForStmt{Var: "j", T: U32, Init: U(0), Limit: &VarRef{Name: "i", T: U32}, Step: U(1),
+			Body: []Stmt{&AssignStmt{Name: "acc", Value: Add(&VarRef{Name: "acc", T: U32}, &VarRef{Name: "j", T: U32})}}},
+	}
+}
+
+func countRefs(stmts []Stmt, name string) int {
+	n := 0
+	var walkE func(Expr)
+	walkE = func(e Expr) {
+		switch e := e.(type) {
+		case *VarRef:
+			if e.Name == name {
+				n++
+			}
+		case *Bin:
+			walkE(e.L)
+			walkE(e.R)
+		case *Un:
+			walkE(e.X)
+		case *Sel:
+			walkE(e.Cond)
+			walkE(e.A)
+			walkE(e.B)
+		case *Cast:
+			walkE(e.X)
+		case *Load:
+			walkE(e.Index)
+		}
+	}
+	var walkS func([]Stmt)
+	walkS = func(ss []Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *DeclStmt:
+				walkE(s.Init)
+			case *AssignStmt:
+				walkE(s.Value)
+			case *StoreStmt:
+				walkE(s.Index)
+				walkE(s.Value)
+			case *AtomicStmt:
+				walkE(s.Index)
+				walkE(s.Value)
+			case *IfStmt:
+				walkE(s.Cond)
+				walkS(s.Then)
+				walkS(s.Else)
+			case *ForStmt:
+				walkE(s.Init)
+				walkE(s.Limit)
+				walkE(s.Step)
+				walkS(s.Body)
+			}
+		}
+	}
+	walkS(stmts)
+	return n
+}
+
+func TestSubstVarReplacesAllReads(t *testing.T) {
+	body := sampleBody()
+	before := countRefs(body, "i")
+	if before == 0 {
+		t.Fatal("sample body should reference i")
+	}
+	out := SubstVar(body, "i", U(7))
+	if got := countRefs(out, "i"); got != 0 {
+		t.Errorf("%d references to i survived substitution", got)
+	}
+	// The original is untouched (deep copy).
+	if countRefs(body, "i") != before {
+		t.Error("SubstVar mutated its input")
+	}
+}
+
+func TestSubstVarStopsAtShadowing(t *testing.T) {
+	body := []Stmt{
+		&AssignStmt{Name: "x", Value: &VarRef{Name: "v", T: U32}},
+		&DeclStmt{Name: "v", T: U32, Init: U(1)}, // shadows from here on
+		&AssignStmt{Name: "x", Value: &VarRef{Name: "v", T: U32}},
+	}
+	out := SubstVar(body, "v", U(9))
+	if countRefs(out, "v") != 1 {
+		t.Errorf("substitution should stop at the shadowing declaration: %d refs left", countRefs(out, "v"))
+	}
+	// A loop over the same name shadows its body.
+	loop := []Stmt{&ForStmt{Var: "v", T: U32, Init: U(0), Limit: U(3), Step: U(1),
+		Body: []Stmt{&AssignStmt{Name: "x", Value: &VarRef{Name: "v", T: U32}}}}}
+	out = SubstVar(loop, "v", U(9))
+	if countRefs(out, "v") != 1 {
+		t.Error("loop variable should shadow substitution inside its body")
+	}
+}
+
+func TestCloneStmtsIsDeep(t *testing.T) {
+	body := sampleBody()
+	cl := CloneStmts(body)
+	// Mutate the clone, original must not change.
+	cl[0].(*AssignStmt).Value = U(0)
+	if _, ok := body[0].(*AssignStmt).Value.(*Bin); !ok {
+		t.Error("clone shares expression nodes with the original")
+	}
+	iff := cl[1].(*IfStmt)
+	iff.Then[0].(*AssignStmt).Name = "other"
+	if body[1].(*IfStmt).Then[0].(*AssignStmt).Name != "acc" {
+		t.Error("clone shares nested statements")
+	}
+}
+
+func TestAssignsVar(t *testing.T) {
+	body := sampleBody()
+	if !AssignsVar(body, "acc") {
+		t.Error("acc is assigned")
+	}
+	if AssignsVar(body, "i") {
+		t.Error("i is never assigned")
+	}
+	atomic := []Stmt{&AtomicStmt{Buf: "b", Index: U(0), Value: U(1), Op: AtomicAdd, Result: "r"}}
+	if !AssignsVar(atomic, "r") {
+		t.Error("atomic result counts as an assignment")
+	}
+	inner := []Stmt{&ForStmt{Var: "k", T: U32, Init: U(0), Limit: U(2), Step: U(1),
+		Body: []Stmt{&AssignStmt{Name: "k2", Value: U(0)}}}}
+	if !AssignsVar(inner, "k2") {
+		t.Error("assignments inside loops count")
+	}
+	if AssignsVar(inner, "k") {
+		t.Error("the loop's own variable update does not count as a body assignment")
+	}
+}
+
+func TestReadVars(t *testing.T) {
+	e := Add(Mul(&VarRef{Name: "a", T: U32}, U(2)),
+		Select(Lt(&VarRef{Name: "b", T: U32}, U(1)),
+			&Load{Buf: "buf", Index: &VarRef{Name: "c", T: U32}, T: U32},
+			CastTo(U32, Neg(&VarRef{Name: "d", T: I32}))))
+	got := map[string]bool{}
+	ReadVars(e, got)
+	for _, want := range []string{"a", "b", "c", "d"} {
+		if !got[want] {
+			t.Errorf("ReadVars missed %q", want)
+		}
+	}
+	if len(got) != 4 {
+		t.Errorf("ReadVars found extras: %v", got)
+	}
+}
+
+func TestCountNodesGrowsWithBody(t *testing.T) {
+	small := []Stmt{&AssignStmt{Name: "x", Value: U(1)}}
+	big := sampleBody()
+	if CountNodes(small) >= CountNodes(big) {
+		t.Error("CountNodes should grow with statement complexity")
+	}
+	if CountNodes(nil) != 0 {
+		t.Error("empty body counts zero")
+	}
+}
+
+func TestBuilderErrorPaths(t *testing.T) {
+	b := NewKernel("err")
+	out := b.GlobalBuffer("out", U32)
+	b.Assign(U(1), U(2)) // not a variable reference
+	if _, err := b.Build(); err == nil {
+		t.Error("Assign to non-variable should fail the build")
+	}
+
+	b2 := NewKernel("err2")
+	b2.GlobalBuffer("out", U32)
+	b2.Declare("x", nil)
+	if _, err := b2.Build(); err == nil {
+		t.Error("Declare with nil init should fail the build")
+	}
+
+	b3 := NewKernel("err3")
+	o3 := b3.GlobalBuffer("out", U32)
+	b3.AtomicResult(o3, U(0), AtomicAdd, U(1), U(5))
+	if _, err := b3.Build(); err == nil {
+		t.Error("AtomicResult with non-variable target should fail the build")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on an invalid kernel")
+		}
+	}()
+	b4 := NewKernel("err4")
+	b4.GlobalBuffer("x", U32)
+	b4.GlobalBuffer("x", U32)
+	b4.MustBuild()
+	_ = out
+}

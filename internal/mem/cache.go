@@ -1,0 +1,67 @@
+package mem
+
+// Cache is a direct-mapped cache model used for the texture cache, the
+// constant cache, and the Fermi L1/L2 hierarchy. Only tags are tracked —
+// data always comes from backing memory — because the model only needs hit
+// and miss counts.
+type Cache struct {
+	lineBytes uint32
+	sets      uint32
+	tags      []uint32
+	valid     []bool
+
+	Hits   int64
+	Misses int64
+}
+
+// NewCache builds a cache of sizeBytes capacity with lineBytes lines.
+func NewCache(sizeBytes, lineBytes uint32) *Cache {
+	if lineBytes == 0 {
+		lineBytes = 64
+	}
+	sets := sizeBytes / lineBytes
+	if sets == 0 {
+		sets = 1
+	}
+	return &Cache{
+		lineBytes: lineBytes,
+		sets:      sets,
+		tags:      make([]uint32, sets),
+		valid:     make([]bool, sets),
+	}
+}
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() uint32 { return c.lineBytes }
+
+// Access looks up the byte address, fills the line on miss, and reports
+// whether it hit.
+func (c *Cache) Access(addr uint32) bool {
+	line := addr / c.lineBytes
+	set := line % c.sets
+	if c.valid[set] && c.tags[set] == line {
+		c.Hits++
+		return true
+	}
+	c.valid[set] = true
+	c.tags[set] = line
+	c.Misses++
+	return false
+}
+
+// Invalidate clears all lines (used between kernel launches for caches
+// that are not coherent with global stores, like the texture cache).
+func (c *Cache) Invalidate() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(t)
+}

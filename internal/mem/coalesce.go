@@ -1,0 +1,134 @@
+package mem
+
+import "math/bits"
+
+// CoalesceSegments returns the number of distinct memory segments of
+// segBytes touched by the active lanes of one warp access — the number of
+// global-memory transactions the access costs. Perfectly coalesced
+// accesses by a 32-lane warp of 4-byte words with 128-byte segments cost
+// one transaction; fully scattered accesses cost one per lane.
+func CoalesceSegments(addrs []uint32, mask uint64, segBytes uint32) int {
+	if segBytes == 0 {
+		segBytes = 64
+	}
+	// Warps have at most 64 lanes; a tiny linear set dedup is faster than
+	// a map at this scale.
+	var segs [64]uint32
+	n := 0
+	for lane := 0; lane < len(addrs); lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		s := addrs[lane] / segBytes
+		found := false
+		for i := 0; i < n; i++ {
+			if segs[i] == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			segs[n] = s
+			n++
+		}
+	}
+	return n
+}
+
+// CoalesceList writes the distinct segment base addresses touched by the
+// active lanes into out and returns how many there are. out must have room
+// for one entry per lane.
+func CoalesceList(addrs []uint32, mask uint64, segBytes uint32, out []uint32) int {
+	if segBytes == 0 {
+		segBytes = 64
+	}
+	n := 0
+	for lane := 0; lane < len(addrs); lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		s := (addrs[lane] / segBytes) * segBytes
+		found := false
+		for i := 0; i < n; i++ {
+			if out[i] == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out[n] = s
+			n++
+		}
+	}
+	return n
+}
+
+// DistinctAddrs returns the number of distinct word addresses among active
+// lanes. The constant cache serves one distinct address per cycle
+// (broadcast), so this is the serialization factor of a constant load.
+func DistinctAddrs(addrs []uint32, mask uint64) int {
+	var seen [64]uint32
+	n := 0
+	for lane := 0; lane < len(addrs); lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		a := addrs[lane]
+		found := false
+		for i := 0; i < n; i++ {
+			if seen[i] == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			seen[n] = a
+			n++
+		}
+	}
+	return n
+}
+
+// BankConflictFactor returns the shared-memory serialization factor of one
+// warp access: the maximum number of distinct addresses mapping to the
+// same bank. A conflict-free or broadcast access returns 1. banks must be
+// a power of two.
+func BankConflictFactor(addrs []uint32, mask uint64, banks int) int {
+	if banks <= 1 {
+		return 1
+	}
+	var addrCount [64]uint32 // distinct addresses seen
+	var bankHits [64]int     // conflicts per bank
+	na := 0
+	maxHits := 0
+	for lane := 0; lane < len(addrs); lane++ {
+		if mask&(1<<uint(lane)) == 0 {
+			continue
+		}
+		a := addrs[lane]
+		dup := false
+		for i := 0; i < na; i++ {
+			if addrCount[i] == a {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue // same-address lanes broadcast without conflict
+		}
+		addrCount[na] = a
+		na++
+		b := (a / WordBytes) % uint32(banks)
+		bankHits[b]++
+		if bankHits[b] > maxHits {
+			maxHits = bankHits[b]
+		}
+	}
+	if maxHits == 0 {
+		return 1
+	}
+	return maxHits
+}
+
+// ActiveLanes counts the set bits of a lane mask.
+func ActiveLanes(mask uint64) int { return bits.OnesCount64(mask) }

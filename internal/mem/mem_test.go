@@ -1,0 +1,196 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignmentAndExhaustion(t *testing.T) {
+	m := NewMemory(4096)
+	a, err := m.Alloc(100)
+	if err != nil || a%256 != 0 {
+		t.Fatalf("first alloc: %v, addr %d", err, a)
+	}
+	b, err := m.Alloc(100)
+	if err != nil || b%256 != 0 || b <= a {
+		t.Fatalf("second alloc: %v, addr %d", err, b)
+	}
+	if _, err := m.Alloc(1 << 20); err == nil {
+		t.Error("oversized alloc should fail")
+	}
+	m.Reset()
+	if m.InUse() != 0 {
+		t.Error("Reset should clear usage")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := NewMemory(1024)
+	if err := m.Store(16, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Load(16)
+	if err != nil || v != 0xdeadbeef {
+		t.Fatalf("Load = %x, %v", v, err)
+	}
+	if _, err := m.Load(2); err == nil {
+		t.Error("unaligned load should fail")
+	}
+	if err := m.Store(4096, 1); err == nil {
+		t.Error("out-of-range store should fail")
+	}
+}
+
+func TestWriteReadWords(t *testing.T) {
+	m := NewMemory(1024)
+	src := []uint32{1, 2, 3, 4}
+	if err := m.WriteWords(8, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]uint32, 4)
+	if err := m.ReadWords(8, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+	if err := m.WriteWords(1020, src); err == nil {
+		t.Error("overrunning write should fail")
+	}
+}
+
+func TestAtomicRMW(t *testing.T) {
+	m := NewMemory(64)
+	old, err := m.Atomic(0, func(o uint32) uint32 { return o + 5 })
+	if err != nil || old != 0 {
+		t.Fatalf("atomic: old=%d err=%v", old, err)
+	}
+	v, _ := m.Load(0)
+	if v != 5 {
+		t.Errorf("after atomic add: %d, want 5", v)
+	}
+}
+
+func TestCoalesceSegments(t *testing.T) {
+	// 32 lanes, unit stride, 4-byte words, 64-byte segments => 2 segments.
+	addrs := make([]uint32, 32)
+	for i := range addrs {
+		addrs[i] = uint32(i * 4)
+	}
+	full := ^uint64(0) >> 32
+	if got := CoalesceSegments(addrs, full, 64); got != 2 {
+		t.Errorf("unit stride: %d segments, want 2", got)
+	}
+	// Stride 64 bytes: every lane its own segment.
+	for i := range addrs {
+		addrs[i] = uint32(i * 64)
+	}
+	if got := CoalesceSegments(addrs, full, 64); got != 32 {
+		t.Errorf("stride 64: %d segments, want 32", got)
+	}
+	// Same address in all lanes: one segment.
+	for i := range addrs {
+		addrs[i] = 128
+	}
+	if got := CoalesceSegments(addrs, full, 64); got != 1 {
+		t.Errorf("broadcast: %d segments, want 1", got)
+	}
+	// Mask limits participation.
+	for i := range addrs {
+		addrs[i] = uint32(i * 64)
+	}
+	if got := CoalesceSegments(addrs, 0b11, 64); got != 2 {
+		t.Errorf("masked: %d segments, want 2", got)
+	}
+	if got := CoalesceSegments(addrs, 0, 64); got != 0 {
+		t.Errorf("empty mask: %d segments, want 0", got)
+	}
+}
+
+func TestCoalesceListMatchesCount(t *testing.T) {
+	f := func(raw [32]uint16, mask uint64) bool {
+		addrs := make([]uint32, 32)
+		for i, r := range raw {
+			addrs[i] = uint32(r) * 4
+		}
+		var out [64]uint32
+		n := CoalesceList(addrs, mask, 64, out[:])
+		return n == CoalesceSegments(addrs, mask, 64)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBankConflicts(t *testing.T) {
+	addrs := make([]uint32, 32)
+	full := ^uint64(0) >> 32
+	// Unit stride over 16 banks: conflict-free (factor 1 per bank pair? two
+	// lanes share each bank => factor 2 on 16 banks).
+	for i := range addrs {
+		addrs[i] = uint32(i * 4)
+	}
+	if got := BankConflictFactor(addrs, full, 32); got != 1 {
+		t.Errorf("unit stride, 32 banks: factor %d, want 1", got)
+	}
+	if got := BankConflictFactor(addrs, full, 16); got != 2 {
+		t.Errorf("unit stride, 16 banks: factor %d, want 2", got)
+	}
+	// Stride of one full bank cycle: all lanes hit bank 0.
+	for i := range addrs {
+		addrs[i] = uint32(i * 32 * 4)
+	}
+	if got := BankConflictFactor(addrs, full, 32); got != 32 {
+		t.Errorf("all same bank: factor %d, want 32", got)
+	}
+	// Broadcast: all the same address is conflict-free.
+	for i := range addrs {
+		addrs[i] = 64
+	}
+	if got := BankConflictFactor(addrs, full, 32); got != 1 {
+		t.Errorf("broadcast: factor %d, want 1", got)
+	}
+}
+
+func TestDistinctAddrs(t *testing.T) {
+	addrs := []uint32{0, 0, 4, 8, 4, 0}
+	if got := DistinctAddrs(addrs, 0b111111); got != 3 {
+		t.Errorf("distinct = %d, want 3", got)
+	}
+	if got := DistinctAddrs(addrs, 0b000011); got != 1 {
+		t.Errorf("masked distinct = %d, want 1", got)
+	}
+}
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(1024, 64)
+	if c.Access(0) {
+		t.Error("cold access should miss")
+	}
+	if !c.Access(4) {
+		t.Error("same-line access should hit")
+	}
+	// 1024/64 = 16 sets; address 1024 maps onto set 0 again -> evicts.
+	c.Access(1024)
+	if c.Access(0) {
+		t.Error("evicted line should miss")
+	}
+	if c.Hits != 1 || c.Misses != 3 {
+		t.Errorf("hits/misses = %d/%d, want 1/3", c.Hits, c.Misses)
+	}
+	if r := c.HitRate(); r != 0.25 {
+		t.Errorf("hit rate = %g, want 0.25", r)
+	}
+	c.Invalidate()
+	if c.Access(1024) {
+		t.Error("access after invalidate should miss")
+	}
+}
+
+func TestActiveLanes(t *testing.T) {
+	if ActiveLanes(0) != 0 || ActiveLanes(0b1011) != 3 {
+		t.Error("ActiveLanes wrong")
+	}
+}

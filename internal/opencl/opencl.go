@@ -1,0 +1,404 @@
+// Package opencl is the OpenCL-style host runtime over the simulator:
+// platform/device discovery by CL device type, contexts, command queues
+// with profiling, buffer objects, program building through the OpenCL
+// front-end personality, and NDRange kernel launches. Unlike the cuda
+// package it runs on every modelled device — the NVIDIA GPUs, the HD5870,
+// the Intel920 CPU, and the Cell/BE — which is what Section V of the paper
+// exercises.
+package opencl
+
+import (
+	"fmt"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/compiler"
+	"gpucmp/internal/kir"
+	"gpucmp/internal/perfmodel"
+	"gpucmp/internal/ptx"
+	"gpucmp/internal/sim"
+)
+
+// DeviceType selects devices the way clGetDeviceIDs does.
+type DeviceType int
+
+const (
+	DeviceTypeGPU DeviceType = 1 << iota
+	DeviceTypeCPU
+	DeviceTypeAccelerator
+	DeviceTypeAll DeviceType = DeviceTypeGPU | DeviceTypeCPU | DeviceTypeAccelerator
+)
+
+// String renders the CL constant name.
+func (t DeviceType) String() string {
+	switch t {
+	case DeviceTypeGPU:
+		return "CL_DEVICE_TYPE_GPU"
+	case DeviceTypeCPU:
+		return "CL_DEVICE_TYPE_CPU"
+	case DeviceTypeAccelerator:
+		return "CL_DEVICE_TYPE_ACCELERATOR"
+	case DeviceTypeAll:
+		return "CL_DEVICE_TYPE_ALL"
+	default:
+		return fmt.Sprintf("DeviceType(%d)", int(t))
+	}
+}
+
+// Err is an OpenCL error code.
+type Err int
+
+// The error codes the paper's portability study runs into.
+const (
+	Success              Err = 0
+	ErrDeviceNotFound    Err = -1
+	ErrOutOfResources    Err = -5
+	ErrInvalidWorkGroup  Err = -54
+	ErrInvalidKernelArgs Err = -52
+	ErrInvalidValue      Err = -30
+)
+
+// Error implements error.
+func (e Err) Error() string {
+	switch e {
+	case Success:
+		return "CL_SUCCESS"
+	case ErrDeviceNotFound:
+		return "CL_DEVICE_NOT_FOUND"
+	case ErrOutOfResources:
+		return "CL_OUT_OF_RESOURCES"
+	case ErrInvalidWorkGroup:
+		return "CL_INVALID_WORK_GROUP_SIZE"
+	case ErrInvalidKernelArgs:
+		return "CL_INVALID_KERNEL_ARGS"
+	case ErrInvalidValue:
+		return "CL_INVALID_VALUE"
+	default:
+		return fmt.Sprintf("CL_ERROR(%d)", int(e))
+	}
+}
+
+// Device is one OpenCL device of the platform.
+type Device struct {
+	Arch *arch.Device
+}
+
+// Type maps the architecture kind to a CL device type.
+func (d *Device) Type() DeviceType {
+	switch d.Arch.Kind {
+	case arch.KindGPU:
+		return DeviceTypeGPU
+	case arch.KindCPU:
+		return DeviceTypeCPU
+	default:
+		return DeviceTypeAccelerator
+	}
+}
+
+// GetDeviceIDs lists the platform's devices matching the requested type,
+// mirroring clGetDeviceIDs. With DeviceTypeAll every modelled device is
+// returned (the vendor-independent choice Section V recommends).
+func GetDeviceIDs(t DeviceType) ([]*Device, error) {
+	var out []*Device
+	for _, a := range arch.All() {
+		d := &Device{Arch: a}
+		if d.Type()&t != 0 {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		return nil, ErrDeviceNotFound
+	}
+	return out, nil
+}
+
+// Context owns one device's simulation state.
+type Context struct {
+	dev *sim.Device
+	tc  *perfmodel.Toolchain
+}
+
+// CreateContext builds a context on the device.
+func CreateContext(d *Device) (*Context, error) {
+	s, err := sim.NewDevice(d.Arch)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{dev: s, tc: perfmodel.OpenCLToolchain()}, nil
+}
+
+// Device exposes the simulated device.
+func (c *Context) Device() *sim.Device { return c.dev }
+
+// Arch returns the device description.
+func (c *Context) Arch() *arch.Device { return c.dev.Arch }
+
+// Buffer is a cl_mem object.
+type Buffer struct {
+	Addr uint32
+	Size uint32
+}
+
+// CreateBuffer allocates device memory.
+func (c *Context) CreateBuffer(bytes uint32) (Buffer, error) {
+	addr, err := c.dev.Global.Alloc(bytes)
+	if err != nil {
+		return Buffer{}, fmt.Errorf("%w: %v", ErrOutOfResources, err)
+	}
+	return Buffer{Addr: addr, Size: bytes}, nil
+}
+
+// Program is a set of kernels being built for one context.
+type Program struct {
+	ctx     *Context
+	kernels []*kir.Kernel
+	mod     *ptx.Module
+}
+
+// CreateProgram registers KIR source kernels (the analogue of
+// clCreateProgramWithSource).
+func (c *Context) CreateProgram(kernels ...*kir.Kernel) *Program {
+	return &Program{ctx: c, kernels: kernels}
+}
+
+// Build compiles the program with the OpenCL front-end personality.
+func (p *Program) Build() error {
+	m, err := compiler.CompileModule("program", p.kernels, compiler.OpenCL())
+	if err != nil {
+		return err
+	}
+	p.mod = m
+	return nil
+}
+
+// Kernel is a cl_kernel with bound arguments.
+type Kernel struct {
+	prog *Program
+	k    *ptx.Kernel
+	args []argSlot
+}
+
+type argSlot struct {
+	set   bool
+	isBuf bool
+	val   uint32
+	buf   Buffer
+}
+
+// CreateKernel looks up a built kernel.
+func (p *Program) CreateKernel(name string) (*Kernel, error) {
+	if p.mod == nil {
+		return nil, fmt.Errorf("opencl: program not built")
+	}
+	k, err := p.mod.Kernel(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Kernel{prog: p, k: k, args: make([]argSlot, len(k.Params))}, nil
+}
+
+// PTX exposes the compiled kernel (used by the statistics tooling).
+func (k *Kernel) PTX() *ptx.Kernel { return k.k }
+
+// SetArgBuffer binds a buffer argument.
+func (k *Kernel) SetArgBuffer(i int, b Buffer) error {
+	if i < 0 || i >= len(k.args) {
+		return ErrInvalidValue
+	}
+	k.args[i] = argSlot{set: true, isBuf: true, buf: b}
+	return nil
+}
+
+// SetArgU32 binds a scalar argument.
+func (k *Kernel) SetArgU32(i int, v uint32) error {
+	if i < 0 || i >= len(k.args) {
+		return ErrInvalidValue
+	}
+	k.args[i] = argSlot{set: true, val: v}
+	return nil
+}
+
+// SetArgF32 binds a float scalar argument.
+func (k *Kernel) SetArgF32(i int, v float32) error {
+	return k.SetArgU32(i, floatBits(v))
+}
+
+// SetArgI32 binds a signed scalar argument.
+func (k *Kernel) SetArgI32(i int, v int32) error {
+	return k.SetArgU32(i, uint32(v))
+}
+
+// Event carries profiling information for one enqueued command.
+type Event struct {
+	// Queued->Start is the launch overhead; Start->End the execution.
+	QueueTime float64
+	RunTime   float64
+	Trace     *sim.Trace
+	Breakdown perfmodel.Breakdown
+}
+
+// Duration returns the command's execution time (CL_PROFILING_COMMAND_START
+// to CL_PROFILING_COMMAND_END).
+func (e *Event) Duration() float64 { return e.RunTime }
+
+// CommandQueue serialises commands on one device and accumulates the
+// simulated clock.
+type CommandQueue struct {
+	ctx        *Context
+	elapsed    float64
+	kernelTime float64
+	traces     []*sim.Trace
+	breakdowns []perfmodel.Breakdown
+	constOffs  map[uint32]uint32
+}
+
+// CreateCommandQueue makes a profiling-enabled queue.
+func (c *Context) CreateCommandQueue() *CommandQueue {
+	return &CommandQueue{ctx: c, constOffs: make(map[uint32]uint32)}
+}
+
+// EnqueueWriteBuffer copies host words into a buffer.
+func (q *CommandQueue) EnqueueWriteBuffer(dst Buffer, src []uint32) error {
+	if uint32(4*len(src)) > dst.Size {
+		return ErrInvalidValue
+	}
+	if err := q.ctx.dev.Global.WriteWords(dst.Addr, src); err != nil {
+		return err
+	}
+	q.elapsed += perfmodel.TransferTime(q.ctx.tc, int64(4*len(src)))
+	return nil
+}
+
+// EnqueueReadBuffer copies a buffer back to host words.
+func (q *CommandQueue) EnqueueReadBuffer(dst []uint32, src Buffer) error {
+	if uint32(4*len(dst)) > src.Size {
+		return ErrInvalidValue
+	}
+	if err := q.ctx.dev.Global.ReadWords(src.Addr, dst); err != nil {
+		return err
+	}
+	q.elapsed += perfmodel.TransferTime(q.ctx.tc, int64(4*len(dst)))
+	return nil
+}
+
+// EnqueueNDRangeKernel launches the kernel. globalSize is the total
+// work-item count per dimension (OpenCL semantics — the NDRange/GridDim
+// distinction the paper points out in Section IV-B1); localSize divides it.
+func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, globalSize, localSize sim.Dim3) (*Event, error) {
+	if localSize.X <= 0 || localSize.Y <= 0 ||
+		globalSize.X%localSize.X != 0 || globalSize.Y%localSize.Y != 0 {
+		return nil, ErrInvalidWorkGroup
+	}
+	grid := sim.Dim3{X: globalSize.X / localSize.X, Y: globalSize.Y / localSize.Y}
+	raw := make([]uint32, len(k.args))
+	for i, a := range k.args {
+		if !a.set {
+			return nil, ErrInvalidKernelArgs
+		}
+		p := k.k.Params[i]
+		switch {
+		case p.Pointer && p.Space == ptx.SpaceConst:
+			if !a.isBuf {
+				return nil, ErrInvalidKernelArgs
+			}
+			off, err := q.stageConst(a.buf)
+			if err != nil {
+				return nil, err
+			}
+			raw[i] = off
+		case p.Pointer:
+			if !a.isBuf {
+				return nil, ErrInvalidKernelArgs
+			}
+			raw[i] = a.buf.Addr
+		default:
+			if a.isBuf {
+				return nil, ErrInvalidKernelArgs
+			}
+			raw[i] = a.val
+		}
+	}
+	tr, err := q.ctx.dev.Launch(k.k, grid, localSize, raw)
+	if err != nil {
+		return nil, mapSimError(err)
+	}
+	b := perfmodel.KernelTime(q.ctx.dev.Arch, q.ctx.tc, tr)
+	q.traces = append(q.traces, tr)
+	q.breakdowns = append(q.breakdowns, b)
+	q.elapsed += b.Total
+	q.kernelTime += b.Total
+	return &Event{
+		QueueTime: b.Launch,
+		RunTime:   b.Total - b.Launch,
+		Trace:     tr,
+		Breakdown: b,
+	}, nil
+}
+
+func (q *CommandQueue) stageConst(buf Buffer) (uint32, error) {
+	off, ok := q.constOffs[buf.Addr]
+	if !ok {
+		var err error
+		off, err = q.ctx.dev.ConstAlloc(buf.Size)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrOutOfResources, err)
+		}
+		q.constOffs[buf.Addr] = off
+	}
+	words := make([]uint32, buf.Size/4)
+	if err := q.ctx.dev.Global.ReadWords(buf.Addr, words); err != nil {
+		return 0, err
+	}
+	if err := q.ctx.dev.ConstWrite(off, words); err != nil {
+		return 0, err
+	}
+	return off, nil
+}
+
+// Elapsed returns end-to-end simulated seconds since the last ResetTimer.
+func (q *CommandQueue) Elapsed() float64 { return q.elapsed }
+
+// KernelTime returns kernel-only simulated seconds.
+func (q *CommandQueue) KernelTime() float64 { return q.kernelTime }
+
+// Traces returns the launch traces since the last ResetTimer.
+func (q *CommandQueue) Traces() []*sim.Trace { return q.traces }
+
+// Breakdowns returns the per-launch timing decompositions.
+func (q *CommandQueue) Breakdowns() []perfmodel.Breakdown { return q.breakdowns }
+
+// ResetTimer clears the simulated clock and trace history.
+func (q *CommandQueue) ResetTimer() {
+	q.elapsed = 0
+	q.kernelTime = 0
+	q.traces = nil
+	q.breakdowns = nil
+}
+
+// DeviceInfo mirrors the clGetDeviceInfo attributes the paper's host
+// programs query when selecting and configuring devices.
+type DeviceInfo struct {
+	Name                 string
+	Vendor               string
+	Type                 DeviceType
+	MaxComputeUnits      int
+	MaxWorkGroupSize     int
+	GlobalMemSize        uint64
+	LocalMemSize         uint64
+	MaxConstantBufferLen uint64
+	PreferredWavefront   int
+}
+
+// Info returns the device's attributes.
+func (d *Device) Info() DeviceInfo {
+	return DeviceInfo{
+		Name:                 d.Arch.Name,
+		Vendor:               d.Arch.Vendor,
+		Type:                 d.Type(),
+		MaxComputeUnits:      d.Arch.ComputeUnits,
+		MaxWorkGroupSize:     d.Arch.MaxWorkGroupSize,
+		GlobalMemSize:        uint64(d.Arch.MemoryGB * float64(1<<30)),
+		LocalMemSize:         uint64(d.Arch.SharedMemPerUnit),
+		MaxConstantBufferLen: 64 * 1024,
+		PreferredWavefront:   d.Arch.SIMDWidth,
+	}
+}

@@ -1,0 +1,219 @@
+package opencl
+
+import (
+	"errors"
+	"testing"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/kir"
+	"gpucmp/internal/sim"
+)
+
+func doubleKernel() *kir.Kernel {
+	b := kir.NewKernel("double")
+	in := b.GlobalBuffer("in", kir.U32)
+	out := b.GlobalBuffer("out", kir.U32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	b.Store(out, gid, kir.Mul(b.Load(in, gid), kir.U(2)))
+	return b.MustBuild()
+}
+
+func TestGetDeviceIDsFilters(t *testing.T) {
+	gpus, err := GetDeviceIDs(DeviceTypeGPU)
+	if err != nil || len(gpus) != 3 {
+		t.Fatalf("GPU devices = %d (%v), want 3", len(gpus), err)
+	}
+	cpus, err := GetDeviceIDs(DeviceTypeCPU)
+	if err != nil || len(cpus) != 1 || cpus[0].Arch.Name != arch.Intel920().Name {
+		t.Fatalf("CPU devices wrong: %v, %v", cpus, err)
+	}
+	accs, err := GetDeviceIDs(DeviceTypeAccelerator)
+	if err != nil || len(accs) != 1 || accs[0].Arch.Name != arch.CellBE().Name {
+		t.Fatalf("accelerator devices wrong: %v, %v", accs, err)
+	}
+	all, err := GetDeviceIDs(DeviceTypeAll)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("ALL devices = %d, want 5", len(all))
+	}
+	if _, err := GetDeviceIDs(0); !errors.Is(err, ErrDeviceNotFound) {
+		t.Error("empty selector should report CL_DEVICE_NOT_FOUND")
+	}
+}
+
+func TestDeviceTypeStrings(t *testing.T) {
+	if DeviceTypeGPU.String() != "CL_DEVICE_TYPE_GPU" ||
+		DeviceTypeCPU.String() != "CL_DEVICE_TYPE_CPU" ||
+		DeviceTypeAccelerator.String() != "CL_DEVICE_TYPE_ACCELERATOR" ||
+		DeviceTypeAll.String() != "CL_DEVICE_TYPE_ALL" {
+		t.Error("device type names wrong")
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	if ErrOutOfResources.Error() != "CL_OUT_OF_RESOURCES" {
+		t.Error("error string wrong")
+	}
+	if ErrInvalidWorkGroup.Error() != "CL_INVALID_WORK_GROUP_SIZE" {
+		t.Error("error string wrong")
+	}
+	if Success.Error() != "CL_SUCCESS" {
+		t.Error("error string wrong")
+	}
+}
+
+func TestProgramBuildAndNDRange(t *testing.T) {
+	devs, _ := GetDeviceIDs(DeviceTypeGPU)
+	ctx, err := CreateContext(devs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.CreateCommandQueue()
+	prog := ctx.CreateProgram(doubleKernel())
+	if _, err := prog.CreateKernel("double"); err == nil {
+		t.Error("kernel creation before Build should fail")
+	}
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("double")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.PTX().Toolchain != "opencl" {
+		t.Error("program must build with the OpenCL front-end")
+	}
+
+	const n = 512
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = uint32(i)
+	}
+	inBuf, err := ctx.CreateBuffer(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outBuf, _ := ctx.CreateBuffer(4 * n)
+	if err := q.EnqueueWriteBuffer(inBuf, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgBuffer(0, inBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgBuffer(1, outBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	ev, err := q.EnqueueNDRangeKernel(k, sim.Dim3{X: n, Y: 1}, sim.Dim3{X: 128, Y: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Duration() <= 0 || ev.QueueTime <= 0 {
+		t.Error("event profiling times must be positive")
+	}
+	if ev.Trace == nil {
+		t.Error("event should carry the trace")
+	}
+	got := make([]uint32, n)
+	if err := q.EnqueueReadBuffer(got, outBuf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != in[i]*2 {
+			t.Fatalf("out[%d] = %d, want %d", i, got[i], in[i]*2)
+		}
+	}
+	if q.KernelTime() <= 0 || q.Elapsed() <= q.KernelTime() {
+		t.Error("queue clock accounting wrong")
+	}
+	if len(q.Breakdowns()) != 1 {
+		t.Error("breakdown bookkeeping wrong")
+	}
+	q.ResetTimer()
+	if q.Elapsed() != 0 || len(q.Traces()) != 0 {
+		t.Error("ResetTimer did not clear")
+	}
+}
+
+func TestNDRangeValidation(t *testing.T) {
+	devs, _ := GetDeviceIDs(DeviceTypeGPU)
+	ctx, _ := CreateContext(devs[0])
+	q := ctx.CreateCommandQueue()
+	prog := ctx.CreateProgram(doubleKernel())
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	k, _ := prog.CreateKernel("double")
+	buf, _ := ctx.CreateBuffer(1024)
+	k.SetArgBuffer(0, buf)
+
+	// Unset argument.
+	if _, err := q.EnqueueNDRangeKernel(k, sim.Dim3{X: 128, Y: 1}, sim.Dim3{X: 128, Y: 1}); !errors.Is(err, ErrInvalidKernelArgs) {
+		t.Errorf("unset arg: %v", err)
+	}
+	k.SetArgBuffer(1, buf)
+	// Global size not divisible by local size.
+	if _, err := q.EnqueueNDRangeKernel(k, sim.Dim3{X: 100, Y: 1}, sim.Dim3{X: 64, Y: 1}); !errors.Is(err, ErrInvalidWorkGroup) {
+		t.Errorf("non-divisible NDRange: %v", err)
+	}
+	// Scalar bound to a buffer slot.
+	k.SetArgU32(0, 5)
+	if _, err := q.EnqueueNDRangeKernel(k, sim.Dim3{X: 128, Y: 1}, sim.Dim3{X: 128, Y: 1}); !errors.Is(err, ErrInvalidKernelArgs) {
+		t.Errorf("scalar for buffer: %v", err)
+	}
+	// Bad argument index.
+	if err := k.SetArgU32(9, 1); !errors.Is(err, ErrInvalidValue) {
+		t.Errorf("bad index: %v", err)
+	}
+}
+
+func TestWorkGroupTooLargeMapsToCLError(t *testing.T) {
+	ctx, err := CreateContext(&Device{Arch: arch.CellBE()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.CreateCommandQueue()
+	prog := ctx.CreateProgram(doubleKernel())
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	k, _ := prog.CreateKernel("double")
+	buf, _ := ctx.CreateBuffer(4 * 1024)
+	k.SetArgBuffer(0, buf)
+	k.SetArgBuffer(1, buf)
+	_, err = q.EnqueueNDRangeKernel(k, sim.Dim3{X: 1024, Y: 1}, sim.Dim3{X: 1024, Y: 1})
+	if !errors.Is(err, ErrInvalidWorkGroup) {
+		t.Errorf("oversized work-group: %v, want CL_INVALID_WORK_GROUP_SIZE", err)
+	}
+}
+
+func TestDeviceTypeOfEachArch(t *testing.T) {
+	if (&Device{Arch: arch.GTX280()}).Type() != DeviceTypeGPU {
+		t.Error("GTX280 should be a GPU device")
+	}
+	if (&Device{Arch: arch.Intel920()}).Type() != DeviceTypeCPU {
+		t.Error("Intel920 should be a CPU device")
+	}
+	if (&Device{Arch: arch.CellBE()}).Type() != DeviceTypeAccelerator {
+		t.Error("Cell/BE should be an accelerator device")
+	}
+}
+
+func TestDeviceInfo(t *testing.T) {
+	info := (&Device{Arch: arch.GTX280()}).Info()
+	if info.Name != arch.GTX280().Name || info.Vendor != "NVIDIA" {
+		t.Error("identity fields wrong")
+	}
+	if info.MaxComputeUnits != 30 || info.MaxWorkGroupSize != 512 {
+		t.Errorf("limits wrong: %+v", info)
+	}
+	if info.GlobalMemSize != 1<<30 {
+		t.Errorf("global mem = %d, want 1 GiB", info.GlobalMemSize)
+	}
+	if info.PreferredWavefront != 32 {
+		t.Error("wavefront width wrong")
+	}
+	cpu := (&Device{Arch: arch.Intel920()}).Info()
+	if cpu.Type != DeviceTypeCPU || cpu.PreferredWavefront != 64 {
+		t.Errorf("CPU info wrong: %+v", cpu)
+	}
+}

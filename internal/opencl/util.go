@@ -1,0 +1,43 @@
+package opencl
+
+import (
+	"errors"
+	"math"
+
+	"gpucmp/internal/sim"
+)
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+
+// F32Words converts a float slice to raw words for buffer transfers.
+func F32Words(src []float32) []uint32 {
+	out := make([]uint32, len(src))
+	for i, f := range src {
+		out[i] = math.Float32bits(f)
+	}
+	return out
+}
+
+// WordsF32 converts raw words back to floats.
+func WordsF32(src []uint32) []float32 {
+	out := make([]float32, len(src))
+	for i, w := range src {
+		out[i] = math.Float32frombits(w)
+	}
+	return out
+}
+
+// mapSimError translates simulator launch failures into CL error codes,
+// preserving the original as wrapped context.
+func mapSimError(err error) error {
+	switch {
+	case errors.Is(err, sim.ErrOutOfResources):
+		return errors.Join(ErrOutOfResources, err)
+	case errors.Is(err, sim.ErrInvalidWorkGroupSize):
+		return errors.Join(ErrInvalidWorkGroup, err)
+	case errors.Is(err, sim.ErrInvalidConfig):
+		return errors.Join(ErrInvalidValue, err)
+	default:
+		return err
+	}
+}

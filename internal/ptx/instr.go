@@ -1,0 +1,225 @@
+package ptx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ScalarType is the operand interpretation of an instruction. All registers
+// are 32-bit slots; the type decides how their bit patterns are combined.
+type ScalarType int
+
+const (
+	B32  ScalarType = iota // raw bits
+	U32                    // unsigned integer
+	S32                    // signed integer
+	F32                    // IEEE-754 single precision
+	Pred                   // predicate (0 or 1)
+)
+
+// String returns the PTX type suffix.
+func (t ScalarType) String() string {
+	switch t {
+	case B32:
+		return "b32"
+	case U32:
+		return "u32"
+	case S32:
+		return "s32"
+	case F32:
+		return "f32"
+	case Pred:
+		return "pred"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Space is a PTX state space for loads, stores and atomics.
+type Space int
+
+const (
+	SpaceNone   Space = iota
+	SpaceParam        // kernel parameter bank (CUDA style)
+	SpaceConst        // constant memory
+	SpaceGlobal       // device global memory
+	SpaceShared       // per-block shared (OpenCL: local) memory
+	SpaceLocal        // per-thread local (spill) memory
+	SpaceTex          // texture path (reads only, through the texture cache)
+)
+
+// String returns the PTX space suffix.
+func (s Space) String() string {
+	switch s {
+	case SpaceNone:
+		return ""
+	case SpaceParam:
+		return "param"
+	case SpaceConst:
+		return "const"
+	case SpaceGlobal:
+		return "global"
+	case SpaceShared:
+		return "shared"
+	case SpaceLocal:
+		return "local"
+	case SpaceTex:
+		return "tex"
+	default:
+		return fmt.Sprintf("space(%d)", int(s))
+	}
+}
+
+// Reg is a virtual register index. NoReg marks an absent register operand.
+type Reg int32
+
+// NoReg marks an unused register slot (e.g. no guard predicate).
+const NoReg Reg = -1
+
+// Operand is a register, a 32-bit immediate (raw bit pattern), or a
+// read-only special register.
+type Operand struct {
+	IsImm  bool
+	IsSpec bool
+	Reg    Reg
+	Imm    uint32
+	Spec   SpecialReg
+}
+
+// Sp returns a special-register operand.
+func Sp(s SpecialReg) Operand { return Operand{IsSpec: true, Spec: s} }
+
+// R returns a register operand.
+func R(r Reg) Operand { return Operand{Reg: r} }
+
+// ImmU returns an unsigned-integer immediate operand.
+func ImmU(v uint32) Operand { return Operand{IsImm: true, Imm: v} }
+
+// ImmI returns a signed-integer immediate operand.
+func ImmI(v int32) Operand { return Operand{IsImm: true, Imm: uint32(v)} }
+
+// String renders the operand as PTX text.
+func (o Operand) String() string {
+	switch {
+	case o.IsImm:
+		return fmt.Sprintf("0x%x", o.Imm)
+	case o.IsSpec:
+		return o.Spec.String()
+	default:
+		return fmt.Sprintf("%%r%d", o.Reg)
+	}
+}
+
+// Instruction is one virtual-ISA instruction. Loads and stores address
+// memory as Src[0] (base register, a byte address) plus Off. Branches carry
+// a Target pc and the Join pc (the immediate post-dominator) used by the
+// SIMT reconvergence stack.
+type Instruction struct {
+	Op     Opcode
+	Typ    ScalarType
+	SrcTyp ScalarType // cvt only: source interpretation
+	Cmp    CmpOp      // setp only
+	Atom   AtomOp     // atom only
+
+	Dst Reg
+	Src [3]Operand
+
+	Space Space // ld/st/atom/tex
+	Off   int32 // byte offset for ld/st/atom
+
+	Target int // bra: target pc
+	Join   int // bra: reconvergence pc
+
+	// Guard predicate: when GuardPred != NoReg the instruction only
+	// executes in lanes where the predicate (xor GuardNeg) is true.
+	GuardPred Reg
+	GuardNeg  bool
+}
+
+// NewInstruction returns an instruction with no guard predicate.
+func NewInstruction(op Opcode) Instruction {
+	return Instruction{Op: op, Dst: NoReg, GuardPred: NoReg,
+		Src: [3]Operand{{Reg: NoReg}, {Reg: NoReg}, {Reg: NoReg}}}
+}
+
+// IsMemory reports whether the instruction touches a memory space.
+func (in *Instruction) IsMemory() bool {
+	switch in.Op {
+	case OpLd, OpSt, OpTex, OpAtom:
+		return true
+	}
+	return false
+}
+
+// Mnemonic returns the dotted PTX-style mnemonic, e.g. "ld.global.f32".
+func (in *Instruction) Mnemonic() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	switch in.Op {
+	case OpLd, OpSt:
+		b.WriteByte('.')
+		b.WriteString(in.Space.String())
+	case OpTex:
+		b.WriteString(".1d")
+	case OpAtom:
+		b.WriteByte('.')
+		b.WriteString(in.Space.String())
+		b.WriteByte('.')
+		b.WriteString(in.Atom.String())
+	case OpSetp:
+		b.WriteByte('.')
+		b.WriteString(in.Cmp.String())
+	case OpBar:
+		b.WriteString(".sync")
+	}
+	switch in.Op {
+	case OpBra, OpBar, OpRet:
+	case OpCvt:
+		b.WriteByte('.')
+		b.WriteString(in.Typ.String())
+		b.WriteByte('.')
+		b.WriteString(in.SrcTyp.String())
+	default:
+		b.WriteByte('.')
+		b.WriteString(in.Typ.String())
+	}
+	return b.String()
+}
+
+// String renders the instruction as one line of PTX-like assembly.
+func (in *Instruction) String() string {
+	var b strings.Builder
+	if in.GuardPred != NoReg {
+		if in.GuardNeg {
+			fmt.Fprintf(&b, "@!%%p%d ", in.GuardPred)
+		} else {
+			fmt.Fprintf(&b, "@%%p%d ", in.GuardPred)
+		}
+	}
+	b.WriteString(in.Mnemonic())
+	switch in.Op {
+	case OpBra:
+		fmt.Fprintf(&b, " L%d, J%d", in.Target, in.Join)
+	case OpBar, OpRet:
+	case OpLd, OpTex:
+		fmt.Fprintf(&b, " %%r%d, [%s+%d]", in.Dst, in.Src[0], in.Off)
+	case OpSt:
+		fmt.Fprintf(&b, " [%s+%d], %s", in.Src[0], in.Off, in.Src[1])
+	case OpAtom:
+		fmt.Fprintf(&b, " %%r%d, [%s+%d], %s", in.Dst, in.Src[0], in.Off, in.Src[1])
+	case OpSetp:
+		fmt.Fprintf(&b, " %%p%d, %s, %s", in.Dst, in.Src[0], in.Src[1])
+	case OpSelp:
+		fmt.Fprintf(&b, " %%r%d, %s, %s, %%p%d", in.Dst, in.Src[0], in.Src[1], in.Src[2].Reg)
+	default:
+		fmt.Fprintf(&b, " %%r%d", in.Dst)
+		for _, s := range in.Src {
+			if !s.IsImm && s.Reg == NoReg {
+				break
+			}
+			b.WriteString(", ")
+			b.WriteString(s.String())
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package ptx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Param describes one kernel parameter. Pointer parameters carry the state
+// space their pointee lives in (global, constant, or texture); value
+// parameters are 32-bit scalars.
+type Param struct {
+	Name    string
+	Pointer bool
+	Space   Space // for pointers: SpaceGlobal, SpaceConst or SpaceTex
+	Type    ScalarType
+}
+
+// Kernel is one compiled entry point.
+type Kernel struct {
+	Name      string
+	Toolchain string // "cuda" or "opencl": which front-end produced it
+	Params    []Param
+	Instrs    []Instruction
+
+	// Resource footprint, filled in by the compiler; the runtimes check it
+	// against device limits (the Table VI CL_OUT_OF_RESOURCES path) and the
+	// performance model derives occupancy from it.
+	// FrontEndStats is a static instruction census taken before the
+	// back-end optimiser ran — the "PTX text" view that the paper's
+	// Table V tabulates. Instrs holds the post-back-end code the
+	// simulator executes.
+	FrontEndStats *Stats
+
+	NumRegs     int // 32-bit registers per thread (includes predicates)
+	SharedBytes int // static shared memory per work-group
+	LocalBytes  int // per-thread local (spill) memory
+	ConstBytes  int // constant-bank bytes used for parameters
+
+	// WarpWidthAssumption is non-zero when the kernel source bakes in a
+	// hardware warp width (the RdxS implementation assumes 32). Running on
+	// a device with a different SIMD width produces wrong results rather
+	// than an error — the Table VI "FL" entries.
+	WarpWidthAssumption int
+}
+
+// Validate checks structural invariants: branch targets in range, register
+// indices within NumRegs, and parameter references in range.
+func (k *Kernel) Validate() error {
+	n := len(k.Instrs)
+	checkReg := func(r Reg, pc int, what string) error {
+		if r == NoReg {
+			return nil
+		}
+		if r < 0 || int(r) >= k.NumRegs {
+			return fmt.Errorf("ptx: %s: pc %d: %s register %d out of range [0,%d)", k.Name, pc, what, r, k.NumRegs)
+		}
+		return nil
+	}
+	for pc := range k.Instrs {
+		in := &k.Instrs[pc]
+		if in.Op <= OpInvalid || in.Op >= numOpcodes {
+			return fmt.Errorf("ptx: %s: pc %d: invalid opcode", k.Name, pc)
+		}
+		if in.Op == OpBra {
+			if in.Target < 0 || in.Target > n {
+				return fmt.Errorf("ptx: %s: pc %d: branch target %d out of range", k.Name, pc, in.Target)
+			}
+			if in.Join < 0 || in.Join > n {
+				return fmt.Errorf("ptx: %s: pc %d: join %d out of range", k.Name, pc, in.Join)
+			}
+		}
+		if err := checkReg(in.Dst, pc, "dst"); err != nil {
+			return err
+		}
+		if err := checkReg(in.GuardPred, pc, "guard"); err != nil {
+			return err
+		}
+		for i, s := range in.Src {
+			if !s.IsImm && !s.IsSpec {
+				if err := checkReg(s.Reg, pc, fmt.Sprintf("src%d", i)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the kernel as PTX-like text, one instruction per line
+// with pc labels, as consumed by cmd/ptxstat for side-by-side inspection.
+func (k *Kernel) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".entry %s  // toolchain=%s regs=%d shared=%dB local=%dB\n",
+		k.Name, k.Toolchain, k.NumRegs, k.SharedBytes, k.LocalBytes)
+	for _, p := range k.Params {
+		kind := p.Type.String()
+		if p.Pointer {
+			kind = "ptr." + p.Space.String()
+		}
+		fmt.Fprintf(&b, "  .param %s %s\n", kind, p.Name)
+	}
+	for pc := range k.Instrs {
+		fmt.Fprintf(&b, "L%-4d %s\n", pc, k.Instrs[pc].String())
+	}
+	return b.String()
+}
+
+// StaticStats counts the kernel's instructions per opcode/class without
+// executing it — this is exactly what the paper's Table V tabulates for the
+// FFT "forward" kernel.
+func (k *Kernel) StaticStats() *Stats {
+	s := NewStats()
+	for pc := range k.Instrs {
+		s.Count(&k.Instrs[pc], 1)
+	}
+	return s
+}
+
+// Module is a set of kernels produced by one front-end from one source
+// program, mirroring a CUDA module / OpenCL program object.
+type Module struct {
+	Name    string
+	Kernels map[string]*Kernel
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, Kernels: make(map[string]*Kernel)}
+}
+
+// Add inserts a kernel, replacing any previous kernel of the same name.
+func (m *Module) Add(k *Kernel) { m.Kernels[k.Name] = k }
+
+// Kernel returns the named kernel or an error.
+func (m *Module) Kernel(name string) (*Kernel, error) {
+	k, ok := m.Kernels[name]
+	if !ok {
+		return nil, fmt.Errorf("ptx: module %s has no kernel %q", m.Name, name)
+	}
+	return k, nil
+}

@@ -1,0 +1,207 @@
+// Package ptx defines the PTX-like virtual instruction set the simulator
+// executes. It mirrors the subset of NVIDIA's PTX ISA that the paper's
+// Table V accounts for: arithmetic, logic/shift, data movement (including
+// loads and stores qualified by memory space), flow control, and
+// synchronization. Kernels in this ISA are produced by the two front-ends
+// in internal/compiler from a shared kernel IR, interpreted functionally by
+// internal/sim, and statically/dynamically counted to regenerate Table V.
+package ptx
+
+import "fmt"
+
+// Opcode enumerates the virtual ISA.
+type Opcode int
+
+const (
+	OpInvalid Opcode = iota
+
+	// Arithmetic.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpFma
+	OpMad
+	OpNeg
+	OpAbs
+	OpMin
+	OpMax
+	OpSqrt
+	OpRsqrt
+	OpSin
+	OpCos
+	OpEx2
+	OpLg2
+
+	// Logic and shift.
+	OpAnd
+	OpOr
+	OpNot
+	OpXor
+	OpShl
+	OpShr
+
+	// Data movement.
+	OpMov
+	OpCvt
+	OpLd
+	OpSt
+	OpTex // texture fetch: a global read through the texture cache path
+
+	// Flow control.
+	OpSetp
+	OpSelp
+	OpBra
+	OpRet
+
+	// Synchronization and atomics.
+	OpBar
+	OpAtom
+
+	numOpcodes
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpFma: "fma", OpMad: "mad", OpNeg: "neg", OpAbs: "abs",
+	OpMin: "min", OpMax: "max", OpSqrt: "sqrt", OpRsqrt: "rsqrt",
+	OpSin: "sin", OpCos: "cos", OpEx2: "ex2", OpLg2: "lg2",
+	OpAnd: "and", OpOr: "or", OpNot: "not", OpXor: "xor",
+	OpShl: "shl", OpShr: "shr",
+	OpMov: "mov", OpCvt: "cvt", OpLd: "ld", OpSt: "st", OpTex: "tex",
+	OpSetp: "setp", OpSelp: "selp", OpBra: "bra", OpRet: "ret",
+	OpBar: "bar", OpAtom: "atom",
+}
+
+// String returns the PTX mnemonic.
+func (o Opcode) String() string {
+	if o > OpInvalid && int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Class is the Table V instruction category.
+type Class int
+
+const (
+	// ClassArithmetic covers add/sub/mul/div/fma/mad/neg and the
+	// transcendental helpers.
+	ClassArithmetic Class = iota
+	// ClassLogicShift covers and/or/not/xor/shl/shr.
+	ClassLogicShift
+	// ClassDataMovement covers cvt/mov and every load/store variant.
+	ClassDataMovement
+	// ClassFlowControl covers setp/selp/bra/ret.
+	ClassFlowControl
+	// ClassSync covers bar and atomics.
+	ClassSync
+
+	NumClasses
+)
+
+// String returns the Table V row-group name.
+func (c Class) String() string {
+	switch c {
+	case ClassArithmetic:
+		return "Arithmetic"
+	case ClassLogicShift:
+		return "Logic/Shift"
+	case ClassDataMovement:
+		return "Data Movement"
+	case ClassFlowControl:
+		return "Flow Control"
+	case ClassSync:
+		return "Synchronization"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ClassOf maps an opcode onto its Table V category.
+func ClassOf(op Opcode) Class {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpFma, OpMad, OpNeg, OpAbs,
+		OpMin, OpMax, OpSqrt, OpRsqrt, OpSin, OpCos, OpEx2, OpLg2:
+		return ClassArithmetic
+	case OpAnd, OpOr, OpNot, OpXor, OpShl, OpShr:
+		return ClassLogicShift
+	case OpMov, OpCvt, OpLd, OpSt, OpTex:
+		return ClassDataMovement
+	case OpSetp, OpSelp, OpBra, OpRet:
+		return ClassFlowControl
+	case OpBar, OpAtom:
+		return ClassSync
+	default:
+		return ClassDataMovement
+	}
+}
+
+// CmpOp is the comparison operator carried by setp.
+type CmpOp int
+
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+// String returns the PTX comparison suffix.
+func (c CmpOp) String() string {
+	switch c {
+	case CmpEQ:
+		return "eq"
+	case CmpNE:
+		return "ne"
+	case CmpLT:
+		return "lt"
+	case CmpLE:
+		return "le"
+	case CmpGT:
+		return "gt"
+	case CmpGE:
+		return "ge"
+	default:
+		return fmt.Sprintf("cmp(%d)", int(c))
+	}
+}
+
+// AtomOp is the read-modify-write operation carried by atom.
+type AtomOp int
+
+const (
+	AtomAdd AtomOp = iota
+	AtomOr
+	AtomAnd
+	AtomMax
+	AtomMin
+	AtomExch
+	AtomCAS
+)
+
+// String returns the PTX atom suffix.
+func (a AtomOp) String() string {
+	switch a {
+	case AtomAdd:
+		return "add"
+	case AtomOr:
+		return "or"
+	case AtomAnd:
+		return "and"
+	case AtomMax:
+		return "max"
+	case AtomMin:
+		return "min"
+	case AtomExch:
+		return "exch"
+	case AtomCAS:
+		return "cas"
+	default:
+		return fmt.Sprintf("atom(%d)", int(a))
+	}
+}

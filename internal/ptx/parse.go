@@ -1,0 +1,428 @@
+package ptx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual form produced by Kernel.Disassemble back into a
+// Kernel, making the disassembly a lossless serialisation format for
+// compiled kernels. Parse(k.Disassemble()) yields a kernel that validates
+// and executes identically (round-trip tested in parse_test.go).
+func Parse(text string) (*Kernel, error) {
+	k := &Kernel{}
+	sawEntry := false
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, ".entry"):
+			if err := parseEntry(k, line); err != nil {
+				return nil, fmt.Errorf("ptx: line %d: %w", ln+1, err)
+			}
+			sawEntry = true
+		case strings.HasPrefix(line, ".param"):
+			if err := parseParam(k, line); err != nil {
+				return nil, fmt.Errorf("ptx: line %d: %w", ln+1, err)
+			}
+		default:
+			if !sawEntry {
+				return nil, fmt.Errorf("ptx: line %d: instruction before .entry", ln+1)
+			}
+			in, err := parseInstr(line)
+			if err != nil {
+				return nil, fmt.Errorf("ptx: line %d: %w", ln+1, err)
+			}
+			k.Instrs = append(k.Instrs, in)
+		}
+	}
+	if !sawEntry {
+		return nil, fmt.Errorf("ptx: no .entry directive")
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// parseEntry handles:
+//
+//	.entry name  // toolchain=cuda regs=31 shared=0B local=0B
+func parseEntry(k *Kernel, line string) error {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, ".entry"))
+	name, meta, _ := strings.Cut(rest, "//")
+	k.Name = strings.TrimSpace(name)
+	if k.Name == "" {
+		return fmt.Errorf("entry without a name")
+	}
+	for _, f := range strings.Fields(meta) {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		val = strings.TrimSuffix(val, "B")
+		switch key {
+		case "toolchain":
+			k.Toolchain = val
+		case "regs":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("bad regs %q", val)
+			}
+			k.NumRegs = n
+		case "shared":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("bad shared %q", val)
+			}
+			k.SharedBytes = n
+		case "local":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("bad local %q", val)
+			}
+			k.LocalBytes = n
+		}
+	}
+	return nil
+}
+
+// parseParam handles ".param ptr.global out" and ".param u32 n".
+func parseParam(k *Kernel, line string) error {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return fmt.Errorf("malformed .param %q", line)
+	}
+	kind, name := fields[1], fields[2]
+	p := Param{Name: name}
+	if space, ok := strings.CutPrefix(kind, "ptr."); ok {
+		p.Pointer = true
+		sp, err := parseSpace(space)
+		if err != nil {
+			return err
+		}
+		p.Space = sp
+	} else {
+		t, err := parseType(kind)
+		if err != nil {
+			return err
+		}
+		p.Type = t
+	}
+	k.Params = append(k.Params, p)
+	return nil
+}
+
+func parseSpace(s string) (Space, error) {
+	for sp := SpaceParam; sp <= SpaceTex; sp++ {
+		if sp.String() == s {
+			return sp, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown space %q", s)
+}
+
+func parseType(s string) (ScalarType, error) {
+	for t := B32; t <= Pred; t++ {
+		if t.String() == s {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown type %q", s)
+}
+
+func parseCmp(s string) (CmpOp, error) {
+	for c := CmpEQ; c <= CmpGE; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown comparison %q", s)
+}
+
+func parseAtomOp(s string) (AtomOp, error) {
+	for a := AtomAdd; a <= AtomCAS; a++ {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown atomic op %q", s)
+}
+
+func parseReg(tok string) (Reg, error) {
+	tok = strings.TrimSpace(tok)
+	if len(tok) < 3 || tok[0] != '%' || (tok[1] != 'r' && tok[1] != 'p') {
+		return NoReg, fmt.Errorf("bad register %q", tok)
+	}
+	n, err := strconv.Atoi(tok[2:])
+	if err != nil {
+		return NoReg, fmt.Errorf("bad register %q", tok)
+	}
+	return Reg(n), nil
+}
+
+func parseOperand(tok string) (Operand, error) {
+	tok = strings.TrimSpace(tok)
+	switch {
+	case strings.HasPrefix(tok, "0x"):
+		v, err := strconv.ParseUint(tok[2:], 16, 32)
+		if err != nil {
+			return Operand{}, fmt.Errorf("bad immediate %q", tok)
+		}
+		return ImmU(uint32(v)), nil
+	case strings.HasPrefix(tok, "%r") || strings.HasPrefix(tok, "%p"):
+		r, err := parseReg(tok)
+		if err != nil {
+			return Operand{}, err
+		}
+		return R(r), nil
+	default:
+		for sr := SrTidX; sr <= SrWarpSize; sr++ {
+			if sr.String() == tok {
+				return Sp(sr), nil
+			}
+		}
+		return Operand{}, fmt.Errorf("bad operand %q", tok)
+	}
+}
+
+// parseAddr handles "[%r3+8]" and "[0x40+0]".
+func parseAddr(tok string) (Operand, int32, error) {
+	tok = strings.TrimSpace(tok)
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return Operand{}, 0, fmt.Errorf("bad address %q", tok)
+	}
+	inner := tok[1 : len(tok)-1]
+	i := strings.LastIndex(inner, "+")
+	if i < 0 {
+		return Operand{}, 0, fmt.Errorf("bad address %q", tok)
+	}
+	base := inner[:i]
+	off, err := strconv.ParseInt(inner[i+1:], 10, 32)
+	if err != nil {
+		return Operand{}, 0, fmt.Errorf("bad offset in %q", tok)
+	}
+	var op Operand
+	if base == "%r-1" { // absent base register (parameter loads)
+		op = Operand{Reg: NoReg}
+	} else {
+		op, err = parseOperand(base)
+		if err != nil {
+			return Operand{}, 0, err
+		}
+	}
+	return op, int32(off), nil
+}
+
+func parseInstr(line string) (Instruction, error) {
+	// Strip the "L12" pc label.
+	if strings.HasPrefix(line, "L") {
+		if i := strings.IndexAny(line, " \t"); i > 0 {
+			if _, err := strconv.Atoi(line[1:i]); err == nil {
+				line = strings.TrimSpace(line[i:])
+			}
+		}
+	}
+	in := NewInstruction(OpInvalid)
+
+	// Guard prefix.
+	if strings.HasPrefix(line, "@") {
+		tok, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return in, fmt.Errorf("guard without instruction in %q", line)
+		}
+		g := tok[1:]
+		if strings.HasPrefix(g, "!") {
+			in.GuardNeg = true
+			g = g[1:]
+		}
+		r, err := parseReg(g)
+		if err != nil {
+			return in, err
+		}
+		in.GuardPred = r
+		line = strings.TrimSpace(rest)
+	}
+
+	mnemonic, operands, _ := strings.Cut(line, " ")
+	parts := strings.Split(mnemonic, ".")
+	opName := parts[0]
+	var op Opcode
+	for o := OpInvalid + 1; o < numOpcodes; o++ {
+		if o.String() == opName {
+			op = o
+			break
+		}
+	}
+	if op == OpInvalid {
+		return in, fmt.Errorf("unknown opcode %q", opName)
+	}
+	in.Op = op
+
+	// Decode the mnemonic suffixes.
+	var err error
+	switch op {
+	case OpLd, OpSt:
+		if len(parts) != 3 {
+			return in, fmt.Errorf("malformed %q", mnemonic)
+		}
+		if in.Space, err = parseSpace(parts[1]); err != nil {
+			return in, err
+		}
+		if in.Typ, err = parseType(parts[2]); err != nil {
+			return in, err
+		}
+	case OpTex:
+		if len(parts) != 3 || parts[1] != "1d" {
+			return in, fmt.Errorf("malformed %q", mnemonic)
+		}
+		in.Space = SpaceTex
+		if in.Typ, err = parseType(parts[2]); err != nil {
+			return in, err
+		}
+	case OpAtom:
+		if len(parts) != 4 {
+			return in, fmt.Errorf("malformed %q", mnemonic)
+		}
+		if in.Space, err = parseSpace(parts[1]); err != nil {
+			return in, err
+		}
+		if in.Atom, err = parseAtomOp(parts[2]); err != nil {
+			return in, err
+		}
+		if in.Typ, err = parseType(parts[3]); err != nil {
+			return in, err
+		}
+	case OpSetp:
+		if len(parts) != 3 {
+			return in, fmt.Errorf("malformed %q", mnemonic)
+		}
+		if in.Cmp, err = parseCmp(parts[1]); err != nil {
+			return in, err
+		}
+		if in.Typ, err = parseType(parts[2]); err != nil {
+			return in, err
+		}
+	case OpBar:
+		if mnemonic != "bar.sync" {
+			return in, fmt.Errorf("malformed %q", mnemonic)
+		}
+	case OpBra, OpRet:
+		if len(parts) != 1 {
+			return in, fmt.Errorf("malformed %q", mnemonic)
+		}
+	case OpCvt:
+		if len(parts) != 3 {
+			return in, fmt.Errorf("malformed %q", mnemonic)
+		}
+		if in.Typ, err = parseType(parts[1]); err != nil {
+			return in, err
+		}
+		if in.SrcTyp, err = parseType(parts[2]); err != nil {
+			return in, err
+		}
+	default:
+		if len(parts) != 2 {
+			return in, fmt.Errorf("malformed %q", mnemonic)
+		}
+		if in.Typ, err = parseType(parts[1]); err != nil {
+			return in, err
+		}
+	}
+
+	// Decode the operand list.
+	ops := splitOperands(operands)
+	switch op {
+	case OpBar, OpRet:
+		if len(ops) != 0 {
+			return in, fmt.Errorf("%s takes no operands", opName)
+		}
+	case OpBra:
+		if len(ops) != 2 || !strings.HasPrefix(ops[0], "L") || !strings.HasPrefix(ops[1], "J") {
+			return in, fmt.Errorf("malformed branch %q", operands)
+		}
+		if in.Target, err = strconv.Atoi(ops[0][1:]); err != nil {
+			return in, fmt.Errorf("bad target %q", ops[0])
+		}
+		if in.Join, err = strconv.Atoi(ops[1][1:]); err != nil {
+			return in, fmt.Errorf("bad join %q", ops[1])
+		}
+	case OpLd, OpTex:
+		if len(ops) != 2 {
+			return in, fmt.Errorf("ld needs dst, [addr]")
+		}
+		if in.Dst, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		if in.Src[0], in.Off, err = parseAddr(ops[1]); err != nil {
+			return in, err
+		}
+	case OpSt:
+		if len(ops) != 2 {
+			return in, fmt.Errorf("st needs [addr], src")
+		}
+		if in.Src[0], in.Off, err = parseAddr(ops[0]); err != nil {
+			return in, err
+		}
+		if in.Src[1], err = parseOperand(ops[1]); err != nil {
+			return in, err
+		}
+	case OpAtom:
+		if len(ops) != 3 {
+			return in, fmt.Errorf("atom needs dst, [addr], src")
+		}
+		if in.Dst, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		if in.Src[0], in.Off, err = parseAddr(ops[1]); err != nil {
+			return in, err
+		}
+		if in.Src[1], err = parseOperand(ops[2]); err != nil {
+			return in, err
+		}
+	default:
+		if len(ops) < 1 {
+			return in, fmt.Errorf("%s needs a destination", opName)
+		}
+		if in.Dst, err = parseReg(ops[0]); err != nil {
+			return in, err
+		}
+		for i, tok := range ops[1:] {
+			if i >= 3 {
+				return in, fmt.Errorf("too many operands in %q", operands)
+			}
+			if in.Src[i], err = parseOperand(tok); err != nil {
+				return in, err
+			}
+		}
+	}
+	return in, nil
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}

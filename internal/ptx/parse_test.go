@@ -1,0 +1,159 @@
+package ptx
+
+import (
+	"strings"
+	"testing"
+)
+
+func roundTripKernel() *Kernel {
+	k := &Kernel{Name: "rt", Toolchain: "cuda", NumRegs: 12, SharedBytes: 64, LocalBytes: 16}
+	k.Params = []Param{
+		{Name: "out", Pointer: true, Space: SpaceGlobal},
+		{Name: "vec", Pointer: true, Space: SpaceTex},
+		{Name: "coef", Pointer: true, Space: SpaceConst},
+		{Name: "n", Type: U32},
+	}
+	mk := func(op Opcode, f func(*Instruction)) Instruction {
+		in := NewInstruction(op)
+		f(&in)
+		return in
+	}
+	k.Instrs = []Instruction{
+		mk(OpLd, func(i *Instruction) { i.Space = SpaceParam; i.Typ = U32; i.Dst = 0; i.Off = 0 }),
+		mk(OpMov, func(i *Instruction) { i.Typ = U32; i.Dst = 1; i.Src[0] = Sp(SrTidX) }),
+		mk(OpMad, func(i *Instruction) {
+			i.Typ = U32
+			i.Dst = 2
+			i.Src[0] = R(1)
+			i.Src[1] = ImmU(4)
+			i.Src[2] = R(0)
+		}),
+		mk(OpSetp, func(i *Instruction) { i.Cmp = CmpLT; i.Typ = U32; i.Dst = 3; i.Src[0] = R(1); i.Src[1] = ImmU(64) }),
+		mk(OpBra, func(i *Instruction) { i.GuardPred = 3; i.GuardNeg = true; i.Target = 9; i.Join = 9 }),
+		mk(OpTex, func(i *Instruction) { i.Space = SpaceTex; i.Typ = F32; i.Dst = 4; i.Src[0] = R(2); i.Off = 8 }),
+		mk(OpCvt, func(i *Instruction) { i.Typ = F32; i.SrcTyp = S32; i.Dst = 5; i.Src[0] = R(1) }),
+		mk(OpSelp, func(i *Instruction) {
+			i.Typ = F32
+			i.Dst = 6
+			i.Src[0] = R(4)
+			i.Src[1] = R(5)
+			i.Src[2] = R(3)
+		}),
+		mk(OpSt, func(i *Instruction) { i.Space = SpaceGlobal; i.Typ = F32; i.Src[0] = R(2); i.Src[1] = R(6); i.Off = -4 }),
+		mk(OpAtom, func(i *Instruction) {
+			i.Space = SpaceGlobal
+			i.Atom = AtomAdd
+			i.Typ = U32
+			i.Dst = 7
+			i.Src[0] = R(2)
+			i.Src[1] = ImmU(1)
+		}),
+		mk(OpBar, func(i *Instruction) {}),
+		mk(OpRet, func(i *Instruction) {}),
+	}
+	return k
+}
+
+// TestParseRoundTrip: Disassemble then Parse must reproduce the kernel
+// exactly (fixpoint of the textual form).
+func TestParseRoundTrip(t *testing.T) {
+	k := roundTripKernel()
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	text := k.Disassemble()
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	if parsed.Name != k.Name || parsed.Toolchain != k.Toolchain ||
+		parsed.NumRegs != k.NumRegs || parsed.SharedBytes != k.SharedBytes ||
+		parsed.LocalBytes != k.LocalBytes {
+		t.Errorf("header fields lost: %+v", parsed)
+	}
+	if len(parsed.Params) != len(k.Params) {
+		t.Fatalf("params: %d vs %d", len(parsed.Params), len(k.Params))
+	}
+	for i := range k.Params {
+		if parsed.Params[i] != k.Params[i] {
+			t.Errorf("param %d: %+v vs %+v", i, parsed.Params[i], k.Params[i])
+		}
+	}
+	again := parsed.Disassemble()
+	if again != text {
+		t.Errorf("disassembly not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", text, again)
+	}
+	if len(parsed.Instrs) != len(k.Instrs) {
+		t.Fatalf("instr count: %d vs %d", len(parsed.Instrs), len(k.Instrs))
+	}
+	for i := range k.Instrs {
+		if parsed.Instrs[i] != k.Instrs[i] {
+			t.Errorf("instr %d: %+v vs %+v", i, parsed.Instrs[i], k.Instrs[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"no entry", "L0 ret"},
+		{"bad opcode", ".entry k // regs=1\nL0 zorp.u32 %r0"},
+		{"bad register", ".entry k // regs=1\nL0 mov.u32 %q0, 0x1"},
+		{"bad branch", ".entry k // regs=1\nL0 bra nowhere"},
+		{"bad space", ".entry k // regs=1\nL0 ld.banana.u32 %r0, [%r0+0]"},
+		{"bad param", ".entry k // regs=1\n.param whatsit"},
+		{"bad immediate", ".entry k // regs=1\nL0 mov.u32 %r0, 0xZZ"},
+		{"bar with operands", ".entry k // regs=2\nL0 bar.sync %r0"},
+		{"out of range reg", ".entry k // regs=1\nL0 mov.u32 %r9, 0x1"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.text); err == nil {
+			t.Errorf("%s: Parse accepted %q", tc.name, tc.text)
+		}
+	}
+}
+
+func TestParseAcceptsWhitespaceAndMeta(t *testing.T) {
+	text := `
+.entry tiny  // toolchain=opencl regs=3 shared=0B local=0B
+  .param ptr.global out
+  .param u32 n
+
+L0    ld.const.u32 %r0, [%r-1+4]
+L1    add.u32 %r1, %r0, 0x7
+L2    ret
+`
+	k, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Toolchain != "opencl" || len(k.Instrs) != 3 || len(k.Params) != 2 {
+		t.Errorf("parsed kernel wrong: %+v", k)
+	}
+	if !strings.Contains(k.Disassemble(), "ld.const.u32") {
+		t.Error("const load lost")
+	}
+}
+
+// FuzzParse ensures the parser never panics on arbitrary input and that
+// anything it accepts survives a disassemble/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(roundTripKernel().Disassemble())
+	f.Add(".entry k // regs=4\nL0 add.u32 %r0, %r1, 0x2\nL1 ret")
+	f.Add(".entry x // regs=2\n.param u32 n\nL0 bra L1, J1\nL1 ret")
+	f.Fuzz(func(t *testing.T, text string) {
+		k, err := Parse(text)
+		if err != nil {
+			return
+		}
+		again, err := Parse(k.Disassemble())
+		if err != nil {
+			t.Fatalf("accepted kernel failed round trip: %v", err)
+		}
+		if len(again.Instrs) != len(k.Instrs) {
+			t.Fatalf("round trip changed instruction count")
+		}
+	})
+}

@@ -1,0 +1,45 @@
+package ptx
+
+import "fmt"
+
+// SpecialReg is a read-only per-thread hardware register, read via mov
+// (PTX: "mov.u32 %r1, %tid.x").
+type SpecialReg int
+
+const (
+	SrTidX SpecialReg = iota
+	SrTidY
+	SrNtidX
+	SrNtidY
+	SrCtaidX
+	SrCtaidY
+	SrNctaidX
+	SrNctaidY
+	SrWarpSize
+)
+
+// String returns the PTX special-register name.
+func (s SpecialReg) String() string {
+	switch s {
+	case SrTidX:
+		return "%tid.x"
+	case SrTidY:
+		return "%tid.y"
+	case SrNtidX:
+		return "%ntid.x"
+	case SrNtidY:
+		return "%ntid.y"
+	case SrCtaidX:
+		return "%ctaid.x"
+	case SrCtaidY:
+		return "%ctaid.y"
+	case SrNctaidX:
+		return "%nctaid.x"
+	case SrNctaidY:
+		return "%nctaid.y"
+	case SrWarpSize:
+		return "WARP_SZ"
+	default:
+		return fmt.Sprintf("%%sreg(%d)", int(s))
+	}
+}

@@ -1,0 +1,130 @@
+package ptx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// OpKey identifies a Table V row: an opcode, split by state space for loads
+// and stores (ld.global and st.shared are separate rows in the paper).
+type OpKey struct {
+	Op    Opcode
+	Space Space
+}
+
+// String returns the row label ("ld.global", "add", ...).
+func (k OpKey) String() string {
+	if k.Op == OpLd || k.Op == OpSt || k.Op == OpAtom {
+		return k.Op.String() + "." + k.Space.String()
+	}
+	return k.Op.String()
+}
+
+// Stats accumulates instruction counts per row and per Table V class. It is
+// used both statically (counting a kernel's instructions once each) and
+// dynamically (counting executed warp-instructions during simulation).
+type Stats struct {
+	ByOp    map[OpKey]int64
+	ByClass [NumClasses]int64
+	Total   int64
+}
+
+// NewStats returns an empty counter.
+func NewStats() *Stats { return &Stats{ByOp: make(map[OpKey]int64)} }
+
+// Count adds n occurrences of the instruction.
+func (s *Stats) Count(in *Instruction, n int64) {
+	key := OpKey{Op: in.Op}
+	switch in.Op {
+	case OpLd, OpSt, OpAtom:
+		key.Space = in.Space
+	}
+	s.ByOp[key] += n
+	s.ByClass[ClassOf(in.Op)] += n
+	s.Total += n
+}
+
+// Merge adds other's counts into s.
+func (s *Stats) Merge(other *Stats) {
+	for k, v := range other.ByOp {
+		s.ByOp[k] += v
+	}
+	for c := range other.ByClass {
+		s.ByClass[c] += other.ByClass[c]
+	}
+	s.Total += other.Total
+}
+
+// Get returns the count for an opcode row (space only meaningful for ld/st).
+func (s *Stats) Get(op Opcode, space Space) int64 {
+	key := OpKey{Op: op}
+	switch op {
+	case OpLd, OpSt, OpAtom:
+		key.Space = space
+	}
+	return s.ByOp[key]
+}
+
+// Class returns the count of one Table V class.
+func (s *Stats) Class(c Class) int64 { return s.ByClass[c] }
+
+// Rows returns the populated rows sorted by class then label, convenient
+// for rendering a Table V-style report.
+func (s *Stats) Rows() []StatRow {
+	rows := make([]StatRow, 0, len(s.ByOp))
+	for k, v := range s.ByOp {
+		rows = append(rows, StatRow{Key: k, Class: ClassOf(k.Op), Count: v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Class != rows[j].Class {
+			return rows[i].Class < rows[j].Class
+		}
+		return rows[i].Key.String() < rows[j].Key.String()
+	})
+	return rows
+}
+
+// StatRow is one row of a rendered statistics table.
+type StatRow struct {
+	Key   OpKey
+	Class Class
+	Count int64
+}
+
+// CompareTable renders two Stats side by side in the layout of the paper's
+// Table V ("Statistic for PTX instructions"), with per-class sub-totals.
+func CompareTable(leftName string, left *Stats, rightName string, right *Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-14s %10s %10s\n", "Class", "Instruction", leftName, rightName)
+
+	// Union of keys, grouped by class.
+	keys := make(map[OpKey]bool)
+	for k := range left.ByOp {
+		keys[k] = true
+	}
+	for k := range right.ByOp {
+		keys[k] = true
+	}
+	byClass := make(map[Class][]OpKey)
+	for k := range keys {
+		c := ClassOf(k.Op)
+		byClass[c] = append(byClass[c], k)
+	}
+	for c := Class(0); c < NumClasses; c++ {
+		ks := byClass[c]
+		sort.Slice(ks, func(i, j int) bool { return ks[i].String() < ks[j].String() })
+		for i, k := range ks {
+			label := ""
+			if i == 0 {
+				label = c.String()
+			}
+			fmt.Fprintf(&b, "%-16s %-14s %10d %10d\n", label, k.String(), left.ByOp[k], right.ByOp[k])
+		}
+		if len(ks) > 0 {
+			fmt.Fprintf(&b, "%-16s %-14s %10d %10d\n", "", "SUB-TOTAL", left.ByClass[c], right.ByClass[c])
+		}
+	}
+	fmt.Fprintf(&b, "%-16s %-14s %10d %10d\n", "", "TOTAL", left.Total, right.Total)
+	return b.String()
+}

@@ -1,0 +1,233 @@
+// Package sim is the SIMT execution engine: it interprets ptx kernels over
+// a modelled device, warp by warp, with full divergence/reconvergence
+// semantics, barriers, and a memory system routed through internal/mem.
+// A launch produces both functional results (in device memory) and a
+// dynamic Trace (instruction and memory-transaction counts) that the
+// performance model converts into time.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/mem"
+	"gpucmp/internal/ptx"
+)
+
+// Launch-validation errors, mapped by the runtimes onto their own error
+// codes (CL_OUT_OF_RESOURCES and friends).
+var (
+	ErrOutOfResources       = errors.New("out of resources")
+	ErrInvalidWorkGroupSize = errors.New("invalid work-group size")
+	ErrInvalidConfig        = errors.New("invalid launch configuration")
+)
+
+// Dim3 is a 2-D launch dimension (the benchmarks never need Z).
+type Dim3 struct{ X, Y int }
+
+// Count returns X*Y.
+func (d Dim3) Count() int { return d.X * d.Y }
+
+// constSegBytes is the size of the constant segment; the first
+// paramAreaBytes of it mirror the kernel arguments (OpenCL-style front-ends
+// read arguments from there).
+const (
+	constSegBytes  = 64 * 1024
+	paramAreaBytes = 256
+)
+
+// Device is one simulated processor: the architecture description, its
+// global memory, its constant segment, and per-compute-unit cache state.
+type Device struct {
+	Arch   *arch.Device
+	Global *mem.Memory
+
+	constSeg []uint32
+	constBrk uint32
+
+	// Parallel controls whether compute units run on separate goroutines.
+	Parallel bool
+}
+
+// DefaultBackingBytes caps the host allocation backing a simulated device's
+// global memory. The modelled capacity (Table IV) can reach 6 GB, far more
+// than any benchmark here touches; the backing store is what the simulator
+// actually commits.
+const DefaultBackingBytes = 128 << 20
+
+// NewDevice builds a simulated device with the default backing store.
+func NewDevice(a *arch.Device) (*Device, error) {
+	return NewDeviceWithMemory(a, DefaultBackingBytes)
+}
+
+// NewDeviceWithMemory builds a simulated device whose global memory is
+// backed by at most backingBytes of host memory (clamped to the device's
+// modelled capacity).
+func NewDeviceWithMemory(a *arch.Device, backingBytes uint32) (*Device, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	capacity := uint64(a.MemoryGB * float64(1<<30))
+	if uint64(backingBytes) > capacity {
+		backingBytes = uint32(capacity)
+	}
+	return &Device{
+		Arch:     a,
+		Global:   mem.NewMemory(backingBytes),
+		constSeg: make([]uint32, constSegBytes/4),
+		constBrk: paramAreaBytes,
+		Parallel: true,
+	}, nil
+}
+
+// ConstAlloc reserves n bytes in the constant segment and returns its byte
+// offset (the value passed as the kernel argument for a constant buffer).
+func (d *Device) ConstAlloc(n uint32) (uint32, error) {
+	base := (d.constBrk + 255) &^ uint32(255)
+	if base+n > constSegBytes {
+		return 0, fmt.Errorf("sim: constant segment exhausted: %w", ErrOutOfResources)
+	}
+	d.constBrk = base + n
+	return base, nil
+}
+
+// ConstWrite copies words into the constant segment.
+func (d *Device) ConstWrite(off uint32, src []uint32) error {
+	if off%4 != 0 || int(off/4)+len(src) > len(d.constSeg) {
+		return fmt.Errorf("sim: constant write out of range")
+	}
+	copy(d.constSeg[off/4:], src)
+	return nil
+}
+
+// ConstReset discards constant-segment allocations (not the param area).
+func (d *Device) ConstReset() { d.constBrk = paramAreaBytes }
+
+// CheckLaunch validates a launch configuration against device limits; the
+// returned error wraps one of the sentinel errors above.
+func (d *Device) CheckLaunch(k *ptx.Kernel, grid, block Dim3) error {
+	a := d.Arch
+	if grid.X <= 0 || grid.Y <= 0 || block.X <= 0 || block.Y <= 0 {
+		return fmt.Errorf("sim: %s: grid %v block %v: %w", k.Name, grid, block, ErrInvalidConfig)
+	}
+	threads := block.Count()
+	if threads > a.MaxWorkGroupSize {
+		return fmt.Errorf("sim: %s: work-group size %d exceeds device maximum %d: %w",
+			k.Name, threads, a.MaxWorkGroupSize, ErrInvalidWorkGroupSize)
+	}
+	if k.SharedBytes > a.SharedMemPerUnit {
+		return fmt.Errorf("sim: %s: %d bytes of shared memory exceed the %d per compute unit: %w",
+			k.Name, k.SharedBytes, a.SharedMemPerUnit, ErrOutOfResources)
+	}
+	if k.NumRegs*threads > a.RegistersPerUnit {
+		return fmt.Errorf("sim: %s: %d registers x %d threads exceed the %d per compute unit: %w",
+			k.Name, k.NumRegs, threads, a.RegistersPerUnit, ErrOutOfResources)
+	}
+	// On unified-local-store machines (Cell/BE SPEs) the shared memory and
+	// every work-item's local memory share one on-chip store; kernels whose
+	// combined footprint does not fit abort with CL_OUT_OF_RESOURCES — the
+	// Table VI "ABT" mechanism.
+	if a.UnifiedLocalStore && k.SharedBytes+k.LocalBytes*threads > a.SharedMemPerUnit {
+		return fmt.Errorf("sim: %s: %d shared + %d local x %d threads bytes exceed the %d-byte local store: %w",
+			k.Name, k.SharedBytes, k.LocalBytes, threads, a.SharedMemPerUnit, ErrOutOfResources)
+	}
+	return nil
+}
+
+// ResidentGroups returns how many work-groups of the kernel fit on one
+// compute unit simultaneously (the occupancy input of the performance
+// model).
+func (d *Device) ResidentGroups(k *ptx.Kernel, block Dim3) int {
+	a := d.Arch
+	threads := block.Count()
+	if threads == 0 {
+		return 0
+	}
+	n := a.MaxGroupsPerUnit
+	if lim := a.MaxThreadsPerUnit / threads; lim < n {
+		n = lim
+	}
+	if k.SharedBytes > 0 {
+		if lim := a.SharedMemPerUnit / k.SharedBytes; lim < n {
+			n = lim
+		}
+	}
+	if k.NumRegs > 0 {
+		if lim := a.RegistersPerUnit / (k.NumRegs * threads); lim < n {
+			n = lim
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Launch executes the kernel over the grid and returns the dynamic trace.
+// args must supply one 32-bit value per kernel parameter (buffer base
+// addresses for pointers, raw values for scalars).
+func (d *Device) Launch(k *ptx.Kernel, grid, block Dim3, args []uint32) (*Trace, error) {
+	if err := d.CheckLaunch(k, grid, block); err != nil {
+		return nil, err
+	}
+	if len(args) != len(k.Params) {
+		return nil, fmt.Errorf("sim: %s: %d arguments for %d parameters: %w",
+			k.Name, len(args), len(k.Params), ErrInvalidConfig)
+	}
+	if 4*len(args) > paramAreaBytes {
+		return nil, fmt.Errorf("sim: %s: too many parameters: %w", k.Name, ErrInvalidConfig)
+	}
+	// Mirror arguments into the param area of the constant segment.
+	copy(d.constSeg[:len(args)], args)
+
+	numCU := d.Arch.ComputeUnits
+	cus := make([]*cuState, numCU)
+	for i := range cus {
+		cus[i] = newCUState(d, i)
+	}
+	totalBlocks := grid.Count()
+
+	runCU := func(cu *cuState) error {
+		for b := cu.index; b < totalBlocks; b += numCU {
+			bx := b % grid.X
+			by := b / grid.X
+			if err := cu.runBlock(k, grid, block, bx, by, args); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if d.Parallel && runtime.NumCPU() > 1 && totalBlocks > 1 {
+		var wg sync.WaitGroup
+		errs := make([]error, numCU)
+		for i := range cus {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = runCU(cus[i])
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i := range cus {
+			if err := runCU(cus[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	tr := newTrace(k, d, grid, block)
+	for _, cu := range cus {
+		tr.merge(cu)
+	}
+	return tr, nil
+}

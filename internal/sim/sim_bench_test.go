@@ -1,0 +1,73 @@
+package sim
+
+// Benchmarks of the simulator itself: how many warp-instructions per second
+// the interpreter retires. These guard against performance regressions in
+// the hot interpretation loop (fetch/dispatch/lane loops).
+
+import (
+	"testing"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/compiler"
+	"gpucmp/internal/kir"
+)
+
+func simBenchKernel() *kir.Kernel {
+	b := kir.NewKernel("spin")
+	out := b.GlobalBuffer("out", kir.F32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	acc := b.Declare("acc", kir.CastTo(kir.F32, gid))
+	b.For("i", kir.U(0), kir.U(256), kir.U(1), func(i kir.Expr) {
+		b.Assign(acc, kir.Add(kir.Mul(acc, kir.F(1.0001)), kir.F(0.5)))
+	})
+	b.Store(out, gid, acc)
+	return b.MustBuild()
+}
+
+func benchInterp(b *testing.B, parallel bool) {
+	pk, err := compiler.Compile(simBenchKernel(), compiler.CUDA())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := NewDevice(arch.GTX480())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev.Parallel = parallel
+	const threads = 64 * 1024
+	addr, _ := dev.Global.Alloc(4 * threads)
+	b.ResetTimer()
+	var warpInstrs int64
+	for i := 0; i < b.N; i++ {
+		tr, err := dev.Launch(pk, Dim3{X: threads / 256, Y: 1}, Dim3{X: 256, Y: 1}, []uint32{addr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		warpInstrs = tr.Dyn.Total
+	}
+	b.ReportMetric(float64(warpInstrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mwarpinstr/s")
+	b.ReportMetric(float64(warpInstrs), "warpinstrs")
+}
+
+func BenchmarkInterpreterSequential(b *testing.B) { benchInterp(b, false) }
+func BenchmarkInterpreterParallel(b *testing.B)   { benchInterp(b, true) }
+
+// BenchmarkLaunchOverhead measures the fixed per-launch cost of the
+// simulator (setup, scheduling, trace merge) with a trivial kernel.
+func BenchmarkLaunchOverhead(b *testing.B) {
+	bb := kir.NewKernel("nop")
+	out := bb.GlobalBuffer("out", kir.U32)
+	bb.Store(out, bb.GlobalIDX(), kir.U(1))
+	pk, err := compiler.Compile(bb.MustBuild(), compiler.OpenCL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, _ := NewDevice(arch.GTX280())
+	addr, _ := dev.Global.Alloc(4 * 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Launch(pk, Dim3{X: 1, Y: 1}, Dim3{X: 64, Y: 1}, []uint32{addr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,838 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/compiler"
+	"gpucmp/internal/kir"
+	"gpucmp/internal/ptx"
+)
+
+// newDev builds a GTX480 simulation in deterministic sequential mode.
+func newDev(t *testing.T, a *arch.Device) *Device {
+	t.Helper()
+	d, err := NewDevice(a)
+	if err != nil {
+		t.Fatalf("NewDevice: %v", err)
+	}
+	return d
+}
+
+func compile(t *testing.T, k *kir.Kernel, p compiler.Personality) *ptx.Kernel {
+	t.Helper()
+	pk, err := compiler.Compile(k, p)
+	if err != nil {
+		t.Fatalf("compile %s: %v", k.Name, err)
+	}
+	return pk
+}
+
+func uploadF32(t *testing.T, d *Device, data []float32) uint32 {
+	t.Helper()
+	addr, err := d.Global.Alloc(uint32(4 * len(data)))
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	words := make([]uint32, len(data))
+	for i, f := range data {
+		words[i] = math.Float32bits(f)
+	}
+	if err := d.Global.WriteWords(addr, words); err != nil {
+		t.Fatalf("WriteWords: %v", err)
+	}
+	return addr
+}
+
+func downloadF32(t *testing.T, d *Device, addr uint32, n int) []float32 {
+	t.Helper()
+	words := make([]uint32, n)
+	if err := d.Global.ReadWords(addr, words); err != nil {
+		t.Fatalf("ReadWords: %v", err)
+	}
+	out := make([]float32, n)
+	for i, w := range words {
+		out[i] = math.Float32frombits(w)
+	}
+	return out
+}
+
+func uploadU32(t *testing.T, d *Device, data []uint32) uint32 {
+	t.Helper()
+	addr, err := d.Global.Alloc(uint32(4 * len(data)))
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := d.Global.WriteWords(addr, data); err != nil {
+		t.Fatalf("WriteWords: %v", err)
+	}
+	return addr
+}
+
+func vecAddKIR() *kir.Kernel {
+	b := kir.NewKernel("vadd")
+	a := b.GlobalBuffer("a", kir.F32)
+	bb := b.GlobalBuffer("b", kir.F32)
+	c := b.GlobalBuffer("c", kir.F32)
+	n := b.ScalarParam("n", kir.U32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	b.If(kir.Lt(gid, n), func() {
+		b.Store(c, gid, kir.Add(b.Load(a, gid), b.Load(bb, gid)))
+	})
+	return b.MustBuild()
+}
+
+// TestVecAddBothToolchainsAllDevices checks functional equivalence of the
+// two front-ends' code on every modelled device.
+func TestVecAddBothToolchainsAllDevices(t *testing.T) {
+	const n = 1000 // not a multiple of any warp width: exercises the guard
+	av := make([]float32, n)
+	bv := make([]float32, n)
+	for i := range av {
+		av[i] = float32(i) * 0.5
+		bv[i] = float32(n - i)
+	}
+	for _, devArch := range arch.All() {
+		for _, pers := range []compiler.Personality{compiler.CUDA(), compiler.OpenCL()} {
+			t.Run(devArch.Name+"/"+pers.Name, func(t *testing.T) {
+				d := newDev(t, devArch)
+				pk := compile(t, vecAddKIR(), pers)
+				aAddr := uploadF32(t, d, av)
+				bAddr := uploadF32(t, d, bv)
+				cAddr := uploadF32(t, d, make([]float32, n))
+				block := Dim3{X: 128, Y: 1}
+				grid := Dim3{X: (n + 127) / 128, Y: 1}
+				tr, err := d.Launch(pk, grid, block, []uint32{aAddr, bAddr, cAddr, n})
+				if err != nil {
+					t.Fatalf("Launch: %v", err)
+				}
+				got := downloadF32(t, d, cAddr, n)
+				for i := range got {
+					want := av[i] + bv[i]
+					if got[i] != want {
+						t.Fatalf("c[%d] = %g, want %g", i, got[i], want)
+					}
+				}
+				if tr.Dyn.Get(ptx.OpLd, ptx.SpaceGlobal) == 0 {
+					t.Error("trace recorded no global loads")
+				}
+				if tr.Mem.GlobalStoreAccesses == 0 {
+					t.Error("trace recorded no global stores")
+				}
+			})
+		}
+	}
+}
+
+// TestDivergenceNestedIf checks reconvergence with data-dependent nested
+// branches against a host reference.
+func TestDivergenceNestedIf(t *testing.T) {
+	b := kir.NewKernel("div")
+	in := b.GlobalBuffer("in", kir.U32)
+	out := b.GlobalBuffer("out", kir.U32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	v := b.Declare("v", b.Load(in, gid))
+	r := b.Declare("r", kir.U(0))
+	b.IfElse(kir.Eq(kir.Rem(v, kir.U(2)), kir.U(0)),
+		func() {
+			b.IfElse(kir.Lt(v, kir.U(100)),
+				func() { b.Assign(r, kir.Add(v, kir.U(1000))) },
+				func() { b.Assign(r, kir.Add(v, kir.U(2000))) })
+		},
+		func() {
+			b.Assign(r, kir.Mul(v, kir.U(3)))
+		})
+	b.Store(out, gid, r)
+	k := b.MustBuild()
+
+	ref := func(v uint32) uint32 {
+		if v%2 == 0 {
+			if v < 100 {
+				return v + 1000
+			}
+			return v + 2000
+		}
+		return v * 3
+	}
+
+	const n = 256
+	input := make([]uint32, n)
+	for i := range input {
+		input[i] = uint32(i * 37 % 211)
+	}
+	for _, pers := range []compiler.Personality{compiler.CUDA(), compiler.OpenCL()} {
+		d := newDev(t, arch.GTX280())
+		pk := compile(t, k, pers)
+		inAddr := uploadU32(t, d, input)
+		outAddr := uploadU32(t, d, make([]uint32, n))
+		if _, err := d.Launch(pk, Dim3{X: 2, Y: 1}, Dim3{X: 128, Y: 1}, []uint32{inAddr, outAddr}); err != nil {
+			t.Fatalf("%s launch: %v", pers.Name, err)
+		}
+		got := make([]uint32, n)
+		if err := d.Global.ReadWords(outAddr, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != ref(input[i]) {
+				t.Fatalf("%s: out[%d] = %d, want %d", pers.Name, i, got[i], ref(input[i]))
+			}
+		}
+	}
+}
+
+// TestDataDependentLoopTrips runs a loop whose trip count varies per lane
+// (classic divergence stress: every lane exits at a different iteration).
+func TestDataDependentLoopTrips(t *testing.T) {
+	b := kir.NewKernel("loopdiv")
+	out := b.GlobalBuffer("out", kir.U32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	acc := b.Declare("acc", kir.U(0))
+	b.For("i", kir.U(0), kir.Add(kir.Rem(gid, kir.U(7)), kir.U(1)), kir.U(1), func(i kir.Expr) {
+		b.Assign(acc, kir.Add(acc, kir.Add(i, kir.U(1))))
+	})
+	b.Store(out, gid, acc)
+	k := b.MustBuild()
+
+	ref := func(g uint32) uint32 {
+		trips := g%7 + 1
+		sum := uint32(0)
+		for i := uint32(0); i < trips; i++ {
+			sum += i + 1
+		}
+		return sum
+	}
+	const n = 512
+	for _, pers := range []compiler.Personality{compiler.CUDA(), compiler.OpenCL()} {
+		d := newDev(t, arch.GTX480())
+		pk := compile(t, k, pers)
+		outAddr := uploadU32(t, d, make([]uint32, n))
+		tr, err := d.Launch(pk, Dim3{X: 4, Y: 1}, Dim3{X: 128, Y: 1}, []uint32{outAddr})
+		if err != nil {
+			t.Fatalf("%s: %v", pers.Name, err)
+		}
+		got := make([]uint32, n)
+		if err := d.Global.ReadWords(outAddr, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != ref(uint32(i)) {
+				t.Fatalf("%s: out[%d] = %d, want %d", pers.Name, i, got[i], ref(uint32(i)))
+			}
+		}
+		if tr.DivergentBranches == 0 {
+			t.Errorf("%s: expected divergent branches in the trace", pers.Name)
+		}
+	}
+}
+
+// TestSharedMemoryReduction exercises shared memory, barriers and 2-D ids.
+func TestSharedMemoryReduction(t *testing.T) {
+	const blockSize = 128
+	// Tree reduction: for p = 0..6, stride = 1<<p, pairwise sums, barrier
+	// between rounds.
+	b := kir.NewKernel("reduce")
+	in := b.GlobalBuffer("in", kir.F32)
+	out := b.GlobalBuffer("out", kir.F32)
+	tile := b.SharedArray("tile", kir.F32, blockSize)
+	tid := kir.Bi(kir.TidX)
+	gid := b.Declare("gid", b.GlobalIDX())
+	b.Store(tile, tid, b.Load(in, gid))
+	b.Barrier()
+	b.For("p", kir.U(0), kir.U(7), kir.U(1), func(p kir.Expr) {
+		stride := kir.Shl(kir.U(1), p)
+		b.If(kir.LAnd(
+			kir.Eq(kir.Rem(tid, kir.Mul(stride, kir.U(2))), kir.U(0)),
+			kir.Lt(kir.Add(tid, stride), kir.U(blockSize))), func() {
+			b.Store(tile, tid, kir.Add(b.Load(tile, tid), b.Load(tile, kir.Add(tid, stride))))
+		})
+		b.Barrier()
+	})
+	b.If(kir.Eq(tid, kir.U(0)), func() {
+		b.Store(out, kir.Bi(kir.CtaidX), b.Load(tile, kir.U(0)))
+	})
+	k := b.MustBuild()
+
+	const blocks = 8
+	input := make([]float32, blocks*blockSize)
+	want := make([]float32, blocks)
+	for i := range input {
+		input[i] = float32(i%13) * 0.25
+		want[i/blockSize] += input[i]
+	}
+	for _, pers := range []compiler.Personality{compiler.CUDA(), compiler.OpenCL()} {
+		for _, da := range []*arch.Device{arch.GTX280(), arch.HD5870()} {
+			d := newDev(t, da)
+			pk := compile(t, k, pers)
+			inAddr := uploadF32(t, d, input)
+			outAddr := uploadF32(t, d, make([]float32, blocks))
+			tr, err := d.Launch(pk, Dim3{X: blocks, Y: 1}, Dim3{X: blockSize, Y: 1}, []uint32{inAddr, outAddr})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", pers.Name, da.Name, err)
+			}
+			got := downloadF32(t, d, outAddr, blocks)
+			for i := range got {
+				if math.Abs(float64(got[i]-want[i])) > 1e-3 {
+					t.Fatalf("%s/%s: block %d sum = %g, want %g", pers.Name, da.Name, i, got[i], want[i])
+				}
+			}
+			if tr.Barriers == 0 {
+				t.Errorf("%s/%s: no barriers traced", pers.Name, da.Name)
+			}
+			if tr.Mem.SharedAccesses == 0 {
+				t.Errorf("%s/%s: no shared accesses traced", pers.Name, da.Name)
+			}
+		}
+	}
+}
+
+// TestAtomicsAccumulate checks global atomics across blocks.
+func TestAtomicsAccumulate(t *testing.T) {
+	b := kir.NewKernel("atom")
+	ctr := b.GlobalBuffer("ctr", kir.U32)
+	b.Atomic(ctr, kir.U(0), kir.AtomicAdd, kir.U(1))
+	k := b.MustBuild()
+	d := newDev(t, arch.GTX480())
+	pk := compile(t, k, compiler.CUDA())
+	addr := uploadU32(t, d, []uint32{0})
+	const total = 64 * 256
+	tr, err := d.Launch(pk, Dim3{X: 64, Y: 1}, Dim3{X: 256, Y: 1}, []uint32{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [1]uint32
+	if err := d.Global.ReadWords(addr, got[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != total {
+		t.Errorf("counter = %d, want %d", got[0], total)
+	}
+	if tr.Mem.AtomicOps != total {
+		t.Errorf("AtomicOps = %d, want %d", tr.Mem.AtomicOps, total)
+	}
+}
+
+// TestConstantAndTexturePaths verifies data correctness through the special
+// read paths and that the right counters move.
+func TestConstantAndTexturePaths(t *testing.T) {
+	b := kir.NewKernel("paths")
+	vec := b.TexBuffer("vec", kir.F32)
+	filt := b.ConstBuffer("filt", kir.F32)
+	out := b.GlobalBuffer("out", kir.F32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	// Read vec through a wrapped index so many warps touch the same lines
+	// and the texture cache sees reuse.
+	b.Store(out, gid, kir.Mul(b.Load(vec, kir.Rem(gid, kir.U(32))), b.Load(filt, kir.Rem(gid, kir.U(4)))))
+	k := b.MustBuild()
+
+	const n = 256
+	vecData := make([]float32, n)
+	for i := range vecData {
+		vecData[i] = float32(i + 1)
+	}
+	filtData := []float32{2, 3, 4, 5}
+
+	d := newDev(t, arch.GTX280())
+	pk := compile(t, k, compiler.CUDA())
+	vecAddr := uploadF32(t, d, vecData)
+	outAddr := uploadF32(t, d, make([]float32, n))
+	// Constant buffer goes into the constant segment.
+	constOff, err := d.ConstAlloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := make([]uint32, 4)
+	for i, f := range filtData {
+		fw[i] = math.Float32bits(f)
+	}
+	if err := d.ConstWrite(constOff, fw); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := d.Launch(pk, Dim3{X: 2, Y: 1}, Dim3{X: 128, Y: 1}, []uint32{vecAddr, constOff, outAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := downloadF32(t, d, outAddr, n)
+	for i := range got {
+		want := vecData[i%32] * filtData[i%4]
+		if got[i] != want {
+			t.Fatalf("out[%d] = %g, want %g", i, got[i], want)
+		}
+	}
+	if tr.Mem.TexAccesses == 0 {
+		t.Error("no texture accesses traced")
+	}
+	if tr.Mem.ConstAccesses == 0 {
+		t.Error("no constant accesses traced")
+	}
+	if tr.Mem.TexHits == 0 {
+		t.Error("sequential texture reads should hit the texture cache")
+	}
+}
+
+// TestLocalMemoryRoundTrip exercises the per-thread local space.
+func TestLocalMemoryRoundTrip(t *testing.T) {
+	b := kir.NewKernel("localrt")
+	out := b.GlobalBuffer("out", kir.U32)
+	scr := b.LocalArray("scr", kir.U32, 4)
+	gid := b.Declare("gid", b.GlobalIDX())
+	b.For("i", kir.U(0), kir.U(4), kir.U(1), func(i kir.Expr) {
+		b.Store(scr, i, kir.Add(kir.Mul(gid, kir.U(10)), i))
+	})
+	acc := b.Declare("acc", kir.U(0))
+	b.For("i", kir.U(0), kir.U(4), kir.U(1), func(i kir.Expr) {
+		b.Assign(acc, kir.Add(acc, b.Load(scr, i)))
+	})
+	b.Store(out, gid, acc)
+	k := b.MustBuild()
+
+	const n = 128
+	for _, pers := range []compiler.Personality{compiler.CUDA(), compiler.OpenCL()} {
+		d := newDev(t, arch.GTX280())
+		pk := compile(t, k, pers)
+		outAddr := uploadU32(t, d, make([]uint32, n))
+		if _, err := d.Launch(pk, Dim3{X: 1, Y: 1}, Dim3{X: n, Y: 1}, []uint32{outAddr}); err != nil {
+			t.Fatalf("%s: %v", pers.Name, err)
+		}
+		got := make([]uint32, n)
+		if err := d.Global.ReadWords(outAddr, got); err != nil {
+			t.Fatal(err)
+		}
+		for g := range got {
+			want := uint32(g)*40 + 6
+			if got[g] != want {
+				t.Fatalf("%s: out[%d] = %d, want %d", pers.Name, g, got[g], want)
+			}
+		}
+	}
+}
+
+// TestLaunchValidation exercises the resource-limit errors behind the
+// Table VI "ABT" entries.
+func TestLaunchValidation(t *testing.T) {
+	d := newDev(t, arch.CellBE())
+	k := compile(t, vecAddKIR(), compiler.OpenCL())
+
+	// Work-group too large.
+	err := d.CheckLaunch(k, Dim3{X: 1, Y: 1}, Dim3{X: 512, Y: 1})
+	if !errors.Is(err, ErrInvalidWorkGroupSize) {
+		t.Errorf("oversized work-group: got %v", err)
+	}
+	// Shared memory over budget.
+	big := *k
+	big.SharedBytes = 512 * 1024
+	if err := d.CheckLaunch(&big, Dim3{X: 1, Y: 1}, Dim3{X: 64, Y: 1}); !errors.Is(err, ErrOutOfResources) {
+		t.Errorf("oversized shared: got %v", err)
+	}
+	// Registers over budget.
+	regs := *k
+	regs.NumRegs = 100
+	if err := d.CheckLaunch(&regs, Dim3{X: 1, Y: 1}, Dim3{X: 256, Y: 1}); !errors.Is(err, ErrOutOfResources) {
+		t.Errorf("oversized registers: got %v", err)
+	}
+	// Bad config.
+	if err := d.CheckLaunch(k, Dim3{X: 0, Y: 1}, Dim3{X: 64, Y: 1}); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("zero grid: got %v", err)
+	}
+	// Wrong argument count.
+	if _, err := d.Launch(k, Dim3{X: 1, Y: 1}, Dim3{X: 64, Y: 1}, []uint32{1}); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("bad arg count: got %v", err)
+	}
+}
+
+// TestOutOfBoundsAccessFails ensures stray addresses surface as errors, not
+// corruption.
+func TestOutOfBoundsAccessFails(t *testing.T) {
+	b := kir.NewKernel("oob")
+	out := b.GlobalBuffer("out", kir.U32)
+	b.Store(out, kir.U(1<<28), kir.U(1))
+	k := b.MustBuild()
+	d := newDev(t, arch.CellBE()) // 1 GB: the byte offset 2^30 is out of range
+	pk := compile(t, k, compiler.CUDA())
+	addr := uploadU32(t, d, make([]uint32, 4))
+	if _, err := d.Launch(pk, Dim3{X: 1, Y: 1}, Dim3{X: 1, Y: 1}, []uint32{addr}); err == nil {
+		t.Fatal("expected out-of-bounds error")
+	}
+}
+
+// TestResidentGroupsOccupancy covers the occupancy calculation.
+func TestResidentGroupsOccupancy(t *testing.T) {
+	d := newDev(t, arch.GTX280())
+	k := compile(t, vecAddKIR(), compiler.CUDA())
+	want := 8 // MaxGroupsPerUnit and MaxThreadsPerUnit both allow 8
+	if lim := arch.GTX280().RegistersPerUnit / (k.NumRegs * 128); lim < want {
+		want = lim
+	}
+	if got := d.ResidentGroups(k, Dim3{X: 128, Y: 1}); got != want {
+		t.Errorf("small kernel occupancy = %d, want %d", got, want)
+	}
+	heavy := *k
+	heavy.SharedBytes = 8 * 1024
+	if got := d.ResidentGroups(&heavy, Dim3{X: 128, Y: 1}); got != 2 {
+		t.Errorf("shared-limited occupancy = %d, want 2", got)
+	}
+	regs := *k
+	regs.NumRegs = 32
+	if got := d.ResidentGroups(&regs, Dim3{X: 256, Y: 1}); got != 2 {
+		t.Errorf("register-limited occupancy = %d, want 2", got)
+	}
+}
+
+// TestWarpWidthBuiltin confirms WarpSize reflects the device.
+func TestWarpWidthBuiltin(t *testing.T) {
+	b := kir.NewKernel("ws")
+	out := b.GlobalBuffer("out", kir.U32)
+	b.Store(out, b.GlobalIDX(), kir.Bi(kir.WarpSize))
+	k := b.MustBuild()
+	for _, tc := range []struct {
+		a    *arch.Device
+		want uint32
+	}{{arch.GTX480(), 32}, {arch.HD5870(), 64}, {arch.Intel920(), 64}, {arch.CellBE(), 4}} {
+		d := newDev(t, tc.a)
+		pk := compile(t, k, compiler.OpenCL())
+		addr := uploadU32(t, d, make([]uint32, 64))
+		if _, err := d.Launch(pk, Dim3{X: 1, Y: 1}, Dim3{X: 64, Y: 1}, []uint32{addr}); err != nil {
+			t.Fatalf("%s: %v", tc.a.Name, err)
+		}
+		var got [1]uint32
+		if err := d.Global.ReadWords(addr, got[:]); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != tc.want {
+			t.Errorf("%s: warpSize = %d, want %d", tc.a.Name, got[0], tc.want)
+		}
+	}
+}
+
+// TestToolchainEquivalenceProperty: for arbitrary small inputs, the CUDA
+// and OpenCL compilations of a nontrivial kernel produce identical results.
+func TestToolchainEquivalenceProperty(t *testing.T) {
+	b := kir.NewKernel("prop")
+	in := b.GlobalBuffer("in", kir.U32)
+	out := b.GlobalBuffer("out", kir.U32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	v := b.Declare("v", b.Load(in, gid))
+	acc := b.Declare("acc", kir.U(0))
+	b.For("i", kir.U(0), kir.Add(kir.And(v, kir.U(3)), kir.U(1)), kir.U(1), func(i kir.Expr) {
+		b.Assign(acc, kir.Add(kir.Mul(acc, kir.U(3)), kir.Xor(v, i)))
+	})
+	b.IfElse(kir.Gt(acc, kir.U(1000)),
+		func() { b.Assign(acc, kir.Sub(acc, kir.U(1000))) },
+		func() { b.Assign(acc, kir.Add(acc, kir.U(7))) })
+	b.Store(out, gid, acc)
+	k := b.MustBuild()
+
+	cu := compile(t, k, compiler.CUDA())
+	cl := compile(t, k, compiler.OpenCL())
+
+	run := func(pk *ptx.Kernel, input []uint32) []uint32 {
+		d, err := NewDevice(arch.GTX480())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inAddr, _ := d.Global.Alloc(uint32(4 * len(input)))
+		outAddr, _ := d.Global.Alloc(uint32(4 * len(input)))
+		if err := d.Global.WriteWords(inAddr, input); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Launch(pk, Dim3{X: 1, Y: 1}, Dim3{X: len(input), Y: 1}, []uint32{inAddr, outAddr}); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]uint32, len(input))
+		if err := d.Global.ReadWords(outAddr, got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	f := func(seed [16]uint32) bool {
+		input := seed[:]
+		a := run(cu, input)
+		b := run(cl, input)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCoalescingCounters: a strided access pattern must cost more global
+// transactions than a unit-stride one.
+func TestCoalescingCounters(t *testing.T) {
+	mk := func(stride uint32) *kir.Kernel {
+		b := kir.NewKernel("coal")
+		in := b.GlobalBuffer("in", kir.F32)
+		out := b.GlobalBuffer("out", kir.F32)
+		gid := b.Declare("gid", b.GlobalIDX())
+		b.Store(out, gid, b.Load(in, kir.Rem(kir.Mul(gid, kir.U(stride)), kir.U(4096))))
+		return b.MustBuild()
+	}
+	d1 := newDev(t, arch.GTX280())
+	d2 := newDev(t, arch.GTX280())
+	pk1 := compile(t, mk(1), compiler.CUDA())
+	pk2 := compile(t, mk(32), compiler.CUDA())
+	in1 := uploadF32(t, d1, make([]float32, 4096))
+	out1 := uploadF32(t, d1, make([]float32, 4096))
+	in2 := uploadF32(t, d2, make([]float32, 4096))
+	out2 := uploadF32(t, d2, make([]float32, 4096))
+	tr1, err := d1.Launch(pk1, Dim3{X: 16, Y: 1}, Dim3{X: 256, Y: 1}, []uint32{in1, out1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := d2.Launch(pk2, Dim3{X: 16, Y: 1}, Dim3{X: 256, Y: 1}, []uint32{in2, out2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Mem.GlobalLoadTrans <= tr1.Mem.GlobalLoadTrans*4 {
+		t.Errorf("strided loads should cost far more transactions: stride1=%d stride32=%d",
+			tr1.Mem.GlobalLoadTrans, tr2.Mem.GlobalLoadTrans)
+	}
+}
+
+// TestParallelMatchesSequential: the parallel executor must produce the
+// same memory contents and the same aggregate counters as sequential mode.
+func TestParallelMatchesSequential(t *testing.T) {
+	run := func(parallel bool) (*Trace, []float32) {
+		d := newDev(t, arch.GTX480())
+		d.Parallel = parallel
+		pk := compile(t, vecAddKIR(), compiler.OpenCL())
+		const n = 4096
+		av := make([]float32, n)
+		bv := make([]float32, n)
+		for i := range av {
+			av[i] = float32(i)
+			bv[i] = 2 * float32(i)
+		}
+		aAddr := uploadF32(t, d, av)
+		bAddr := uploadF32(t, d, bv)
+		cAddr := uploadF32(t, d, make([]float32, n))
+		tr, err := d.Launch(pk, Dim3{X: n / 128, Y: 1}, Dim3{X: 128, Y: 1}, []uint32{aAddr, bAddr, cAddr, n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, downloadF32(t, d, cAddr, n)
+	}
+	trP, outP := run(true)
+	trS, outS := run(false)
+	for i := range outP {
+		if outP[i] != outS[i] {
+			t.Fatalf("results differ at %d", i)
+		}
+	}
+	if trP.Dyn.Total != trS.Dyn.Total || trP.LaneInstrs != trS.LaneInstrs {
+		t.Errorf("instruction counts differ: parallel %d/%d sequential %d/%d",
+			trP.Dyn.Total, trP.LaneInstrs, trS.Dyn.Total, trS.LaneInstrs)
+	}
+	if trP.Mem.GlobalLoadTrans != trS.Mem.GlobalLoadTrans {
+		t.Errorf("transaction counts differ: %d vs %d", trP.Mem.GlobalLoadTrans, trS.Mem.GlobalLoadTrans)
+	}
+}
+
+// TestTwoDimensionalIndexing checks tid.y/ctaid.y/ntid.y routing: each
+// thread writes its (x,y) coordinate encoded.
+func TestTwoDimensionalIndexing(t *testing.T) {
+	b := kir.NewKernel("idx2d")
+	out := b.GlobalBuffer("out", kir.U32)
+	w := b.ScalarParam("w", kir.U32)
+	x := b.Declare("x", b.GlobalIDX())
+	y := b.Declare("y", b.GlobalIDY())
+	b.Store(out, kir.Add(kir.Mul(y, w), x), kir.Or(kir.Shl(y, kir.U(16)), x))
+	k := b.MustBuild()
+
+	d := newDev(t, arch.GTX480())
+	pk := compile(t, k, compiler.CUDA())
+	const W, H = 32, 24
+	addr := uploadU32(t, d, make([]uint32, W*H))
+	if _, err := d.Launch(pk, Dim3{X: W / 8, Y: H / 8}, Dim3{X: 8, Y: 8}, []uint32{addr, W}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]uint32, W*H)
+	if err := d.Global.ReadWords(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < H; y++ {
+		for x := 0; x < W; x++ {
+			want := uint32(y)<<16 | uint32(x)
+			if got[y*W+x] != want {
+				t.Fatalf("(%d,%d) = %#x, want %#x", x, y, got[y*W+x], want)
+			}
+		}
+	}
+}
+
+// TestGuardedStoreMasksLanes: a CUDA guard-form conditional store must only
+// write the lanes whose predicate is true.
+func TestGuardedStoreMasksLanes(t *testing.T) {
+	b := kir.NewKernel("guards")
+	out := b.GlobalBuffer("out", kir.U32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	b.If(kir.Eq(kir.And(gid, kir.U(1)), kir.U(0)), func() {
+		b.Store(out, gid, kir.U(7))
+	})
+	k := b.MustBuild()
+	pk := compile(t, k, compiler.CUDA())
+	// The guard form must not branch.
+	if pk.StaticStats().Get(ptx.OpBra, ptx.SpaceNone) != 0 {
+		t.Fatalf("expected guard form, got branches:\n%s", pk.Disassemble())
+	}
+	d := newDev(t, arch.GTX280())
+	init := make([]uint32, 64)
+	for i := range init {
+		init[i] = 99
+	}
+	addr := uploadU32(t, d, init)
+	if _, err := d.Launch(pk, Dim3{X: 1, Y: 1}, Dim3{X: 64, Y: 1}, []uint32{addr}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]uint32, 64)
+	if err := d.Global.ReadWords(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		want := uint32(99)
+		if i%2 == 0 {
+			want = 7
+		}
+		if v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestBarrierOrdersWarps: warp 1 reads what warp 0 wrote before the
+// barrier (cross-warp shared-memory communication).
+func TestBarrierOrdersWarps(t *testing.T) {
+	b := kir.NewKernel("xwarp")
+	out := b.GlobalBuffer("out", kir.U32)
+	sh := b.SharedArray("sh", kir.U32, 64)
+	tid := kir.Bi(kir.TidX)
+	// Every thread writes tid*10; after the barrier each thread reads the
+	// slot of the thread 32 positions away (the other warp).
+	b.Store(sh, tid, kir.Mul(tid, kir.U(10)))
+	b.Barrier()
+	b.Store(out, b.GlobalIDX(), b.Load(sh, kir.Xor(tid, kir.U(32))))
+	k := b.MustBuild()
+	d := newDev(t, arch.GTX480())
+	pk := compile(t, k, compiler.OpenCL())
+	addr := uploadU32(t, d, make([]uint32, 64))
+	if _, err := d.Launch(pk, Dim3{X: 1, Y: 1}, Dim3{X: 64, Y: 1}, []uint32{addr}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]uint32, 64)
+	if err := d.Global.ReadWords(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if want := uint32(i^32) * 10; v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestDim3Count(t *testing.T) {
+	if (Dim3{X: 3, Y: 4}).Count() != 12 {
+		t.Error("Dim3.Count wrong")
+	}
+}
+
+// TestTraceMetadata: launches record kernel, toolchain, device, and warp
+// geometry.
+func TestTraceMetadata(t *testing.T) {
+	d := newDev(t, arch.HD5870())
+	pk := compile(t, vecAddKIR(), compiler.OpenCL())
+	a := uploadF32(t, d, make([]float32, 256))
+	bb := uploadF32(t, d, make([]float32, 256))
+	c := uploadF32(t, d, make([]float32, 256))
+	tr, err := d.Launch(pk, Dim3{X: 2, Y: 1}, Dim3{X: 128, Y: 1}, []uint32{a, bb, c, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Kernel != "vadd" || tr.Toolchain != "opencl" || tr.Device != arch.HD5870().Name {
+		t.Errorf("metadata wrong: %+v", tr)
+	}
+	if tr.WarpWidth != 64 {
+		t.Errorf("warp width = %d, want 64 on the HD5870", tr.WarpWidth)
+	}
+	if tr.Warps != 2*2 { // 128 threads per block / 64-wide wavefronts
+		t.Errorf("warps = %d, want 4", tr.Warps)
+	}
+	if tr.ResidentGroups < 1 {
+		t.Error("occupancy missing")
+	}
+}
+
+// TestConstSegmentBounds: constant reads beyond the segment fail cleanly.
+func TestConstSegmentBounds(t *testing.T) {
+	b := kir.NewKernel("coob")
+	cb := b.ConstBuffer("c", kir.F32)
+	out := b.GlobalBuffer("out", kir.F32)
+	b.Store(out, b.GlobalIDX(), b.Load(cb, kir.U(1<<20)))
+	k := b.MustBuild()
+	d := newDev(t, arch.GTX280())
+	pk := compile(t, k, compiler.CUDA())
+	outAddr := uploadF32(t, d, make([]float32, 32))
+	off, err := d.ConstAlloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Launch(pk, Dim3{X: 1, Y: 1}, Dim3{X: 32, Y: 1}, []uint32{off, outAddr}); err == nil {
+		t.Fatal("constant overrun should fail the launch")
+	}
+}
+
+// TestTextureFallbackWithoutCache: devices without a texture cache serve
+// tex fetches through the ordinary global path, functionally identical.
+func TestTextureFallbackWithoutCache(t *testing.T) {
+	b := kir.NewKernel("texcpu")
+	vec := b.TexBuffer("vec", kir.F32)
+	out := b.GlobalBuffer("out", kir.F32)
+	gid := b.Declare("gid", b.GlobalIDX())
+	b.Store(out, gid, kir.Mul(b.Load(vec, gid), kir.F(2)))
+	k := b.MustBuild()
+	d := newDev(t, arch.Intel920()) // no texture cache
+	pk := compile(t, k, compiler.OpenCL())
+	in := make([]float32, 64)
+	for i := range in {
+		in[i] = float32(i)
+	}
+	inAddr := uploadF32(t, d, in)
+	outAddr := uploadF32(t, d, make([]float32, 64))
+	tr, err := d.Launch(pk, Dim3{X: 1, Y: 1}, Dim3{X: 64, Y: 1}, []uint32{inAddr, outAddr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := downloadF32(t, d, outAddr, 64)
+	for i := range got {
+		if got[i] != in[i]*2 {
+			t.Fatalf("out[%d] = %g", i, got[i])
+		}
+	}
+	if tr.Mem.TexAccesses != 0 {
+		t.Error("no texture counters should move on a cacheless device")
+	}
+	if tr.Mem.GlobalLoadAccesses == 0 {
+		t.Error("the fetch should route through the global path")
+	}
+}
+
+// TestConstantSegmentExhaustion: ConstAlloc reports out-of-resources.
+func TestConstantSegmentExhaustion(t *testing.T) {
+	d := newDev(t, arch.GTX480())
+	if _, err := d.ConstAlloc(60 * 1024); err != nil {
+		t.Fatalf("first alloc should fit: %v", err)
+	}
+	if _, err := d.ConstAlloc(8 * 1024); !errors.Is(err, ErrOutOfResources) {
+		t.Errorf("exhaustion should wrap ErrOutOfResources, got %v", err)
+	}
+	d.ConstReset()
+	if _, err := d.ConstAlloc(60 * 1024); err != nil {
+		t.Errorf("reset should reclaim the segment: %v", err)
+	}
+}

@@ -1,0 +1,509 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"gpucmp/internal/mem"
+	"gpucmp/internal/ptx"
+)
+
+// frame is one entry of the SIMT reconvergence stack: execute from pc with
+// the given lane mask until pc reaches reconv, then pop.
+type frame struct {
+	pc     int
+	mask   uint64
+	reconv int
+}
+
+// blockCtx is the shared state of one work-group execution.
+type blockCtx struct {
+	cu             *cuState
+	k              *ptx.Kernel
+	grid, block    Dim3
+	ctaidX, ctaidY uint32
+	shared         []uint32
+	W              int
+}
+
+// warpCtx is one warp's execution state.
+type warpCtx struct {
+	b          *blockCtx
+	warpBase   int // linear thread index of lane 0
+	regs       []uint32
+	local      []uint32 // lane-major per-thread local memory
+	localWords int
+	tid        [2][64]uint32 // per-lane tid.x / tid.y
+	frames     []frame
+	atBarrier  bool
+	done       bool
+}
+
+// runBlock executes one work-group to completion on this compute unit.
+func (cu *cuState) runBlock(k *ptx.Kernel, grid, block Dim3, bx, by int, args []uint32) error {
+	W := cu.dev.Arch.SIMDWidth
+	if W > 64 {
+		return fmt.Errorf("sim: SIMD width %d exceeds the 64-lane model limit", W)
+	}
+	b := &blockCtx{
+		cu: cu, k: k, grid: grid, block: block,
+		ctaidX: uint32(bx), ctaidY: uint32(by),
+		shared: make([]uint32, (k.SharedBytes+3)/4),
+		W:      W,
+	}
+	threads := block.Count()
+	nwarps := (threads + W - 1) / W
+	localWords := (k.LocalBytes + 3) / 4
+
+	warps := make([]*warpCtx, nwarps)
+	for wi := 0; wi < nwarps; wi++ {
+		w := &warpCtx{
+			b:          b,
+			warpBase:   wi * W,
+			regs:       make([]uint32, k.NumRegs*W),
+			localWords: localWords,
+		}
+		if localWords > 0 {
+			w.local = make([]uint32, localWords*W)
+		}
+		var mask uint64
+		for l := 0; l < W; l++ {
+			t := w.warpBase + l
+			if t >= threads {
+				break
+			}
+			mask |= 1 << uint(l)
+			w.tid[0][l] = uint32(t % block.X)
+			w.tid[1][l] = uint32(t / block.X)
+		}
+		w.frames = []frame{{pc: 0, mask: mask, reconv: len(k.Instrs)}}
+		warps[wi] = w
+	}
+
+	for {
+		remaining := 0
+		for _, w := range warps {
+			if w.done {
+				continue
+			}
+			remaining++
+			if w.atBarrier {
+				continue
+			}
+			if err := w.run(); err != nil {
+				return err
+			}
+		}
+		if remaining == 0 {
+			return nil
+		}
+		// Every live warp has either finished this pass at a barrier or
+		// completed; release the barrier.
+		released := false
+		for _, w := range warps {
+			if !w.done && w.atBarrier {
+				w.atBarrier = false
+				released = true
+			}
+		}
+		if !released {
+			allDone := true
+			for _, w := range warps {
+				if !w.done {
+					allDone = false
+				}
+			}
+			if allDone {
+				return nil
+			}
+			return fmt.Errorf("sim: %s: scheduling deadlock in block (%d,%d)", k.Name, bx, by)
+		}
+	}
+}
+
+func f32(v uint32) float32   { return math.Float32frombits(v) }
+func fbits(f float32) uint32 { return math.Float32bits(f) }
+func boolToU32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fetch materialises an operand into per-lane values.
+func (w *warpCtx) fetch(o ptx.Operand, dst *[64]uint32) {
+	W := w.b.W
+	switch {
+	case o.IsImm:
+		for l := 0; l < W; l++ {
+			dst[l] = o.Imm
+		}
+	case o.IsSpec:
+		w.fetchSpecial(o.Spec, dst)
+	case o.Reg == ptx.NoReg:
+		for l := 0; l < W; l++ {
+			dst[l] = 0
+		}
+	default:
+		copy(dst[:W], w.regs[int(o.Reg)*W:int(o.Reg)*W+W])
+	}
+}
+
+func (w *warpCtx) fetchSpecial(s ptx.SpecialReg, dst *[64]uint32) {
+	W := w.b.W
+	fill := func(v uint32) {
+		for l := 0; l < W; l++ {
+			dst[l] = v
+		}
+	}
+	switch s {
+	case ptx.SrTidX:
+		copy(dst[:W], w.tid[0][:W])
+	case ptx.SrTidY:
+		copy(dst[:W], w.tid[1][:W])
+	case ptx.SrNtidX:
+		fill(uint32(w.b.block.X))
+	case ptx.SrNtidY:
+		fill(uint32(w.b.block.Y))
+	case ptx.SrCtaidX:
+		fill(w.b.ctaidX)
+	case ptx.SrCtaidY:
+		fill(w.b.ctaidY)
+	case ptx.SrNctaidX:
+		fill(uint32(w.b.grid.X))
+	case ptx.SrNctaidY:
+		fill(uint32(w.b.grid.Y))
+	case ptx.SrWarpSize:
+		fill(uint32(W))
+	default:
+		fill(0)
+	}
+}
+
+// activeUnderGuard applies the instruction's guard predicate to the mask.
+func (w *warpCtx) activeUnderGuard(in *ptx.Instruction, mask uint64) uint64 {
+	if in.GuardPred == ptx.NoReg {
+		return mask
+	}
+	W := w.b.W
+	base := int(in.GuardPred) * W
+	var out uint64
+	for l := 0; l < W; l++ {
+		if mask&(1<<uint(l)) == 0 {
+			continue
+		}
+		p := w.regs[base+l] != 0
+		if p != in.GuardNeg {
+			out |= 1 << uint(l)
+		}
+	}
+	return out
+}
+
+// run executes the warp until it completes or reaches a barrier.
+func (w *warpCtx) run() error {
+	instrs := w.b.k.Instrs
+	cu := w.b.cu
+	for len(w.frames) > 0 {
+		fi := len(w.frames) - 1
+		f := w.frames[fi]
+		if f.pc >= len(instrs) || f.pc == f.reconv || f.mask == 0 {
+			w.frames = w.frames[:fi]
+			continue
+		}
+		in := &instrs[f.pc]
+		active := w.activeUnderGuard(in, f.mask)
+		lanes := mem.ActiveLanes(active)
+
+		switch in.Op {
+		case ptx.OpBra:
+			cu.countOp(ptx.OpBra, ptx.SpaceNone, lanes)
+			cu.branches++
+			taken := active
+			if in.GuardPred == ptx.NoReg {
+				taken = f.mask
+			}
+			switch {
+			case taken == f.mask:
+				w.frames[fi].pc = in.Target
+			case taken == 0:
+				w.frames[fi].pc = f.pc + 1
+			default:
+				cu.divergent++
+				w.frames[fi].pc = in.Join
+				w.frames = append(w.frames,
+					frame{pc: f.pc + 1, mask: f.mask &^ taken, reconv: in.Join},
+					frame{pc: in.Target, mask: taken, reconv: in.Join},
+				)
+			}
+
+		case ptx.OpBar:
+			cu.countOp(ptx.OpBar, ptx.SpaceNone, lanes)
+			cu.barriers++
+			w.frames[fi].pc = f.pc + 1
+			w.atBarrier = true
+			return nil
+
+		case ptx.OpRet:
+			cu.countOp(ptx.OpRet, ptx.SpaceNone, lanes)
+			for i := range w.frames {
+				w.frames[i].mask &^= active
+			}
+			w.frames[fi].pc = f.pc + 1
+
+		case ptx.OpLd, ptx.OpSt, ptx.OpTex, ptx.OpAtom:
+			cu.countOp(in.Op, in.Space, lanes)
+			if active != 0 {
+				if err := w.execMem(in, active); err != nil {
+					return fmt.Errorf("sim: %s: pc %d (%s): %w", w.b.k.Name, f.pc, in.Mnemonic(), err)
+				}
+			}
+			w.frames[fi].pc = f.pc + 1
+
+		default:
+			cu.countOp(in.Op, ptx.SpaceNone, lanes)
+			if active != 0 {
+				w.execALU(in, active)
+			}
+			w.frames[fi].pc = f.pc + 1
+		}
+	}
+	w.done = true
+	return nil
+}
+
+// execALU evaluates an arithmetic/logic/movement instruction over the
+// active lanes.
+func (w *warpCtx) execALU(in *ptx.Instruction, active uint64) {
+	W := w.b.W
+	var a, b, c [64]uint32
+	w.fetch(in.Src[0], &a)
+	switch in.Op {
+	case ptx.OpMov, ptx.OpCvt, ptx.OpNeg, ptx.OpAbs, ptx.OpNot,
+		ptx.OpSqrt, ptx.OpRsqrt, ptx.OpSin, ptx.OpCos, ptx.OpEx2, ptx.OpLg2:
+		// unary
+	case ptx.OpFma, ptx.OpMad, ptx.OpSelp:
+		w.fetch(in.Src[1], &b)
+		w.fetch(in.Src[2], &c)
+	default:
+		w.fetch(in.Src[1], &b)
+	}
+	dst := w.regs[int(in.Dst)*W : int(in.Dst)*W+W]
+	isF := in.Typ == ptx.F32
+	isS := in.Typ == ptx.S32
+
+	for l := 0; l < W; l++ {
+		if active&(1<<uint(l)) == 0 {
+			continue
+		}
+		av, bv, cv := a[l], b[l], c[l]
+		var r uint32
+		switch in.Op {
+		case ptx.OpMov:
+			r = av
+		case ptx.OpAdd:
+			if isF {
+				r = fbits(f32(av) + f32(bv))
+			} else {
+				r = av + bv
+			}
+		case ptx.OpSub:
+			if isF {
+				r = fbits(f32(av) - f32(bv))
+			} else {
+				r = av - bv
+			}
+		case ptx.OpMul:
+			if isF {
+				r = fbits(f32(av) * f32(bv))
+			} else {
+				r = av * bv
+			}
+		case ptx.OpDiv:
+			switch {
+			case isF:
+				r = fbits(f32(av) / f32(bv))
+			case bv == 0:
+				r = ^uint32(0)
+			case isS:
+				r = uint32(int32(av) / int32(bv))
+			default:
+				r = av / bv
+			}
+		case ptx.OpRem:
+			switch {
+			case bv == 0:
+				r = av
+			case isS:
+				r = uint32(int32(av) % int32(bv))
+			default:
+				r = av % bv
+			}
+		case ptx.OpFma, ptx.OpMad:
+			if isF {
+				r = fbits(f32(av)*f32(bv) + f32(cv))
+			} else {
+				r = av*bv + cv
+			}
+		case ptx.OpNeg:
+			if isF {
+				r = fbits(-f32(av))
+			} else {
+				r = -av
+			}
+		case ptx.OpAbs:
+			if isF {
+				r = fbits(float32(math.Abs(float64(f32(av)))))
+			} else if int32(av) < 0 {
+				r = uint32(-int32(av))
+			} else {
+				r = av
+			}
+		case ptx.OpMin:
+			switch {
+			case isF:
+				r = fbits(float32(math.Min(float64(f32(av)), float64(f32(bv)))))
+			case isS:
+				if int32(av) < int32(bv) {
+					r = av
+				} else {
+					r = bv
+				}
+			default:
+				if av < bv {
+					r = av
+				} else {
+					r = bv
+				}
+			}
+		case ptx.OpMax:
+			switch {
+			case isF:
+				r = fbits(float32(math.Max(float64(f32(av)), float64(f32(bv)))))
+			case isS:
+				if int32(av) > int32(bv) {
+					r = av
+				} else {
+					r = bv
+				}
+			default:
+				if av > bv {
+					r = av
+				} else {
+					r = bv
+				}
+			}
+		case ptx.OpSqrt:
+			r = fbits(float32(math.Sqrt(float64(f32(av)))))
+		case ptx.OpRsqrt:
+			r = fbits(float32(1 / math.Sqrt(float64(f32(av)))))
+		case ptx.OpSin:
+			r = fbits(float32(math.Sin(float64(f32(av)))))
+		case ptx.OpCos:
+			r = fbits(float32(math.Cos(float64(f32(av)))))
+		case ptx.OpEx2:
+			r = fbits(float32(math.Exp2(float64(f32(av)))))
+		case ptx.OpLg2:
+			r = fbits(float32(math.Log2(float64(f32(av)))))
+		case ptx.OpAnd:
+			r = av & bv
+		case ptx.OpOr:
+			r = av | bv
+		case ptx.OpXor:
+			r = av ^ bv
+		case ptx.OpNot:
+			r = ^av
+		case ptx.OpShl:
+			r = av << (bv & 31)
+		case ptx.OpShr:
+			if isS {
+				r = uint32(int32(av) >> (bv & 31))
+			} else {
+				r = av >> (bv & 31)
+			}
+		case ptx.OpSetp:
+			r = boolToU32(compare(in.Cmp, in.Typ, av, bv))
+		case ptx.OpSelp:
+			if cv != 0 {
+				r = av
+			} else {
+				r = bv
+			}
+		case ptx.OpCvt:
+			r = convert(in.Typ, in.SrcTyp, av)
+		default:
+			r = av
+		}
+		dst[l] = r
+	}
+}
+
+func compare(cmp ptx.CmpOp, t ptx.ScalarType, a, b uint32) bool {
+	switch t {
+	case ptx.F32:
+		fa, fb := f32(a), f32(b)
+		switch cmp {
+		case ptx.CmpEQ:
+			return fa == fb
+		case ptx.CmpNE:
+			return fa != fb
+		case ptx.CmpLT:
+			return fa < fb
+		case ptx.CmpLE:
+			return fa <= fb
+		case ptx.CmpGT:
+			return fa > fb
+		case ptx.CmpGE:
+			return fa >= fb
+		}
+	case ptx.S32:
+		sa, sb := int32(a), int32(b)
+		switch cmp {
+		case ptx.CmpEQ:
+			return sa == sb
+		case ptx.CmpNE:
+			return sa != sb
+		case ptx.CmpLT:
+			return sa < sb
+		case ptx.CmpLE:
+			return sa <= sb
+		case ptx.CmpGT:
+			return sa > sb
+		case ptx.CmpGE:
+			return sa >= sb
+		}
+	default:
+		switch cmp {
+		case ptx.CmpEQ:
+			return a == b
+		case ptx.CmpNE:
+			return a != b
+		case ptx.CmpLT:
+			return a < b
+		case ptx.CmpLE:
+			return a <= b
+		case ptx.CmpGT:
+			return a > b
+		case ptx.CmpGE:
+			return a >= b
+		}
+	}
+	return false
+}
+
+func convert(to, from ptx.ScalarType, v uint32) uint32 {
+	switch {
+	case to == from:
+		return v
+	case to == ptx.F32 && from == ptx.U32:
+		return fbits(float32(v))
+	case to == ptx.F32 && from == ptx.S32:
+		return fbits(float32(int32(v)))
+	case to == ptx.U32 && from == ptx.F32:
+		return uint32(int64(f32(v)))
+	case to == ptx.S32 && from == ptx.F32:
+		return uint32(int32(f32(v)))
+	default:
+		return v
+	}
+}

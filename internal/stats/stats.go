@@ -1,0 +1,161 @@
+// Package stats holds small presentation helpers shared by the experiment
+// harness and the command-line tools: fixed-width tables, named series, and
+// ratio summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable starts a table with the given headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row; values are formatted with %v (floats with %.4g).
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// GeoMean returns the geometric mean of positive values (NaN when empty).
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(ratio float64) string { return fmt.Sprintf("%.1f%%", ratio*100) }
+
+// Bar renders a horizontal ASCII bar chart — enough to eyeball the shape
+// of a figure in a terminal. Values are scaled to width characters against
+// the maximum value; a reference line can be drawn at ref (e.g. PR = 1).
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders bars with a shared scale. When ref > 0, a '|' marks the
+// reference value on every row.
+func BarChart(title string, bars []Bar, width int, ref float64) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxV := ref
+	for _, b := range bars {
+		if b.Value > maxV {
+			maxV = b.Value
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	labelW := 0
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	refCol := -1
+	if ref > 0 {
+		refCol = int(ref / maxV * float64(width))
+		if refCol >= width {
+			refCol = width - 1
+		}
+	}
+	for _, b := range bars {
+		n := int(b.Value / maxV * float64(width))
+		if n > width {
+			n = width
+		}
+		row := make([]byte, width)
+		for i := range row {
+			switch {
+			case i < n:
+				row[i] = '#'
+			case i == refCol:
+				row[i] = '|'
+			default:
+				row[i] = ' '
+			}
+		}
+		if refCol >= 0 && refCol < n {
+			row[refCol] = '+'
+		}
+		fmt.Fprintf(&sb, "%-*s %s %.3f\n", labelW, b.Label, string(row), b.Value)
+	}
+	return sb.String()
+}

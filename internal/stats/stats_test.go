@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("title", "name", "value")
+	tb.Add("alpha", 1.5)
+	tb.Add("beta-very-long-name", float32(2))
+	out := tb.String()
+	for _, want := range []string{"title", "name", "value", "alpha", "1.5", "beta-very-long-name", "2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: each data row at least as wide as the header row.
+	if len(lines[3]) < len(strings.TrimRight(lines[1], " ")) {
+		t.Error("rows narrower than headers")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %g, want 4", got)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty GeoMean should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("negative values should yield NaN")
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw [5]uint16) bool {
+		vals := make([]float64, 0, 5)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			v := float64(r) + 1
+			vals = append(vals, v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		g := GeoMean(vals)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(0.686) != "68.6%" {
+		t.Errorf("Pct = %q", Pct(0.686))
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("prs", []Bar{{"FFT", 0.7}, {"Sobel", 1.4}}, 20, 1.0)
+	if !strings.Contains(out, "prs") || !strings.Contains(out, "FFT") || !strings.Contains(out, "Sobel") {
+		t.Fatalf("chart missing labels:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("chart rows = %d, want 3", len(lines))
+	}
+	// The larger value draws the longer bar.
+	if strings.Count(lines[1], "#") >= strings.Count(lines[2], "#") {
+		t.Errorf("bar lengths out of order:\n%s", out)
+	}
+	// A reference mark appears: '|' beyond the short bar, '+' within the
+	// long one.
+	if !strings.Contains(lines[1], "|") {
+		t.Errorf("short bar missing reference mark:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "+") {
+		t.Errorf("long bar should cross the reference:\n%s", out)
+	}
+	if BarChart("", nil, 0, 0) != "" {
+		t.Error("empty chart should be empty")
+	}
+}

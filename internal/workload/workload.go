@@ -1,0 +1,200 @@
+// Package workload generates the deterministic inputs of every benchmark:
+// pseudo-random arrays, gray images, CSR sparse matrices, random graphs,
+// molecular-dynamics neighbour lists, and FFT signal batches. All
+// generators are seeded xorshift so every run of every experiment sees the
+// same data.
+package workload
+
+// RNG is a small deterministic xorshift64* generator.
+type RNG struct{ s uint64 }
+
+// NewRNG seeds a generator (zero seeds are remapped).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{s: seed}
+}
+
+// Next returns the next 64-bit value.
+func (r *RNG) Next() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+// Uint32 returns a 32-bit value.
+func (r *RNG) Uint32() uint32 { return uint32(r.Next() >> 32) }
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int { return int(r.Next() % uint64(n)) }
+
+// Float32 returns a value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Next()>>40) / float32(1<<24)
+}
+
+// Floats returns n floats in [lo, hi).
+func (r *RNG) Floats(n int, lo, hi float32) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*r.Float32()
+	}
+	return out
+}
+
+// Keys returns n keys bounded below maxKey (for the sorting benchmarks).
+func (r *RNG) Keys(n int, maxKey uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.Uint32() % maxKey
+	}
+	return out
+}
+
+// GrayImage returns a w*h float image with smooth structure plus noise —
+// enough variation that Sobel responses are non-trivial.
+func GrayImage(w, h int, seed uint64) []float32 {
+	r := NewRNG(seed)
+	img := make([]float32, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := float32((x*7+y*13)%251)/251.0 + 0.1*r.Float32()
+			img[y*w+x] = v
+		}
+	}
+	return img
+}
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	Rows   int
+	Cols   int
+	RowPtr []uint32 // len Rows+1
+	ColIdx []uint32 // len NNZ
+	Values []float32
+}
+
+// NNZ returns the stored-element count.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// RandomCSR builds a rows x cols matrix with about nnzPerRow entries per
+// row at sorted random columns.
+func RandomCSR(rows, cols, nnzPerRow int, seed uint64) *CSR {
+	r := NewRNG(seed)
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]uint32, rows+1)}
+	for i := 0; i < rows; i++ {
+		n := nnzPerRow/2 + r.Intn(nnzPerRow+1)
+		if n < 1 {
+			n = 1
+		}
+		seen := make(map[uint32]bool, n)
+		cols32 := make([]uint32, 0, n)
+		for len(cols32) < n {
+			c := uint32(r.Intn(cols))
+			if !seen[c] {
+				seen[c] = true
+				cols32 = append(cols32, c)
+			}
+		}
+		// insertion sort (n is small)
+		for a := 1; a < len(cols32); a++ {
+			for b := a; b > 0 && cols32[b-1] > cols32[b]; b-- {
+				cols32[b-1], cols32[b] = cols32[b], cols32[b-1]
+			}
+		}
+		for _, c := range cols32 {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Values = append(m.Values, r.Float32()+0.1)
+		}
+		m.RowPtr[i+1] = uint32(len(m.ColIdx))
+	}
+	return m
+}
+
+// Graph is a CSR adjacency structure for BFS.
+type Graph struct {
+	Nodes  int
+	Starts []uint32 // len Nodes+1
+	Edges  []uint32
+}
+
+// RandomGraph builds a connected-ish random graph of avgDegree.
+func RandomGraph(nodes, avgDegree int, seed uint64) *Graph {
+	r := NewRNG(seed)
+	adj := make([][]uint32, nodes)
+	// A ring backbone keeps the graph connected so BFS reaches everything.
+	for i := 0; i < nodes; i++ {
+		adj[i] = append(adj[i], uint32((i+1)%nodes))
+	}
+	extra := nodes * (avgDegree - 1)
+	for e := 0; e < extra; e++ {
+		a := r.Intn(nodes)
+		b := r.Intn(nodes)
+		if a != b {
+			adj[a] = append(adj[a], uint32(b))
+		}
+	}
+	g := &Graph{Nodes: nodes, Starts: make([]uint32, nodes+1)}
+	for i := 0; i < nodes; i++ {
+		g.Edges = append(g.Edges, adj[i]...)
+		g.Starts[i+1] = uint32(len(g.Edges))
+	}
+	return g
+}
+
+// MDSystem is a particle set with fixed-size neighbour lists (the SHOC MD
+// shape: j-th neighbour of atom i at Neighbors[j*Atoms+i]).
+type MDSystem struct {
+	Atoms     int
+	MaxNeigh  int
+	X, Y, Z   []float32
+	Neighbors []uint32
+}
+
+// RandomMD places atoms in a cube and picks random neighbour lists. Random
+// neighbours make the position gather maximally irregular, which is the
+// access pattern the paper's texture-memory analysis hinges on.
+func RandomMD(atoms, maxNeigh int, seed uint64) *MDSystem {
+	r := NewRNG(seed)
+	s := &MDSystem{
+		Atoms: atoms, MaxNeigh: maxNeigh,
+		X: r.Floats(atoms, 0, 20), Y: r.Floats(atoms, 0, 20), Z: r.Floats(atoms, 0, 20),
+		Neighbors: make([]uint32, atoms*maxNeigh),
+	}
+	for j := 0; j < maxNeigh; j++ {
+		for i := 0; i < atoms; i++ {
+			n := r.Intn(atoms)
+			if n == i {
+				n = (n + 1) % atoms
+			}
+			s.Neighbors[j*atoms+i] = uint32(n)
+		}
+	}
+	return s
+}
+
+// SignalBatch returns batch*n complex samples as separate re/im arrays.
+func SignalBatch(batch, n int, seed uint64) (re, im []float32) {
+	r := NewRNG(seed)
+	re = r.Floats(batch*n, -1, 1)
+	im = r.Floats(batch*n, -1, 1)
+	return re, im
+}
+
+// RGBAImage returns w*h packed RGBA pixels for DXTC.
+func RGBAImage(w, h int, seed uint64) []uint32 {
+	r := NewRNG(seed)
+	img := make([]uint32, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Smooth gradients with noise: compressible but not constant.
+			cr := uint32((x*255/w + r.Intn(32)) & 0xff)
+			cg := uint32((y*255/h + r.Intn(32)) & 0xff)
+			cb := uint32(((x + y) * 255 / (w + h)) & 0xff)
+			img[y*w+x] = cr | cg<<8 | cb<<16 | 0xff<<24
+		}
+	}
+	return img
+}

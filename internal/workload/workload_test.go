@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	if NewRNG(1).Next() == NewRNG(2).Next() {
+		t.Error("different seeds should diverge immediately")
+	}
+	if NewRNG(0).Next() == 0 {
+		t.Error("zero seed must be remapped")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Float32(); v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of range: %g", v)
+		}
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	fs := r.Floats(100, -2, 3)
+	for _, f := range fs {
+		if f < -2 || f >= 3 {
+			t.Fatalf("Floats out of range: %g", f)
+		}
+	}
+	ks := r.Keys(100, 1000)
+	for _, k := range ks {
+		if k >= 1000 {
+			t.Fatalf("key out of range: %d", k)
+		}
+	}
+}
+
+func TestRandomCSRWellFormed(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := RandomCSR(50, 60, 5, seed)
+		if len(m.RowPtr) != 51 || m.RowPtr[0] != 0 {
+			return false
+		}
+		for r := 0; r < 50; r++ {
+			if m.RowPtr[r] > m.RowPtr[r+1] {
+				return false
+			}
+			prev := int64(-1)
+			for j := m.RowPtr[r]; j < m.RowPtr[r+1]; j++ {
+				c := m.ColIdx[j]
+				if c >= 60 || int64(c) <= prev { // sorted, unique, in range
+					return false
+				}
+				prev = int64(c)
+			}
+		}
+		return int(m.RowPtr[50]) == m.NNZ() && len(m.Values) == m.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomGraphConnectedAndInRange(t *testing.T) {
+	g := RandomGraph(200, 6, 3)
+	if len(g.Starts) != 201 {
+		t.Fatal("starts length wrong")
+	}
+	for i := 0; i < 200; i++ {
+		if g.Starts[i] > g.Starts[i+1] {
+			t.Fatal("starts not monotone")
+		}
+		// The ring backbone guarantees at least one out-edge per node.
+		if g.Starts[i+1] == g.Starts[i] {
+			t.Fatalf("node %d has no edges", i)
+		}
+	}
+	for _, e := range g.Edges {
+		if int(e) >= 200 {
+			t.Fatalf("edge target out of range: %d", e)
+		}
+	}
+	// Reachability from node 0 via the backbone.
+	seen := make([]bool, 200)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for j := g.Starts[u]; j < g.Starts[u+1]; j++ {
+			v := int(g.Edges[j])
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	if count != 200 {
+		t.Errorf("graph not fully reachable: %d/200", count)
+	}
+}
+
+func TestRandomMDNeighbours(t *testing.T) {
+	s := RandomMD(100, 8, 5)
+	if len(s.Neighbors) != 800 || len(s.X) != 100 {
+		t.Fatal("sizes wrong")
+	}
+	for j := 0; j < 8; j++ {
+		for i := 0; i < 100; i++ {
+			n := s.Neighbors[j*100+i]
+			if n >= 100 {
+				t.Fatalf("neighbour out of range: %d", n)
+			}
+			if int(n) == i {
+				t.Fatalf("atom %d is its own neighbour", i)
+			}
+		}
+	}
+}
+
+func TestImagesAndSignals(t *testing.T) {
+	img := GrayImage(32, 16, 1)
+	if len(img) != 512 {
+		t.Fatal("gray image size wrong")
+	}
+	rgba := RGBAImage(16, 16, 1)
+	if len(rgba) != 256 {
+		t.Fatal("rgba image size wrong")
+	}
+	for _, p := range rgba {
+		if p>>24 != 0xff {
+			t.Fatal("alpha channel must be opaque")
+		}
+	}
+	re, im := SignalBatch(4, 64, 9)
+	if len(re) != 256 || len(im) != 256 {
+		t.Fatal("signal batch size wrong")
+	}
+	for i := range re {
+		if re[i] < -1 || re[i] >= 1 || im[i] < -1 || im[i] >= 1 {
+			t.Fatal("signal out of range")
+		}
+	}
+}
