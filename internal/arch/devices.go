@@ -255,6 +255,17 @@ func All() []*Device {
 	return []*Device{GTX480(), GTX280(), HD5870(), Intel920(), CellBE()}
 }
 
+// Names returns the Name of every modelled device in the All order, for
+// CLI flag validation and error messages.
+func Names() []string {
+	devs := All()
+	out := make([]string, len(devs))
+	for i, d := range devs {
+		out[i] = d.Name
+	}
+	return out
+}
+
 // ByName returns the device with the given Name, or nil.
 func ByName(name string) *Device {
 	for _, d := range All() {

@@ -1,0 +1,53 @@
+package compiler_test
+
+// Native Go fuzz target over the lowering pipeline. The fuzzing engine
+// mutates a generator seed (not raw AST bytes): every input deterministically
+// expands to a well-typed KIR program via internal/fuzz, so the target
+// spends its budget on semantic coverage instead of parser rejection. The
+// external test package breaks the import cycle (internal/fuzz imports
+// this package).
+//
+// Run with: go test -fuzz FuzzLowerKernel ./internal/compiler
+
+import (
+	"testing"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/compiler"
+	"gpucmp/internal/fuzz"
+)
+
+func FuzzLowerKernel(f *testing.F) {
+	for seed := uint64(1); seed <= 32; seed++ {
+		f.Add(seed)
+	}
+	f.Add(uint64(0))
+	f.Add(^uint64(0))
+	f.Add(uint64(0xdeadbeefcafe))
+
+	cfg := fuzz.DefaultConfig()
+	// Both warp widths: divergence handling differs between 32 and 64.
+	devices := []*arch.Device{arch.GTX480(), arch.HD5870()}
+
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		p := fuzz.Generate(seed, cfg) // panics on any invalid generation
+
+		// Lowering with either personality must succeed: the generator
+		// only emits programs inside the supported language.
+		for _, pers := range fuzz.Toolchains() {
+			if _, err := compiler.Compile(p.Kernel, pers); err != nil {
+				t.Fatalf("seed %d: compile %s: %v", seed, pers.Name, err)
+			}
+		}
+
+		// And the personalities must agree with the interpreter and with
+		// each other on every output word.
+		res, err := fuzz.Check(p, devices)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Divergence != nil {
+			t.Fatalf("%s", res.Divergence.Error())
+		}
+	})
+}

@@ -1,0 +1,82 @@
+package fuzz
+
+// Corpus replay: every program under corpus/ runs through the full
+// three-way oracle on every device as part of plain `go test`. Programs
+// land here either hand-picked for feature coverage or minimised from a
+// past divergence; a regression in any layer of the pipeline fails this
+// test with the stored kernel attached.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	ents, err := os.ReadDir("corpus")
+	if err != nil {
+		t.Fatalf("reading corpus dir: %v", err)
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			files = append(files, filepath.Join("corpus", e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatal("corpus directory is empty")
+	}
+	return files
+}
+
+func TestCorpusReplay(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Check(p, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Divergence != nil {
+				t.Fatalf("corpus regression:\n%s", res.Divergence.Error())
+			}
+			if res.Executions == 0 {
+				t.Fatal("no executions completed")
+			}
+		})
+	}
+}
+
+// TestCorpusEncodingStable: stored corpus files must be exactly what
+// Encode emits for them today, so `kfuzz -dump` output and checked-in
+// files never drift apart.
+func TestCorpusEncodingStable(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		out, err := Encode(p)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if strings.TrimRight(string(data), "\n") != string(out) {
+			t.Errorf("%s: re-encoding differs from the stored file; regenerate with kfuzz -dump", path)
+		}
+	}
+}

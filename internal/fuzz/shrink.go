@@ -1,0 +1,417 @@
+package fuzz
+
+// Kernel minimisation: given a failing program and a predicate that
+// re-checks the failure, greedily apply semantics-shrinking edits until a
+// fixpoint. Each candidate is validated with the kir type checker and the
+// uniform-barrier checker before the predicate runs, so the shrinker can
+// never "minimise" into an ill-formed kernel. Barriers are never deleted:
+// removing one could turn a deterministic kernel into a racy one, whose
+// divergence would not replay.
+
+import (
+	"gpucmp/internal/kir"
+)
+
+// maxShrinkTests bounds how many candidate programs one Shrink call may
+// evaluate; each evaluation is a full oracle run, so this caps worst-case
+// minimisation cost.
+const maxShrinkTests = 3000
+
+// Shrink returns the smallest variant of p (by kernel node count) it can
+// find for which interesting still returns true. The input program is not
+// modified. interesting must be deterministic.
+func Shrink(p *Program, interesting func(*Program) bool) *Program {
+	cur := cloneProgram(p)
+	budget := maxShrinkTests
+	try := func(cand *Program) bool {
+		if budget <= 0 {
+			return false
+		}
+		if kir.Check(cand.Kernel) != nil || kir.CheckUniformBarriers(cand.Kernel) != nil {
+			return false
+		}
+		budget--
+		return interesting(cand)
+	}
+
+	for {
+		improved := false
+
+		// Pass 1: delete whole statements, outermost positions first.
+		for i := 0; ; i++ {
+			cand := cloneProgram(cur)
+			applied, found := deleteStmtAt(cand.Kernel, i)
+			if !found {
+				break
+			}
+			if applied && try(cand) {
+				cur = cand
+				improved = true
+				i-- // same index now names the next statement
+			}
+		}
+
+		// Pass 2: unwrap control flow (If -> branch bodies, For -> one
+		// trip with the loop variable bound to its initial value).
+		for i := 0; ; i++ {
+			cand := cloneProgram(cur)
+			ok, any := unwrapStmtAt(cand.Kernel, i)
+			if !any {
+				break
+			}
+			if ok && try(cand) {
+				cur = cand
+				improved = true
+				i--
+			}
+		}
+
+		// Pass 3: simplify expressions (replace a subtree with a literal
+		// or hoist one of its operands).
+		for i := 0; ; i++ {
+			n := countExprs(cur.Kernel)
+			if i >= n {
+				break
+			}
+			for mode := 0; mode < 3; mode++ {
+				cand := cloneProgram(cur)
+				if !simplifyExprAt(cand.Kernel, i, mode) {
+					continue
+				}
+				if try(cand) {
+					cur = cand
+					improved = true
+					break
+				}
+			}
+		}
+
+		// Pass 4: shrink the launch and the data.
+		if cur.Grid > 1 {
+			cand := cloneProgram(cur)
+			cand.Grid /= 2
+			cand.Buffers[cand.Out] = make([]uint32, cand.Grid*cand.Block)
+			if try(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+		for name := range cur.Buffers {
+			if name == cur.Out {
+				continue
+			}
+			if allZero(cur.Buffers[name]) {
+				continue
+			}
+			cand := cloneProgram(cur)
+			cand.Buffers[name] = make([]uint32, len(cand.Buffers[name]))
+			if try(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+		for name, v := range cur.Scalars {
+			if v == 0 {
+				continue
+			}
+			cand := cloneProgram(cur)
+			cand.Scalars[name] = 0
+			if try(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+
+		if !improved || budget <= 0 {
+			return cur
+		}
+	}
+}
+
+func allZero(ws []uint32) bool {
+	for _, w := range ws {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneProgram(p *Program) *Program {
+	q := &Program{
+		Seed: p.Seed, Grid: p.Grid, Block: p.Block, Out: p.Out,
+		Kernel:  cloneKernel(p.Kernel),
+		Buffers: map[string][]uint32{},
+		Scalars: map[string]uint32{},
+	}
+	for name, ws := range p.Buffers {
+		c := make([]uint32, len(ws))
+		copy(c, ws)
+		q.Buffers[name] = c
+	}
+	for name, v := range p.Scalars {
+		q.Scalars[name] = v
+	}
+	return q
+}
+
+func cloneKernel(k *kir.Kernel) *kir.Kernel {
+	c := &kir.Kernel{
+		Name:                k.Name,
+		Params:              append([]kir.Param(nil), k.Params...),
+		SharedArrays:        append([]kir.Array(nil), k.SharedArrays...),
+		LocalArrays:         append([]kir.Array(nil), k.LocalArrays...),
+		WarpWidthAssumption: k.WarpWidthAssumption,
+		Body:                kir.CloneStmts(k.Body),
+	}
+	return c
+}
+
+// ---- statement-level edits, addressed by pre-order index ----
+
+// deleteStmtAt removes the idx-th statement in pre-order. Barriers are
+// never deleted (they still consume an index, so addressing stays
+// stable). Returns (applied, found): found is false once idx is past the
+// last statement.
+func deleteStmtAt(k *kir.Kernel, idx int) (bool, bool) {
+	n := 0
+	var walk func(stmts *[]kir.Stmt) (bool, bool)
+	walk = func(stmts *[]kir.Stmt) (bool, bool) {
+		for i := 0; i < len(*stmts); i++ {
+			s := (*stmts)[i]
+			if n == idx {
+				n++
+				if _, isBar := s.(*kir.BarrierStmt); isBar {
+					return false, true // found but not deletable
+				}
+				*stmts = append((*stmts)[:i], (*stmts)[i+1:]...)
+				return true, true
+			}
+			n++
+			switch s := s.(type) {
+			case *kir.IfStmt:
+				if app, found := walk(&s.Then); found {
+					return app, true
+				}
+				if app, found := walk(&s.Else); found {
+					return app, true
+				}
+			case *kir.ForStmt:
+				if app, found := walk(&s.Body); found {
+					return app, true
+				}
+			}
+		}
+		return false, false
+	}
+	app, found := walk(&k.Body)
+	return app, found || idx < n
+}
+
+// unwrapStmtAt replaces the idx-th statement, when it is an If or a For,
+// with its body: the If keeps Then followed by Else; the For keeps one
+// trip with the loop variable substituted by its initial value. Returns
+// (applied, found): found is false once idx is past the last statement.
+func unwrapStmtAt(k *kir.Kernel, idx int) (bool, bool) {
+	n := 0
+	var walk func(stmts *[]kir.Stmt) (bool, bool)
+	walk = func(stmts *[]kir.Stmt) (bool, bool) {
+		for i := 0; i < len(*stmts); i++ {
+			s := (*stmts)[i]
+			if n == idx {
+				n++
+				switch s := s.(type) {
+				case *kir.IfStmt:
+					repl := append(append([]kir.Stmt(nil), s.Then...), s.Else...)
+					*stmts = append((*stmts)[:i], append(repl, (*stmts)[i+1:]...)...)
+					return true, true
+				case *kir.ForStmt:
+					body := kir.SubstVar(s.Body, s.Var, s.Init)
+					*stmts = append((*stmts)[:i], append(body, (*stmts)[i+1:]...)...)
+					return true, true
+				default:
+					return false, true
+				}
+			}
+			n++
+			switch s := s.(type) {
+			case *kir.IfStmt:
+				if app, found := walk(&s.Then); found {
+					return app, true
+				}
+				if app, found := walk(&s.Else); found {
+					return app, true
+				}
+			case *kir.ForStmt:
+				if app, found := walk(&s.Body); found {
+					return app, true
+				}
+			}
+		}
+		return false, false
+	}
+	app, found := walk(&k.Body)
+	return app, found || idx < n
+}
+
+// ---- expression-level edits ----
+
+func countExprs(k *kir.Kernel) int {
+	n := 0
+	visitExprs(k, func(e *kir.Expr) bool { n++; return false })
+	return n
+}
+
+// visitExprs walks every expression slot in the kernel in pre-order,
+// calling f with a pointer to the slot so it can be replaced in place.
+// Walking stops when f returns true.
+func visitExprs(k *kir.Kernel, f func(e *kir.Expr) bool) {
+	var expr func(e *kir.Expr) bool
+	expr = func(e *kir.Expr) bool {
+		if *e == nil {
+			return false
+		}
+		if f(e) {
+			return true
+		}
+		switch x := (*e).(type) {
+		case *kir.Bin:
+			return expr(&x.L) || expr(&x.R)
+		case *kir.Un:
+			return expr(&x.X)
+		case *kir.Sel:
+			return expr(&x.Cond) || expr(&x.A) || expr(&x.B)
+		case *kir.Cast:
+			return expr(&x.X)
+		case *kir.Load:
+			return expr(&x.Index)
+		}
+		return false
+	}
+	var stmts func(ss []kir.Stmt) bool
+	stmts = func(ss []kir.Stmt) bool {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *kir.DeclStmt:
+				if expr(&s.Init) {
+					return true
+				}
+			case *kir.AssignStmt:
+				if expr(&s.Value) {
+					return true
+				}
+			case *kir.StoreStmt:
+				// Indices of stores into memory other threads can see are
+				// off-limits: rewriting one could break the own-slot
+				// discipline and introduce a write-write race, making the
+				// shrunk kernel non-deterministic.
+				if sp, err := k.SpaceOf(s.Buf); err == nil && sp == kir.Local {
+					if expr(&s.Index) {
+						return true
+					}
+				}
+				if expr(&s.Value) {
+					return true
+				}
+			case *kir.AtomicStmt:
+				if expr(&s.Value) {
+					return true
+				}
+			case *kir.IfStmt:
+				if expr(&s.Cond) || stmts(s.Then) || stmts(s.Else) {
+					return true
+				}
+			case *kir.ForStmt:
+				if expr(&s.Init) || expr(&s.Limit) || expr(&s.Step) || stmts(s.Body) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	stmts(k.Body)
+}
+
+// simplifyExprAt rewrites the idx-th expression slot. Modes: 0 replaces
+// the subtree with a literal of its type, 1 hoists its first operand,
+// 2 hoists its second operand. Returns whether an edit was applied.
+func simplifyExprAt(k *kir.Kernel, idx int, mode int) bool {
+	n := 0
+	applied := false
+	visitExprs(k, func(slot *kir.Expr) bool {
+		if n != idx {
+			n++
+			return false
+		}
+		n++
+		e := *slot
+		switch mode {
+		case 0:
+			if _, isConst := e.(*kir.ConstInt); isConst {
+				return true
+			}
+			if _, isConst := e.(*kir.ConstFloat); isConst {
+				return true
+			}
+			switch e.Type() {
+			case kir.U32, kir.I32:
+				*slot = &kir.ConstInt{T: e.Type(), V: 1}
+			case kir.F32:
+				*slot = &kir.ConstFloat{V: 1}
+			case kir.Bool:
+				*slot = &kir.Bin{Op: kir.OpEq, L: kir.U(0), R: kir.U(0)}
+			default:
+				return true
+			}
+			applied = true
+		case 1, 2:
+			child := hoistable(e, mode == 2)
+			if child == nil || !sameKind(child.Type(), e.Type()) {
+				return true
+			}
+			*slot = child
+			applied = true
+		}
+		return true
+	})
+	return applied
+}
+
+// hoistable returns the operand a simplification could promote over e.
+func hoistable(e kir.Expr, second bool) kir.Expr {
+	switch e := e.(type) {
+	case *kir.Bin:
+		if second {
+			return e.R
+		}
+		return e.L
+	case *kir.Un:
+		if second {
+			return nil
+		}
+		return e.X
+	case *kir.Sel:
+		if second {
+			return e.B
+		}
+		return e.A
+	case *kir.Cast:
+		if second {
+			return nil
+		}
+		return e.X
+	default:
+		return nil
+	}
+}
+
+// sameKind reports whether replacing an expression of type to with one of
+// type from preserves well-typedness: exact match, or the interchangeable
+// U32/I32 pair.
+func sameKind(from, to kir.Type) bool {
+	if from == to {
+		return true
+	}
+	isInt := func(t kir.Type) bool { return t == kir.U32 || t == kir.I32 }
+	return isInt(from) && isInt(to)
+}

@@ -74,14 +74,22 @@ func Run(k *Kernel, cfg RunConfig) error {
 					}
 					defer func() {
 						if r := recover(); r != nil {
-							errs[t] = fmt.Errorf("kir: Run: thread %d: %v", t, r)
-							bar.abort()
+							errs[t] = fmt.Errorf("kir: Run: block (%d,%d) thread %d (tid %d,%d): %v",
+								bx, by, t, ev.tidX, ev.tidY, r)
+							bar.abort(t, fmt.Sprint(r))
+						} else {
+							bar.leave(t)
 						}
 					}()
 					ev.stmts(k.Body)
 				}(t)
 			}
 			wg.Wait()
+			// Prefer the error of the thread that broke the barrier: the
+			// victims' "barrier abandoned" panics only restate it.
+			if at := bar.abortedBy(); at >= 0 && errs[at] != nil {
+				return errs[at]
+			}
 			for _, err := range errs {
 				if err != nil {
 					return err
@@ -92,18 +100,24 @@ func Run(k *Kernel, cfg RunConfig) error {
 	return nil
 }
 
-// hostBarrier is a reusable (cyclic) barrier for n goroutines.
+// hostBarrier is a reusable (cyclic) barrier for n goroutines. It detects
+// barrier divergence — some threads waiting at a barrier that the others
+// can never reach because they already returned from the kernel — and
+// reports which thread diverged instead of deadlocking.
 type hostBarrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	n       int
-	waiting int
-	gen     int
-	broken  bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	waiting  int
+	gen      int
+	departed int // threads that returned from the kernel body
+	broken   bool
+	breaker  int    // thread that broke the barrier, -1 if none
+	cause    string // why the barrier broke
 }
 
 func newHostBarrier(n int) *hostBarrier {
-	b := &hostBarrier{n: n}
+	b := &hostBarrier{n: n, breaker: -1}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -112,11 +126,19 @@ func (b *hostBarrier) wait() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.broken {
-		panic("barrier abandoned by a failing thread")
+		panic(b.cause)
 	}
 	gen := b.gen
 	b.waiting++
-	if b.waiting == b.n {
+	if b.waiting+b.departed == b.n {
+		if b.departed > 0 {
+			// Everyone still alive is at the barrier but departed threads
+			// will never arrive: classic barrier divergence.
+			b.breakLocked(-1, fmt.Sprintf(
+				"barrier divergence: %d thread(s) wait at a barrier that %d thread(s) already exited the kernel without reaching",
+				b.waiting, b.departed))
+			panic(b.cause)
+		}
 		b.waiting = 0
 		b.gen++
 		b.cond.Broadcast()
@@ -126,17 +148,49 @@ func (b *hostBarrier) wait() {
 		b.cond.Wait()
 	}
 	if b.broken {
-		panic("barrier abandoned by a failing thread")
+		panic(b.cause)
+	}
+}
+
+// leave records that a thread returned from the kernel body. If the
+// remaining threads are all parked at a barrier, they can never be
+// released, so the barrier breaks naming the diverging thread.
+func (b *hostBarrier) leave(t int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.departed++
+	if !b.broken && b.waiting > 0 && b.waiting+b.departed == b.n {
+		b.breakLocked(t, fmt.Sprintf(
+			"barrier divergence: thread %d returned from the kernel while %d thread(s) wait at a barrier",
+			t, b.waiting))
 	}
 }
 
 // abort releases everyone after a thread dies so Run can report the error
-// instead of deadlocking.
-func (b *hostBarrier) abort() {
+// instead of deadlocking. t is the failing thread, cause its panic value.
+func (b *hostBarrier) abort(t int, cause string) {
 	b.mu.Lock()
-	b.broken = true
-	b.cond.Broadcast()
+	b.breakLocked(t, fmt.Sprintf("barrier abandoned by thread %d: %s", t, cause))
 	b.mu.Unlock()
+}
+
+// breakLocked marks the barrier broken (first breaker wins) and wakes all
+// waiters. Callers must hold b.mu.
+func (b *hostBarrier) breakLocked(t int, cause string) {
+	if b.broken {
+		return
+	}
+	b.broken = true
+	b.breaker = t
+	b.cause = cause
+	b.cond.Broadcast()
+}
+
+// abortedBy returns the thread index that broke the barrier, or -1.
+func (b *hostBarrier) abortedBy() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.breaker
 }
 
 type runEval struct {

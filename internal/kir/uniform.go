@@ -1,0 +1,123 @@
+package kir
+
+import "fmt"
+
+// CheckUniformBarriers verifies, conservatively, that every barrier in the
+// kernel is reached by all threads of a work group: barriers may not appear
+// under control flow whose condition or trip count can differ between
+// threads. A kernel that passes is schedule-independent at its barriers on
+// any warp width, which is the property the differential fuzzer
+// (internal/fuzz) relies on and Table VI's "FL" entries show real kernels
+// violating.
+//
+// The analysis tracks a set of provably work-group-uniform scalar
+// variables: an expression is uniform when it reads only literals, kernel
+// parameters, block-uniform builtins (block ids, block/grid dimensions,
+// warp size — never thread ids) and uniform variables. Memory loads are
+// never considered uniform. The check is sound but incomplete: it may
+// reject a kernel whose divergent-looking guard is in fact uniform at run
+// time, but it never accepts a kernel that can diverge at a barrier.
+func CheckUniformBarriers(k *Kernel) error {
+	u := &uniformChecker{k: k, uniform: map[string]bool{}}
+	return u.block(k.Body, "")
+}
+
+type uniformChecker struct {
+	k       *Kernel
+	uniform map[string]bool
+}
+
+// block walks stmts; divergedBy is empty at uniform control flow, or a
+// human-readable description of the enclosing non-uniform construct.
+func (u *uniformChecker) block(stmts []Stmt, divergedBy string) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *DeclStmt:
+			u.uniform[s.Name] = divergedBy == "" && u.exprUniform(s.Init)
+		case *AssignStmt:
+			if divergedBy != "" || !u.exprUniform(s.Value) {
+				u.uniform[s.Name] = false
+			}
+		case *IfStmt:
+			inner := divergedBy
+			if inner == "" && !u.exprUniform(s.Cond) {
+				inner = "if (" + FormatExpr(s.Cond) + ")"
+			}
+			if err := u.block(s.Then, inner); err != nil {
+				return err
+			}
+			if err := u.block(s.Else, inner); err != nil {
+				return err
+			}
+		case *ForStmt:
+			inner := divergedBy
+			if inner == "" &&
+				!(u.exprUniform(s.Init) && u.exprUniform(s.Limit) && u.exprUniform(s.Step)) {
+				inner = "for " + s.Var + " with thread-dependent bounds"
+			}
+			// Any variable assigned in the body may take a different value
+			// per thread on later iterations; demote them all before
+			// walking so uses inside the loop see the conservative state.
+			u.demoteAssigned(s.Body)
+			u.uniform[s.Var] = inner == ""
+			if err := u.block(s.Body, inner); err != nil {
+				return err
+			}
+			delete(u.uniform, s.Var)
+		case *BarrierStmt:
+			if divergedBy != "" {
+				return fmt.Errorf("kir: kernel %s: barrier under non-uniform control flow (%s)",
+					u.k.Name, divergedBy)
+			}
+		}
+	}
+	return nil
+}
+
+func (u *uniformChecker) demoteAssigned(stmts []Stmt) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *AssignStmt:
+			u.uniform[s.Name] = false
+		case *AtomicStmt:
+			if s.Result != "" {
+				u.uniform[s.Result] = false
+			}
+		case *IfStmt:
+			u.demoteAssigned(s.Then)
+			u.demoteAssigned(s.Else)
+		case *ForStmt:
+			u.demoteAssigned(s.Body)
+		}
+	}
+}
+
+func (u *uniformChecker) exprUniform(e Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return false
+	case *ConstInt, *ConstFloat, *ParamRef:
+		return true
+	case *VarRef:
+		return u.uniform[e.Name]
+	case *Builtin:
+		switch e.Kind {
+		case TidX, TidY:
+			return false
+		default: // block ids and dimensions are the same for every thread
+			return true
+		}
+	case *Bin:
+		return u.exprUniform(e.L) && u.exprUniform(e.R)
+	case *Un:
+		return u.exprUniform(e.X)
+	case *Sel:
+		return u.exprUniform(e.Cond) && u.exprUniform(e.A) && u.exprUniform(e.B)
+	case *Cast:
+		return u.exprUniform(e.X)
+	case *Load:
+		return false
+	default:
+		return false
+	}
+}

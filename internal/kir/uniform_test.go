@@ -1,0 +1,170 @@
+package kir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUniformBarriersAccepted: barriers at top level, under uniform
+// conditions, and inside uniform-bound loops all pass.
+func TestUniformBarriersAccepted(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Kernel
+	}{
+		{"top-level", func() *Kernel {
+			b := NewKernel("k")
+			out := b.GlobalBuffer("out", U32)
+			b.Barrier()
+			b.Store(out, b.GlobalIDX(), U(1))
+			return b.MustBuild()
+		}},
+		{"uniform-if", func() *Kernel {
+			b := NewKernel("k")
+			out := b.GlobalBuffer("out", U32)
+			s := b.ScalarParam("s", U32)
+			b.If(Gt(s, U(4)), func() { b.Barrier() })
+			b.Store(out, b.GlobalIDX(), U(1))
+			return b.MustBuild()
+		}},
+		{"uniform-block-id-if", func() *Kernel {
+			b := NewKernel("k")
+			out := b.GlobalBuffer("out", U32)
+			b.If(Eq(Bi(CtaidX), U(0)), func() { b.Barrier() })
+			b.Store(out, b.GlobalIDX(), U(1))
+			return b.MustBuild()
+		}},
+		{"uniform-loop", func() *Kernel {
+			b := NewKernel("k")
+			out := b.GlobalBuffer("out", U32)
+			s := b.ScalarParam("s", U32)
+			b.For("i", U(0), s, U(1), func(i Expr) { b.Barrier() })
+			b.Store(out, b.GlobalIDX(), U(1))
+			return b.MustBuild()
+		}},
+		{"uniform-var-guard", func() *Kernel {
+			b := NewKernel("k")
+			out := b.GlobalBuffer("out", U32)
+			s := b.ScalarParam("s", U32)
+			v := b.Declare("v", Mul(s, U(3)))
+			b.If(Lt(v, U(100)), func() { b.Barrier() })
+			b.Store(out, b.GlobalIDX(), U(1))
+			return b.MustBuild()
+		}},
+	}
+	for _, tc := range cases {
+		if err := CheckUniformBarriers(tc.build()); err != nil {
+			t.Errorf("%s: unexpected rejection: %v", tc.name, err)
+		}
+	}
+}
+
+// TestUniformBarriersRejected: thread-dependent guards around a barrier
+// are flagged, including through data flow and loop-carried mutation.
+func TestUniformBarriersRejected(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Kernel
+	}{
+		{"tid-if", func() *Kernel {
+			b := NewKernel("k")
+			out := b.GlobalBuffer("out", U32)
+			b.If(Lt(Bi(TidX), U(16)), func() { b.Barrier() })
+			b.Store(out, b.GlobalIDX(), U(1))
+			return b.MustBuild()
+		}},
+		{"tid-through-var", func() *Kernel {
+			b := NewKernel("k")
+			out := b.GlobalBuffer("out", U32)
+			v := b.Declare("v", Add(Bi(TidX), U(1)))
+			b.If(Lt(v, U(7)), func() { b.Barrier() })
+			b.Store(out, b.GlobalIDX(), U(1))
+			return b.MustBuild()
+		}},
+		{"load-guard", func() *Kernel {
+			b := NewKernel("k")
+			in := b.GlobalBuffer("in", U32)
+			out := b.GlobalBuffer("out", U32)
+			b.If(Gt(b.Load(in, U(0)), U(4)), func() { b.Barrier() })
+			b.Store(out, b.GlobalIDX(), U(1))
+			return b.MustBuild()
+		}},
+		{"tid-loop-bound", func() *Kernel {
+			b := NewKernel("k")
+			out := b.GlobalBuffer("out", U32)
+			b.For("i", U(0), Bi(TidX), U(1), func(i Expr) { b.Barrier() })
+			b.Store(out, b.GlobalIDX(), U(1))
+			return b.MustBuild()
+		}},
+		{"uniform-var-mutated-in-loop", func() *Kernel {
+			// v starts uniform but a loop assigns it a thread-dependent
+			// value; a barrier guarded by v after the first iteration can
+			// diverge, so the conservative analysis must demote v before
+			// walking the body.
+			b := NewKernel("k")
+			out := b.GlobalBuffer("out", U32)
+			s := b.ScalarParam("s", U32)
+			v := b.Declare("v", s)
+			b.For("i", U(0), U(4), U(1), func(i Expr) {
+				b.If(Lt(v, U(10)), func() { b.Barrier() })
+				b.Assign(v, Bi(TidX))
+			})
+			b.Store(out, b.GlobalIDX(), U(1))
+			return b.MustBuild()
+		}},
+	}
+	for _, tc := range cases {
+		err := CheckUniformBarriers(tc.build())
+		if err == nil {
+			t.Errorf("%s: divergent barrier accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "barrier under non-uniform control flow") {
+			t.Errorf("%s: unexpected error text: %v", tc.name, err)
+		}
+	}
+}
+
+// TestRunBarrierDivergenceReported: when threads disagree about reaching
+// a barrier, Run must fail (not deadlock) and say which thread broke the
+// contract.
+func TestRunBarrierDivergenceReported(t *testing.T) {
+	b := NewKernel("div")
+	out := b.GlobalBuffer("out", U32)
+	b.If(Lt(Bi(TidX), U(8)), func() { b.Barrier() })
+	b.Store(out, b.GlobalIDX(), U(1))
+	k := b.MustBuild()
+
+	err := Run(k, RunConfig{GridX: 1, GridY: 1, BlockX: 32, BlockY: 1,
+		Buffers: map[string][]uint32{"out": make([]uint32, 32)},
+		Scalars: map[string]uint32{}})
+	if err == nil {
+		t.Fatal("divergent barrier did not fail")
+	}
+	if !strings.Contains(err.Error(), "barrier divergence") {
+		t.Fatalf("error does not identify barrier divergence: %v", err)
+	}
+	if !strings.Contains(err.Error(), "thread") {
+		t.Fatalf("error does not name a thread: %v", err)
+	}
+}
+
+// TestRunBarrierDivergenceOtherWay: the majority exits while a minority
+// waits — the waiters must detect the departure and report it.
+func TestRunBarrierDivergenceOtherWay(t *testing.T) {
+	b := NewKernel("div2")
+	out := b.GlobalBuffer("out", U32)
+	b.If(Eq(Bi(TidX), U(0)), func() { b.Barrier() })
+	b.Store(out, b.GlobalIDX(), U(1))
+	k := b.MustBuild()
+
+	err := Run(k, RunConfig{GridX: 1, GridY: 1, BlockX: 64, BlockY: 1,
+		Buffers: map[string][]uint32{"out": make([]uint32, 64)},
+		Scalars: map[string]uint32{}})
+	if err == nil {
+		t.Fatal("divergent barrier did not fail")
+	}
+	if !strings.Contains(err.Error(), "barrier divergence") {
+		t.Fatalf("error does not identify barrier divergence: %v", err)
+	}
+}

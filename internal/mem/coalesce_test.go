@@ -1,0 +1,163 @@
+package mem
+
+import "testing"
+
+// lanes builds a per-lane address slice: addr(lane) for lanes 0..n-1.
+func lanes(n int, addr func(lane int) uint32) []uint32 {
+	a := make([]uint32, n)
+	for i := range a {
+		a[i] = addr(i)
+	}
+	return a
+}
+
+func fullMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(n)) - 1
+}
+
+// TestCoalesceSegments covers the access shapes the paper's memory model
+// distinguishes: unit-stride, strided, misaligned, broadcast and fully
+// scattered, at both warp-32 and wavefront-64.
+func TestCoalesceSegments(t *testing.T) {
+	cases := []struct {
+		name     string
+		addrs    []uint32
+		mask     uint64
+		segBytes uint32
+		want     int
+	}{
+		{"coalesced-warp32-128B", lanes(32, func(l int) uint32 { return uint32(l) * 4 }), fullMask(32), 128, 1},
+		{"coalesced-warp32-64B", lanes(32, func(l int) uint32 { return uint32(l) * 4 }), fullMask(32), 64, 2},
+		{"coalesced-wave64-128B", lanes(64, func(l int) uint32 { return uint32(l) * 4 }), fullMask(64), 128, 2},
+		{"coalesced-wave64-64B", lanes(64, func(l int) uint32 { return uint32(l) * 4 }), fullMask(64), 64, 4},
+		// Stride 2 words: the warp spans twice the bytes, twice the segments.
+		{"stride2-warp32", lanes(32, func(l int) uint32 { return uint32(l) * 8 }), fullMask(32), 128, 2},
+		{"stride2-wave64", lanes(64, func(l int) uint32 { return uint32(l) * 8 }), fullMask(64), 128, 4},
+		// Stride >= segment size: every lane its own segment.
+		{"stride-seg-warp32", lanes(32, func(l int) uint32 { return uint32(l) * 128 }), fullMask(32), 128, 32},
+		{"stride-seg-wave64", lanes(64, func(l int) uint32 { return uint32(l) * 128 }), fullMask(64), 128, 64},
+		// Misaligned unit stride: straddles one extra segment boundary.
+		{"misaligned-warp32", lanes(32, func(l int) uint32 { return 4 + uint32(l)*4 }), fullMask(32), 128, 2},
+		{"misaligned-wave64", lanes(64, func(l int) uint32 { return 60 + uint32(l)*4 }), fullMask(64), 128, 3},
+		// Broadcast: all lanes read one word -> one transaction.
+		{"broadcast-warp32", lanes(32, func(l int) uint32 { return 512 }), fullMask(32), 128, 1},
+		{"broadcast-wave64", lanes(64, func(l int) uint32 { return 512 }), fullMask(64), 128, 1},
+		// Partially-masked warp: inactive lanes cost nothing.
+		{"half-masked", lanes(32, func(l int) uint32 { return uint32(l) * 128 }), 0x0000ffff, 128, 16},
+		{"single-lane", lanes(32, func(l int) uint32 { return uint32(l) * 4 }), 1 << 31, 128, 1},
+		{"empty-mask", lanes(32, func(l int) uint32 { return uint32(l) * 4 }), 0, 128, 0},
+		// segBytes 0 falls back to 64-byte segments.
+		{"default-seg", lanes(32, func(l int) uint32 { return uint32(l) * 4 }), fullMask(32), 0, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := CoalesceSegments(tc.addrs, tc.mask, tc.segBytes); got != tc.want {
+				t.Errorf("CoalesceSegments = %d, want %d", got, tc.want)
+			}
+			// CoalesceList must agree on the count and return distinct,
+			// segment-aligned bases.
+			out := make([]uint32, len(tc.addrs))
+			n := CoalesceList(tc.addrs, tc.mask, tc.segBytes, out)
+			if n != tc.want {
+				t.Errorf("CoalesceList = %d, want %d", n, tc.want)
+			}
+			seg := tc.segBytes
+			if seg == 0 {
+				seg = 64
+			}
+			seen := map[uint32]bool{}
+			for i := 0; i < n; i++ {
+				if out[i]%seg != 0 {
+					t.Errorf("base %#x not aligned to %d", out[i], seg)
+				}
+				if seen[out[i]] {
+					t.Errorf("duplicate base %#x", out[i])
+				}
+				seen[out[i]] = true
+			}
+		})
+	}
+}
+
+// TestDistinctAddrs: the constant-cache serialization factor is the number
+// of distinct words requested, regardless of their spread.
+func TestDistinctAddrs(t *testing.T) {
+	cases := []struct {
+		name  string
+		addrs []uint32
+		mask  uint64
+		want  int
+	}{
+		{"broadcast-warp32", lanes(32, func(l int) uint32 { return 64 }), fullMask(32), 1},
+		{"broadcast-wave64", lanes(64, func(l int) uint32 { return 64 }), fullMask(64), 1},
+		{"all-distinct-warp32", lanes(32, func(l int) uint32 { return uint32(l) * 4 }), fullMask(32), 32},
+		{"all-distinct-wave64", lanes(64, func(l int) uint32 { return uint32(l) * 4 }), fullMask(64), 64},
+		{"pairwise", lanes(32, func(l int) uint32 { return uint32(l/2) * 4 }), fullMask(32), 16},
+		{"masked-distinct", lanes(32, func(l int) uint32 { return uint32(l) * 4 }), 0x000000ff, 8},
+		{"empty", lanes(32, func(l int) uint32 { return uint32(l) * 4 }), 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := DistinctAddrs(tc.addrs, tc.mask); got != tc.want {
+				t.Errorf("DistinctAddrs = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBankConflictFactor covers the classic shared-memory patterns:
+// conflict-free unit stride, 2-way and full conflicts from power-of-two
+// strides, broadcast (same address never conflicts), and the 16-bank
+// half-warp geometry of the GTX 280 generation next to 32 banks.
+func TestBankConflictFactor(t *testing.T) {
+	cases := []struct {
+		name  string
+		addrs []uint32
+		mask  uint64
+		banks int
+		want  int
+	}{
+		{"unit-stride-32banks", lanes(32, func(l int) uint32 { return uint32(l) * 4 }), fullMask(32), 32, 1},
+		{"unit-stride-16banks", lanes(32, func(l int) uint32 { return uint32(l) * 4 }), fullMask(32), 16, 2},
+		{"stride2-32banks", lanes(32, func(l int) uint32 { return uint32(l) * 8 }), fullMask(32), 32, 2},
+		{"stride16-32banks", lanes(32, func(l int) uint32 { return uint32(l) * 64 }), fullMask(32), 32, 16},
+		{"stride32-32banks", lanes(32, func(l int) uint32 { return uint32(l) * 128 }), fullMask(32), 32, 32},
+		{"broadcast", lanes(32, func(l int) uint32 { return 4 }), fullMask(32), 32, 1},
+		// Same bank, same address -> broadcast; same bank, different
+		// address -> serialized. Lanes 0/1 read word 0, lanes 2/3 word 32
+		// (bank 0 again with 32 banks): factor 2, not 4.
+		{"broadcast-plus-conflict", []uint32{0, 0, 128, 128}, fullMask(4), 32, 2},
+		{"wave64-unit-stride-32banks", lanes(64, func(l int) uint32 { return uint32(l) * 4 }), fullMask(64), 32, 2},
+		{"masked-no-conflict", lanes(32, func(l int) uint32 { return uint32(l) * 64 }), 0x3, 32, 1},
+		{"single-bank-arg", lanes(32, func(l int) uint32 { return uint32(l) * 4 }), fullMask(32), 1, 1},
+		{"empty-mask", lanes(32, func(l int) uint32 { return uint32(l) * 4 }), 0, 32, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := BankConflictFactor(tc.addrs, tc.mask, tc.banks); got != tc.want {
+				t.Errorf("BankConflictFactor = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestActiveLanes(t *testing.T) {
+	cases := []struct {
+		mask uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{fullMask(32), 32},
+		{^uint64(0), 64},
+		{0xaaaaaaaaaaaaaaaa, 32},
+	}
+	for _, tc := range cases {
+		if got := ActiveLanes(tc.mask); got != tc.want {
+			t.Errorf("ActiveLanes(%#x) = %d, want %d", tc.mask, got, tc.want)
+		}
+	}
+}

@@ -73,42 +73,9 @@ func TestAtomicRMW(t *testing.T) {
 	}
 }
 
-func TestCoalesceSegments(t *testing.T) {
-	// 32 lanes, unit stride, 4-byte words, 64-byte segments => 2 segments.
-	addrs := make([]uint32, 32)
-	for i := range addrs {
-		addrs[i] = uint32(i * 4)
-	}
-	full := ^uint64(0) >> 32
-	if got := CoalesceSegments(addrs, full, 64); got != 2 {
-		t.Errorf("unit stride: %d segments, want 2", got)
-	}
-	// Stride 64 bytes: every lane its own segment.
-	for i := range addrs {
-		addrs[i] = uint32(i * 64)
-	}
-	if got := CoalesceSegments(addrs, full, 64); got != 32 {
-		t.Errorf("stride 64: %d segments, want 32", got)
-	}
-	// Same address in all lanes: one segment.
-	for i := range addrs {
-		addrs[i] = 128
-	}
-	if got := CoalesceSegments(addrs, full, 64); got != 1 {
-		t.Errorf("broadcast: %d segments, want 1", got)
-	}
-	// Mask limits participation.
-	for i := range addrs {
-		addrs[i] = uint32(i * 64)
-	}
-	if got := CoalesceSegments(addrs, 0b11, 64); got != 2 {
-		t.Errorf("masked: %d segments, want 2", got)
-	}
-	if got := CoalesceSegments(addrs, 0, 64); got != 0 {
-		t.Errorf("empty mask: %d segments, want 0", got)
-	}
-}
-
+// The access-pattern tables for CoalesceSegments, CoalesceList,
+// DistinctAddrs, BankConflictFactor and ActiveLanes live in
+// coalesce_test.go; here only the property-based cross-check remains.
 func TestCoalesceListMatchesCount(t *testing.T) {
 	f := func(raw [32]uint16, mask uint64) bool {
 		addrs := make([]uint32, 32)
@@ -121,46 +88,6 @@ func TestCoalesceListMatchesCount(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
-	}
-}
-
-func TestBankConflicts(t *testing.T) {
-	addrs := make([]uint32, 32)
-	full := ^uint64(0) >> 32
-	// Unit stride over 16 banks: conflict-free (factor 1 per bank pair? two
-	// lanes share each bank => factor 2 on 16 banks).
-	for i := range addrs {
-		addrs[i] = uint32(i * 4)
-	}
-	if got := BankConflictFactor(addrs, full, 32); got != 1 {
-		t.Errorf("unit stride, 32 banks: factor %d, want 1", got)
-	}
-	if got := BankConflictFactor(addrs, full, 16); got != 2 {
-		t.Errorf("unit stride, 16 banks: factor %d, want 2", got)
-	}
-	// Stride of one full bank cycle: all lanes hit bank 0.
-	for i := range addrs {
-		addrs[i] = uint32(i * 32 * 4)
-	}
-	if got := BankConflictFactor(addrs, full, 32); got != 32 {
-		t.Errorf("all same bank: factor %d, want 32", got)
-	}
-	// Broadcast: all the same address is conflict-free.
-	for i := range addrs {
-		addrs[i] = 64
-	}
-	if got := BankConflictFactor(addrs, full, 32); got != 1 {
-		t.Errorf("broadcast: factor %d, want 1", got)
-	}
-}
-
-func TestDistinctAddrs(t *testing.T) {
-	addrs := []uint32{0, 0, 4, 8, 4, 0}
-	if got := DistinctAddrs(addrs, 0b111111); got != 3 {
-		t.Errorf("distinct = %d, want 3", got)
-	}
-	if got := DistinctAddrs(addrs, 0b000011); got != 1 {
-		t.Errorf("masked distinct = %d, want 1", got)
 	}
 }
 
@@ -186,11 +113,5 @@ func TestCacheBasics(t *testing.T) {
 	c.Invalidate()
 	if c.Access(1024) {
 		t.Error("access after invalidate should miss")
-	}
-}
-
-func TestActiveLanes(t *testing.T) {
-	if ActiveLanes(0) != 0 || ActiveLanes(0b1011) != 3 {
-		t.Error("ActiveLanes wrong")
 	}
 }

@@ -137,23 +137,56 @@ L2    ret
 	}
 }
 
-// FuzzParse ensures the parser never panics on arbitrary input and that
-// anything it accepts survives a disassemble/parse round trip.
+// FuzzParse ensures the parser never panics on arbitrary input, and that
+// anything it accepts reaches the format -> parse -> format fixpoint: the
+// first disassembly must parse back to a structurally identical kernel
+// whose own disassembly is byte-for-byte the same text.
 func FuzzParse(f *testing.F) {
 	f.Add(roundTripKernel().Disassemble())
 	f.Add(".entry k // regs=4\nL0 add.u32 %r0, %r1, 0x2\nL1 ret")
 	f.Add(".entry x // regs=2\n.param u32 n\nL0 bra L1, J1\nL1 ret")
+	f.Add(".entry f // toolchain=cuda regs=3 shared=128B local=0B\n" +
+		".param ptr.global out\n.param ptr.const coef\n.param f32 alpha\n" +
+		"L0 ld.shared.f32 %r0, [%r1+8]\nL1 fma.f32 %r2, %r0, %r0, %r0\nL2 ret")
+	f.Add(".entry g // regs=2\nL0 setp.lt.s32 %p1, %r0, 0x10\n" +
+		"L1 @%p1 st.global.u32 [%r0+0], %r1\nL2 bar.sync\nL3 ret")
+	f.Add(".entry h // regs=8\nL0 atom.shared.max.u32 %r3, [%r1+4], %r2\n" +
+		"L1 cvt.f32.s32 %r4, %r3\nL2 rsqrt.f32 %r5, %r4\nL3 ret")
 	f.Fuzz(func(t *testing.T, text string) {
 		k, err := Parse(text)
 		if err != nil {
 			return
 		}
-		again, err := Parse(k.Disassemble())
+		first := k.Disassemble()
+		again, err := Parse(first)
 		if err != nil {
-			t.Fatalf("accepted kernel failed round trip: %v", err)
+			t.Fatalf("accepted kernel failed round trip: %v\n%s", err, first)
+		}
+		second := again.Disassemble()
+		if first != second {
+			t.Fatalf("disassembly is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s",
+				first, second)
+		}
+		if again.Name != k.Name || again.Toolchain != k.Toolchain ||
+			again.NumRegs != k.NumRegs || again.SharedBytes != k.SharedBytes ||
+			again.LocalBytes != k.LocalBytes {
+			t.Fatalf("round trip changed header: %+v vs %+v", again, k)
+		}
+		if len(again.Params) != len(k.Params) {
+			t.Fatalf("round trip changed param count: %d vs %d", len(again.Params), len(k.Params))
+		}
+		for i := range k.Params {
+			if again.Params[i] != k.Params[i] {
+				t.Fatalf("round trip changed param %d: %+v vs %+v", i, again.Params[i], k.Params[i])
+			}
 		}
 		if len(again.Instrs) != len(k.Instrs) {
 			t.Fatalf("round trip changed instruction count")
+		}
+		for i := range k.Instrs {
+			if again.Instrs[i] != k.Instrs[i] {
+				t.Fatalf("round trip changed instr %d: %+v vs %+v", i, again.Instrs[i], k.Instrs[i])
+			}
 		}
 	})
 }

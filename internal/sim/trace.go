@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"gpucmp/internal/mem"
 	"gpucmp/internal/ptx"
 )
@@ -65,6 +67,23 @@ type Trace struct {
 
 	// ResidentGroups is the occupancy the device achieved for this launch.
 	ResidentGroups int
+}
+
+// Summary renders the trace as one compact line — the shape the
+// differential fuzzer attaches to divergence reports so a failing kernel
+// arrives with its dynamic behaviour, not just wrong bytes.
+func (t *Trace) Summary() string {
+	return fmt.Sprintf(
+		"%s/%s on %s: grid %dx%d block %dx%d, %d warp-instrs (%d lane-instrs), "+
+			"%d branches (%d divergent), %d barriers, %d gld/%d gst trans, "+
+			"%d shared acc (serial %d), %d const acc, %d local trans, %d atomics",
+		t.Kernel, t.Toolchain, t.Device,
+		t.Grid.X, t.Grid.Y, t.Block.X, t.Block.Y,
+		t.Dyn.Total, t.LaneInstrs,
+		t.Branches, t.DivergentBranches, t.Barriers,
+		t.Mem.GlobalLoadTrans, t.Mem.GlobalStoreTrans,
+		t.Mem.SharedAccesses, t.Mem.SharedSerial,
+		t.Mem.ConstAccesses, t.Mem.LocalTrans, t.Mem.AtomicOps)
 }
 
 func newTrace(k *ptx.Kernel, d *Device, grid, block Dim3) *Trace {
