@@ -2,17 +2,23 @@
 // every device with every toolchain that supports it — and emits the raw
 // results as JSON (for downstream analysis) plus a human-readable summary.
 // This is the union of the data behind Fig. 3 and Table VI.
+//
+// With -parallel N the grid runs on an N-worker scheduler
+// (internal/sched). The simulator is deterministic, so the parallel run
+// reproduces the sequential numbers bit for bit; only the wall-clock time
+// changes.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
-	"gpucmp/internal/arch"
 	"gpucmp/internal/bench"
+	"gpucmp/internal/sched"
 	"gpucmp/internal/stats"
 )
 
@@ -30,42 +36,35 @@ type Record struct {
 
 func main() {
 	scale := flag.Int("scale", 2, "problem-size divisor (1 = full size)")
+	parallel := flag.Int("parallel", 1, "worker-pool size (1 = sequential)")
 	jsonPath := flag.String("json", "", "write raw results as JSON to this file ('-' for stdout)")
 	flag.Parse()
 
-	var records []Record
-	for _, a := range arch.All() {
-		for _, tc := range []string{"cuda", "opencl"} {
-			if tc == "cuda" && a.Vendor != "NVIDIA" {
-				continue
-			}
-			for _, spec := range bench.Registry() {
-				d, err := bench.NewDriver(tc, a)
-				if err != nil {
-					log.Fatal(err)
-				}
-				cfg := bench.NativeConfig(tc)
-				cfg.Scale = *scale
-				res, err := spec.Run(d, cfg)
-				if err != nil {
-					log.Fatal(err)
-				}
-				rec := Record{
-					Benchmark: spec.Name,
-					Device:    a.Name,
-					Toolchain: tc,
-					Metric:    spec.Metric,
-					Status:    res.Status(),
-				}
-				if res.Err != nil {
-					rec.Error = res.Err.Error()
-				} else {
-					rec.Value = res.Value
-					rec.KernelSec = res.KernelSeconds
-				}
-				records = append(records, rec)
-			}
+	jobs := sched.GridJobs(*scale)
+	s := sched.New(sched.Options{Workers: *parallel})
+	defer s.Close()
+	results, err := s.RunAll(context.Background(), jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	records := make([]Record, len(jobs))
+	for i, res := range results {
+		spec, _ := bench.SpecByName(jobs[i].Benchmark)
+		rec := Record{
+			Benchmark: jobs[i].Benchmark,
+			Device:    jobs[i].Device,
+			Toolchain: jobs[i].Toolchain,
+			Metric:    spec.Metric,
+			Status:    res.Status(),
 		}
+		if res.Err != nil {
+			rec.Error = res.Err.Error()
+		} else {
+			rec.Value = res.Value
+			rec.KernelSec = res.KernelSeconds
+		}
+		records[i] = rec
 	}
 
 	tb := stats.NewTable(fmt.Sprintf("full grid at scale %d (%d cells)", *scale, len(records)),

@@ -21,9 +21,9 @@ func main() {
 	device := flag.String("device", arch.GTX280().Name, "device name")
 	flag.Parse()
 
-	a := arch.ByName(*device)
-	if a == nil {
-		log.Fatalf("unknown device %q", *device)
+	a, err := arch.Resolve(*device)
+	if err != nil {
+		log.Fatal(err)
 	}
 	spec, err := bench.SpecByName(*name)
 	if err != nil {

@@ -1,0 +1,72 @@
+// Command gpucmpd serves the experiment matrix over HTTP: POST /run
+// executes one (benchmark, device, toolchain, config) cell through the
+// concurrent scheduler, GET /figures/{fig1..fig8,tableV,tableVI}
+// regenerates any paper artifact on demand, and /metrics exposes the
+// scheduler's counters and latency histograms. Identical requests are
+// deduplicated while in flight and served from the result cache
+// afterwards; kernels are compiled once per front-end, not once per
+// launch.
+//
+//	gpucmpd -addr :8480 &
+//	curl localhost:8480/healthz
+//	curl -X POST localhost:8480/run -d '{"benchmark":"FFT","device":"GeForce GTX480","toolchain":"opencl","config":{"scale":4}}'
+//	curl localhost:8480/figures/fig3?scale=4
+//	curl localhost:8480/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpucmp/internal/sched"
+	"gpucmp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8480", "listen address")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache-size", 4096, "result-cache entries (negative disables caching)")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job execution timeout (0 = unbounded)")
+	figureScale := flag.Int("figure-scale", 4, "default problem-size divisor for /figures/*")
+	flag.Parse()
+
+	s := sched.New(sched.Options{
+		Workers:    *workers,
+		CacheSize:  *cacheSize,
+		JobTimeout: *jobTimeout,
+	})
+	defer s.Close()
+
+	srv := server.New(s, server.WithFigureScale(*figureScale))
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+		log.Printf("gpucmpd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("gpucmpd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("gpucmpd: serving on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
+}

@@ -20,9 +20,9 @@ func main() {
 
 	devices := []*arch.Device{arch.GTX280(), arch.GTX480()}
 	if *device != "" {
-		d := arch.ByName(*device)
-		if d == nil {
-			log.Fatalf("unknown device %q", *device)
+		d, err := arch.Resolve(*device)
+		if err != nil {
+			log.Fatal(err)
 		}
 		devices = []*arch.Device{d}
 	}

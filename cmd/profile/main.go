@@ -23,9 +23,9 @@ func main() {
 	scale := flag.Int("scale", 1, "problem-size divisor")
 	flag.Parse()
 
-	a := arch.ByName(*device)
-	if a == nil {
-		log.Fatalf("unknown device %q; known devices:", *device)
+	a, err := arch.Resolve(*device)
+	if err != nil {
+		log.Fatal(err)
 	}
 	spec, err := bench.SpecByName(*name)
 	if err != nil {

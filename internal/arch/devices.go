@@ -1,5 +1,10 @@
 package arch
 
+import (
+	"fmt"
+	"strings"
+)
+
 // The five devices of the paper. Spec columns come from Table IV; the CPU
 // and Cell/BE figures come from the respective vendor datasheets (the paper
 // uses them only as OpenCL portability targets, Table VI). Timing constants
@@ -274,4 +279,14 @@ func ByName(name string) *Device {
 		}
 	}
 	return nil
+}
+
+// Resolve returns the device with the given Name, or an error that
+// enumerates every known device — the message CLI `-device` flags and the
+// service API print for a typo'd name.
+func Resolve(name string) (*Device, error) {
+	if d := ByName(name); d != nil {
+		return d, nil
+	}
+	return nil, fmt.Errorf("unknown device %q; known devices: %s", name, strings.Join(Names(), ", "))
 }

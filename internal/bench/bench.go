@@ -58,25 +58,28 @@ func B(b Buf) Arg { return Arg{IsBuf: true, Buf: b} }
 // V passes a raw 32-bit scalar.
 func V(v uint32) Arg { return Arg{Val: v} }
 
-// Result is the outcome of one benchmark run on one driver.
+// Result is the outcome of one benchmark run on one driver. It marshals
+// to JSON (see json.go): Err is flattened to an "error" string and the
+// launch traces are omitted — they are a simulator-internal drill-down,
+// not part of the reported result.
 type Result struct {
-	Benchmark string
-	Toolchain string
-	Device    string
+	Benchmark string `json:"benchmark"`
+	Toolchain string `json:"toolchain"`
+	Device    string `json:"device"`
 
-	Metric string  // unit of Value, per Table II
-	Value  float64 // the reported performance number
+	Metric string  `json:"metric"`          // unit of Value, per Table II
+	Value  float64 `json:"value,omitempty"` // the reported performance number
 
-	KernelSeconds   float64
-	EndToEndSeconds float64
+	KernelSeconds   float64 `json:"kernel_seconds,omitempty"`
+	EndToEndSeconds float64 `json:"end_to_end_seconds,omitempty"`
 
 	// Correct is false when the run completed but produced wrong output —
 	// the Table VI "FL" state.
-	Correct bool
+	Correct bool `json:"correct"`
 	// Err is non-nil when the run aborted — the Table VI "ABT" state.
-	Err error
+	Err error `json:"-"`
 
-	Traces []*sim.Trace
+	Traces []*sim.Trace `json:"-"`
 }
 
 // Status summarises the run the way Table VI prints it.
@@ -91,33 +94,35 @@ func (r *Result) Status() string {
 	}
 }
 
-// Config selects the implementation variant and problem scale.
+// Config selects the implementation variant and problem scale. The JSON
+// form is the wire format of the gpucmpd POST /run body and part of the
+// scheduler's canonical job key.
 type Config struct {
 	// Scale divides the default problem size (1 = paper-like default,
 	// 2 = half-size for fast tests, etc.).
-	Scale int
+	Scale int `json:"scale,omitempty"`
 
 	// UseTexture places the irregularly-read vector of MD/SPMV in texture
 	// memory (the CUDA implementations' native choice, Fig. 4).
-	UseTexture bool
+	UseTexture bool `json:"use_texture,omitempty"`
 
 	// UseConstant places the Sobel filter in constant memory (the OpenCL
 	// implementation's native choice, Fig. 8).
-	UseConstant bool
+	UseConstant bool `json:"use_constant,omitempty"`
 
 	// UnrollA / UnrollB apply "#pragma unroll" at FDTD's two unroll points
 	// (Fig. 6/7).
-	UnrollA bool
-	UnrollB bool
+	UnrollA bool `json:"unroll_a,omitempty"`
+	UnrollB bool `json:"unroll_b,omitempty"`
 
 	// VectorSPMV uses the warp-per-row CSR-vector kernel instead of the
 	// thread-per-row scalar kernel (the Section V CPU-portability note).
-	VectorSPMV bool
+	VectorSPMV bool `json:"vector_spmv,omitempty"`
 
 	// NaiveTranspose skips the shared-memory tile in TranP — slower on
 	// GPUs, faster on the implicitly-cached CPU device (the Section V
 	// TranP note: 2.411 vs 0.215 GB/s).
-	NaiveTranspose bool
+	NaiveTranspose bool `json:"naive_transpose,omitempty"`
 }
 
 func (c Config) scale(n int) int {

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"gpucmp/internal/arch"
+)
+
+// TestConcurrentLaunchesAreDeterministic runs the same kernel from many
+// goroutines — each on a fresh simulated device of the same family — and
+// asserts the results and per-launch Trace counters are bit-identical to a
+// sequential baseline. This is the determinism contract the scheduler's
+// result cache and singleflight dedup rest on; run it under -race to also
+// prove the launches share no mutable state.
+func TestConcurrentLaunchesAreDeterministic(t *testing.T) {
+	const goroutines = 16
+	cfg := Config{Scale: 16}
+
+	cases := []struct {
+		benchmark string
+		toolchain string
+		device    func() *arch.Device
+	}{
+		{"Reduce", "cuda", arch.GTX480},
+		{"Reduce", "opencl", arch.GTX480},
+		{"TranP", "opencl", arch.HD5870},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s/%s/%s", tc.benchmark, tc.toolchain, tc.device().Name), func(t *testing.T) {
+			spec, err := SpecByName(tc.benchmark)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func() *Result {
+				d, err := NewDriver(tc.toolchain, tc.device())
+				if err != nil {
+					t.Error(err)
+					return nil
+				}
+				res, err := spec.Run(d, cfg)
+				if err != nil {
+					t.Error(err)
+					return nil
+				}
+				return res
+			}
+
+			want := run() // sequential baseline
+			if want == nil {
+				t.FailNow()
+			}
+
+			got := make([]*Result, goroutines)
+			var wg sync.WaitGroup
+			for i := range got {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					got[i] = run()
+				}(i)
+			}
+			wg.Wait()
+
+			for i, res := range got {
+				if res == nil {
+					t.Fatalf("goroutine %d failed", i)
+				}
+				if res.Value != want.Value || res.KernelSeconds != want.KernelSeconds ||
+					res.EndToEndSeconds != want.EndToEndSeconds || res.Correct != want.Correct {
+					t.Errorf("goroutine %d result differs from sequential:\n got: %+v\nwant: %+v", i, res, want)
+				}
+				if len(res.Traces) != len(want.Traces) {
+					t.Fatalf("goroutine %d: %d traces, want %d", i, len(res.Traces), len(want.Traces))
+				}
+				for j, tr := range res.Traces {
+					wt := want.Traces[j]
+					if tr.Summary() != wt.Summary() {
+						t.Errorf("goroutine %d launch %d trace differs:\n got: %s\nwant: %s", i, j, tr.Summary(), wt.Summary())
+					}
+					if tr.Mem != wt.Mem {
+						t.Errorf("goroutine %d launch %d memory counters differ:\n got: %+v\nwant: %+v", i, j, tr.Mem, wt.Mem)
+					}
+					if !reflect.DeepEqual(tr.Dyn, wt.Dyn) {
+						t.Errorf("goroutine %d launch %d dynamic instruction mix differs", i, j)
+					}
+				}
+			}
+		})
+	}
+}

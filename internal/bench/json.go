@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+)
+
+// resultJSON is the wire shape of a Result: the tagged fields plus the
+// abort error flattened to a string and the Table VI status precomputed,
+// so scripted consumers never reimplement Status().
+type resultJSON struct {
+	Benchmark string  `json:"benchmark"`
+	Toolchain string  `json:"toolchain"`
+	Device    string  `json:"device"`
+	Metric    string  `json:"metric"`
+	Value     float64 `json:"value,omitempty"`
+
+	KernelSeconds   float64 `json:"kernel_seconds,omitempty"`
+	EndToEndSeconds float64 `json:"end_to_end_seconds,omitempty"`
+
+	Correct bool   `json:"correct"`
+	Status  string `json:"status"`
+	Error   string `json:"error,omitempty"`
+}
+
+// MarshalJSON encodes the result with Err as a plain string and a
+// derived "status" field (OK/FL/ABT). Traces are not serialised.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	out := resultJSON{
+		Benchmark:       r.Benchmark,
+		Toolchain:       r.Toolchain,
+		Device:          r.Device,
+		Metric:          r.Metric,
+		Value:           r.Value,
+		KernelSeconds:   r.KernelSeconds,
+		EndToEndSeconds: r.EndToEndSeconds,
+		Correct:         r.Correct,
+		Status:          r.Status(),
+	}
+	if r.Err != nil {
+		out.Error = r.Err.Error()
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON up to error identity: a
+// non-empty "error" field is restored as an opaque error value, and the
+// redundant "status" field is ignored (Status() rederives it).
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var in resultJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	*r = Result{
+		Benchmark:       in.Benchmark,
+		Toolchain:       in.Toolchain,
+		Device:          in.Device,
+		Metric:          in.Metric,
+		Value:           in.Value,
+		KernelSeconds:   in.KernelSeconds,
+		EndToEndSeconds: in.EndToEndSeconds,
+		Correct:         in.Correct,
+	}
+	if in.Error != "" {
+		r.Err = errors.New(in.Error)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestResultJSONRoundTrip checks every Table VI state survives the wire
+// format: OK, FL (wrong output) and ABT (aborted with an error).
+func TestResultJSONRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Result
+	}{
+		{"ok", Result{
+			Benchmark: "FFT", Toolchain: "cuda", Device: "GeForce GTX480",
+			Metric: "GFlops/sec", Value: 412.5,
+			KernelSeconds: 0.0021, EndToEndSeconds: 0.0042, Correct: true,
+		}},
+		{"fl", Result{
+			Benchmark: "RdxS", Toolchain: "opencl", Device: "Radeon HD5870",
+			Metric: "MElements/sec", Value: 93.1, Correct: false,
+		}},
+		{"abt", Result{
+			Benchmark: "FFT", Toolchain: "opencl", Device: "Cell Broadband Engine",
+			Metric: "GFlops/sec", Err: errors.New("CL_OUT_OF_RESOURCES"),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := json.Marshal(&tc.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out Result
+			if err := json.Unmarshal(data, &out); err != nil {
+				t.Fatal(err)
+			}
+			if out.Benchmark != tc.in.Benchmark || out.Toolchain != tc.in.Toolchain ||
+				out.Device != tc.in.Device || out.Metric != tc.in.Metric ||
+				out.Value != tc.in.Value || out.KernelSeconds != tc.in.KernelSeconds ||
+				out.EndToEndSeconds != tc.in.EndToEndSeconds || out.Correct != tc.in.Correct {
+				t.Errorf("round trip changed fields:\n in: %+v\nout: %+v", tc.in, out)
+			}
+			if out.Status() != tc.in.Status() {
+				t.Errorf("status changed: %s -> %s", tc.in.Status(), out.Status())
+			}
+			if (out.Err == nil) != (tc.in.Err == nil) {
+				t.Errorf("error presence changed: %v -> %v", tc.in.Err, out.Err)
+			}
+			if tc.in.Err != nil && out.Err.Error() != tc.in.Err.Error() {
+				t.Errorf("error text changed: %q -> %q", tc.in.Err, out.Err)
+			}
+			// The wire form carries the derived status for scripting
+			// consumers and never the trace dump.
+			if !strings.Contains(string(data), `"status"`) {
+				t.Errorf("wire form lacks status: %s", data)
+			}
+			if strings.Contains(string(data), "Traces") || strings.Contains(string(data), "traces") {
+				t.Errorf("wire form leaks traces: %s", data)
+			}
+		})
+	}
+}
+
+// TestConfigJSONRoundTrip checks the /run request body format: snake_case
+// keys, zero values omitted, every field preserved.
+func TestConfigJSONRoundTrip(t *testing.T) {
+	in := Config{Scale: 4, UseTexture: true, UseConstant: true, UnrollA: true, UnrollB: true, VectorSPMV: true, NaiveTranspose: true}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"scale", "use_texture", "use_constant", "unroll_a", "unroll_b", "vector_spmv", "naive_transpose"} {
+		if !strings.Contains(string(data), `"`+key+`"`) {
+			t.Errorf("config wire form missing %q: %s", key, data)
+		}
+	}
+	var out Config
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip changed config: %+v -> %+v", in, out)
+	}
+	// The zero config marshals to an empty object: native defaults stay
+	// implicit in job keys and request bodies.
+	if data, _ := json.Marshal(Config{}); string(data) != "{}" {
+		t.Errorf("zero config = %s, want {}", data)
+	}
+}

@@ -324,13 +324,27 @@ func (g *gen) unprotect(e cseEntry) {
 // dropCSEDeeperThan removes entries created inside divergent regions that
 // have been left: their registers were only written in a subset of lanes.
 // Registers whose release was deferred by a dropped entry are freed.
+//
+// The walk follows cseQueue (insertion order), not the map: releases push
+// registers onto the allocator's free stack, so the iteration order decides
+// which register later allocations receive — and with it the CSE keys of
+// every subsequent expression. Map order would make codegen differ from
+// process to process.
 func (g *gen) dropCSEDeeperThan(depth int) {
-	for k, e := range g.cse {
+	kept := g.cseQueue[:0]
+	for _, k := range g.cseQueue {
+		e, ok := g.cse[k]
+		if !ok {
+			continue // stale queue entry: already evicted or dropped
+		}
 		if e.depth > depth {
 			delete(g.cse, k)
 			g.unprotect(e)
+		} else {
+			kept = append(kept, k)
 		}
 	}
+	g.cseQueue = kept
 }
 
 // ---- prologue / parameters ----

@@ -36,12 +36,12 @@ func Similar(pr float64) bool { return math.Abs(1-pr) < 0.1 }
 // Comparison is one benchmark compared across the two toolchains on one
 // device.
 type Comparison struct {
-	Benchmark string
-	Device    string
-	Metric    string
-	CUDA      *bench.Result
-	OpenCL    *bench.Result
-	PR        float64
+	Benchmark string        `json:"benchmark"`
+	Device    string        `json:"device"`
+	Metric    string        `json:"metric"`
+	CUDA      *bench.Result `json:"cuda"`
+	OpenCL    *bench.Result `json:"opencl"`
+	PR        float64       `json:"pr"`
 }
 
 // String renders one row of the Fig. 3 data.
@@ -50,27 +50,40 @@ func (c *Comparison) String() string {
 		c.Benchmark, c.Device, c.CUDA.Value, c.OpenCL.Value, c.Metric, c.PR)
 }
 
+// Runner executes one experiment cell: a benchmark with one toolchain and
+// configuration on one device. Direct is the in-process implementation;
+// internal/server wires the study functions to a scheduler-backed Runner
+// so every cell is cached, deduplicated and run on the worker pool.
+type Runner func(a *arch.Device, toolchain string, spec bench.Spec, cfg bench.Config) (*bench.Result, error)
+
+// Direct runs the cell on a freshly opened driver in the calling
+// goroutine — the Runner behind every non-With study function.
+func Direct(a *arch.Device, toolchain string, spec bench.Spec, cfg bench.Config) (*bench.Result, error) {
+	d, err := bench.NewDriver(toolchain, a)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Run(d, cfg)
+}
+
 // Compare runs one benchmark with both toolchains on one device, using
 // per-toolchain configurations (pass bench.NativeConfig values for the
 // paper's unmodified Fig. 3 comparison, or identical configs for a
 // controlled experiment).
 func Compare(a *arch.Device, spec bench.Spec, cfgCUDA, cfgCL bench.Config) (*Comparison, error) {
-	dc, err := bench.NewCUDADriver(a)
-	if err != nil {
-		return nil, err
-	}
-	rc, err := spec.Run(dc, cfgCUDA)
+	return CompareWith(Direct, a, spec, cfgCUDA, cfgCL)
+}
+
+// CompareWith is Compare through an explicit Runner.
+func CompareWith(run Runner, a *arch.Device, spec bench.Spec, cfgCUDA, cfgCL bench.Config) (*Comparison, error) {
+	rc, err := run(a, "cuda", spec, cfgCUDA)
 	if err != nil {
 		return nil, err
 	}
 	if rc.Err != nil {
 		return nil, fmt.Errorf("core: %s: CUDA run aborted: %w", spec.Name, rc.Err)
 	}
-	do, err := bench.NewOpenCLDriver(a)
-	if err != nil {
-		return nil, err
-	}
-	ro, err := spec.Run(do, cfgCL)
+	ro, err := run(a, "opencl", spec, cfgCL)
 	if err != nil {
 		return nil, err
 	}
@@ -90,9 +103,14 @@ func Compare(a *arch.Device, spec bench.Spec, cfgCUDA, cfgCL bench.Config) (*Com
 // CompareNative runs the paper's Fig. 3 comparison: each toolchain's
 // native, unmodified implementation.
 func CompareNative(a *arch.Device, spec bench.Spec, scale int) (*Comparison, error) {
+	return CompareNativeWith(Direct, a, spec, scale)
+}
+
+// CompareNativeWith is CompareNative through an explicit Runner.
+func CompareNativeWith(run Runner, a *arch.Device, spec bench.Spec, scale int) (*Comparison, error) {
 	cu := bench.NativeConfig("cuda")
 	cu.Scale = scale
 	cl := bench.NativeConfig("opencl")
 	cl.Scale = scale
-	return Compare(a, spec, cu, cl)
+	return CompareWith(run, a, spec, cu, cl)
 }

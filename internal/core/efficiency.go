@@ -48,7 +48,7 @@ func EfficiencyStudy(scale int) ([]Efficiency, error) {
 			}
 			cfg := bench.NativeConfig("opencl")
 			cfg.Scale = scale
-			r, err := runOpenCL(a, spec, cfg)
+			r, err := Direct(a, "opencl", spec, cfg)
 			if err != nil {
 				return nil, err
 			}

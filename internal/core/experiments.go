@@ -11,10 +11,10 @@ import (
 
 // PeakResult is one bar of Fig. 1 / Fig. 2.
 type PeakResult struct {
-	Device      string
-	Theoretical float64
-	CUDA        float64
-	OpenCL      float64
+	Device      string  `json:"device"`
+	Theoretical float64 `json:"theoretical"`
+	CUDA        float64 `json:"cuda"`
+	OpenCL      float64 `json:"opencl"`
 }
 
 // FractionCUDA returns achieved/theoretical for the CUDA bar.
@@ -23,21 +23,13 @@ func (p PeakResult) FractionCUDA() float64 { return p.CUDA / p.Theoretical }
 // FractionOpenCL returns achieved/theoretical for the OpenCL bar.
 func (p PeakResult) FractionOpenCL() float64 { return p.OpenCL / p.Theoretical }
 
-func runBoth(a *arch.Device, spec bench.Spec, scale int) (cu, cl *bench.Result, err error) {
-	dc, err := bench.NewCUDADriver(a)
-	if err != nil {
-		return nil, nil, err
-	}
+func runBoth(run Runner, a *arch.Device, spec bench.Spec, scale int) (cu, cl *bench.Result, err error) {
 	cfg := bench.Config{Scale: scale}
-	cu, err = spec.Run(dc, cfg)
+	cu, err = run(a, "cuda", spec, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	do, err := bench.NewOpenCLDriver(a)
-	if err != nil {
-		return nil, nil, err
-	}
-	cl, err = spec.Run(do, cfg)
+	cl, err = run(a, "opencl", spec, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -47,8 +39,13 @@ func runBoth(a *arch.Device, spec bench.Spec, scale int) (cu, cl *bench.Result, 
 // PeakBandwidth regenerates one device's Fig. 1 bars with the
 // DeviceMemory probe.
 func PeakBandwidth(a *arch.Device, scale int) (PeakResult, error) {
+	return PeakBandwidthWith(Direct, a, scale)
+}
+
+// PeakBandwidthWith is PeakBandwidth through an explicit Runner.
+func PeakBandwidthWith(run Runner, a *arch.Device, scale int) (PeakResult, error) {
 	spec, _ := bench.SpecByName("DeviceMemory")
-	cu, cl, err := runBoth(a, spec, scale)
+	cu, cl, err := runBoth(run, a, spec, scale)
 	if err != nil {
 		return PeakResult{}, err
 	}
@@ -62,8 +59,13 @@ func PeakBandwidth(a *arch.Device, scale int) (PeakResult, error) {
 
 // PeakFlops regenerates one device's Fig. 2 bars with the MaxFlops probe.
 func PeakFlops(a *arch.Device, scale int) (PeakResult, error) {
+	return PeakFlopsWith(Direct, a, scale)
+}
+
+// PeakFlopsWith is PeakFlops through an explicit Runner.
+func PeakFlopsWith(run Runner, a *arch.Device, scale int) (PeakResult, error) {
 	spec, _ := bench.SpecByName("MaxFlops")
-	cu, cl, err := runBoth(a, spec, scale)
+	cu, cl, err := runBoth(run, a, spec, scale)
 	if err != nil {
 		return PeakResult{}, err
 	}
@@ -91,9 +93,14 @@ func Fig3Benchmarks() []bench.Spec {
 // NativePRSeries regenerates Fig. 3: the PR of every real-world benchmark
 // with each toolchain's native implementation on the given device.
 func NativePRSeries(a *arch.Device, scale int) ([]*Comparison, error) {
+	return NativePRSeriesWith(Direct, a, scale)
+}
+
+// NativePRSeriesWith is NativePRSeries through an explicit Runner.
+func NativePRSeriesWith(run Runner, a *arch.Device, scale int) ([]*Comparison, error) {
 	var out []*Comparison
 	for _, spec := range Fig3Benchmarks() {
-		c, err := CompareNative(a, spec, scale)
+		c, err := CompareNativeWith(run, a, spec, scale)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s on %s: %w", spec.Name, a.Name, err)
 		}
@@ -105,10 +112,10 @@ func NativePRSeries(a *arch.Device, scale int) ([]*Comparison, error) {
 // TextureImpact is one benchmark's Fig. 4 pair: the CUDA implementation
 // with and without texture memory.
 type TextureImpact struct {
-	Benchmark string
-	Device    string
-	With      float64
-	Without   float64
+	Benchmark string  `json:"benchmark"`
+	Device    string  `json:"device"`
+	With      float64 `json:"with"`
+	Without   float64 `json:"without"`
 }
 
 // Ratio returns without/with — the paper's "performance drops to X%".
@@ -116,14 +123,19 @@ func (t TextureImpact) Ratio() float64 { return t.Without / t.With }
 
 // TextureStudy regenerates Fig. 4 for MD and SPMV on one device.
 func TextureStudy(a *arch.Device, scale int) ([]TextureImpact, error) {
+	return TextureStudyWith(Direct, a, scale)
+}
+
+// TextureStudyWith is TextureStudy through an explicit Runner.
+func TextureStudyWith(run Runner, a *arch.Device, scale int) ([]TextureImpact, error) {
 	var out []TextureImpact
 	for _, name := range []string{"MD", "SPMV"} {
 		spec, _ := bench.SpecByName(name)
-		with, err := runCUDA(a, spec, bench.Config{Scale: scale, UseTexture: true})
+		with, err := runCUDA(run, a, spec, bench.Config{Scale: scale, UseTexture: true})
 		if err != nil {
 			return nil, err
 		}
-		without, err := runCUDA(a, spec, bench.Config{Scale: scale, UseTexture: false})
+		without, err := runCUDA(run, a, spec, bench.Config{Scale: scale, UseTexture: false})
 		if err != nil {
 			return nil, err
 		}
@@ -135,11 +147,16 @@ func TextureStudy(a *arch.Device, scale int) ([]TextureImpact, error) {
 // TexturePRStudy regenerates Fig. 5: the PR of MD and SPMV after removing
 // texture memory from the CUDA implementation (a fair step-4 comparison).
 func TexturePRStudy(a *arch.Device, scale int) ([]*Comparison, error) {
+	return TexturePRStudyWith(Direct, a, scale)
+}
+
+// TexturePRStudyWith is TexturePRStudy through an explicit Runner.
+func TexturePRStudyWith(run Runner, a *arch.Device, scale int) ([]*Comparison, error) {
 	var out []*Comparison
 	for _, name := range []string{"MD", "SPMV"} {
 		spec, _ := bench.SpecByName(name)
 		cfg := bench.Config{Scale: scale, UseTexture: false}
-		c, err := Compare(a, spec, cfg, cfg)
+		c, err := CompareWith(run, a, spec, cfg, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -148,12 +165,9 @@ func TexturePRStudy(a *arch.Device, scale int) ([]*Comparison, error) {
 	return out, nil
 }
 
-func runCUDA(a *arch.Device, spec bench.Spec, cfg bench.Config) (*bench.Result, error) {
-	d, err := bench.NewCUDADriver(a)
-	if err != nil {
-		return nil, err
-	}
-	r, err := spec.Run(d, cfg)
+// runCUDA runs one CUDA cell and promotes an aborted result to an error.
+func runCUDA(run Runner, a *arch.Device, spec bench.Spec, cfg bench.Config) (*bench.Result, error) {
+	r, err := run(a, "cuda", spec, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -163,20 +177,12 @@ func runCUDA(a *arch.Device, spec bench.Spec, cfg bench.Config) (*bench.Result, 
 	return r, nil
 }
 
-func runOpenCL(a *arch.Device, spec bench.Spec, cfg bench.Config) (*bench.Result, error) {
-	d, err := bench.NewOpenCLDriver(a)
-	if err != nil {
-		return nil, err
-	}
-	return spec.Run(d, cfg)
-}
-
 // UnrollImpact is Fig. 6: the CUDA FDTD with and without the pragma at
 // unroll point a.
 type UnrollImpact struct {
-	Device   string
-	With     float64 // MPoints/s, pragma at a and b
-	WithoutA float64 // pragma only at b
+	Device   string  `json:"device"`
+	With     float64 `json:"with"`      // MPoints/s, pragma at a and b
+	WithoutA float64 `json:"without_a"` // pragma only at b
 }
 
 // Ratio returns without/with.
@@ -184,12 +190,17 @@ func (u UnrollImpact) Ratio() float64 { return u.WithoutA / u.With }
 
 // UnrollStudyCUDA regenerates Fig. 6 on one device.
 func UnrollStudyCUDA(a *arch.Device, scale int) (UnrollImpact, error) {
+	return UnrollStudyCUDAWith(Direct, a, scale)
+}
+
+// UnrollStudyCUDAWith is UnrollStudyCUDA through an explicit Runner.
+func UnrollStudyCUDAWith(run Runner, a *arch.Device, scale int) (UnrollImpact, error) {
 	spec, _ := bench.SpecByName("FDTD")
-	with, err := runCUDA(a, spec, bench.Config{Scale: scale, UnrollA: true, UnrollB: true})
+	with, err := runCUDA(run, a, spec, bench.Config{Scale: scale, UnrollA: true, UnrollB: true})
 	if err != nil {
 		return UnrollImpact{}, err
 	}
-	without, err := runCUDA(a, spec, bench.Config{Scale: scale, UnrollA: false, UnrollB: true})
+	without, err := runCUDA(run, a, spec, bench.Config{Scale: scale, UnrollA: false, UnrollB: true})
 	if err != nil {
 		return UnrollImpact{}, err
 	}
@@ -199,16 +210,21 @@ func UnrollStudyCUDA(a *arch.Device, scale int) (UnrollImpact, error) {
 // UnrollCombo is one group of Fig. 7: CUDA and OpenCL compiled with the
 // same unroll-point placement.
 type UnrollCombo struct {
-	Label  string
-	Device string
-	CUDA   float64
-	OpenCL float64
-	PR     float64
+	Label  string  `json:"label"`
+	Device string  `json:"device"`
+	CUDA   float64 `json:"cuda"`
+	OpenCL float64 `json:"opencl"`
+	PR     float64 `json:"pr"`
 }
 
 // UnrollCombos regenerates Fig. 7: pragma at b only, and pragma at both
 // points, for both toolchains.
 func UnrollCombos(a *arch.Device, scale int) ([]UnrollCombo, error) {
+	return UnrollCombosWith(Direct, a, scale)
+}
+
+// UnrollCombosWith is UnrollCombos through an explicit Runner.
+func UnrollCombosWith(run Runner, a *arch.Device, scale int) ([]UnrollCombo, error) {
 	spec, _ := bench.SpecByName("FDTD")
 	combos := []struct {
 		label   string
@@ -220,7 +236,7 @@ func UnrollCombos(a *arch.Device, scale int) ([]UnrollCombo, error) {
 	var out []UnrollCombo
 	for _, cb := range combos {
 		cfg := bench.Config{Scale: scale, UnrollA: cb.unrollA, UnrollB: true}
-		c, err := Compare(a, spec, cfg, cfg)
+		c, err := CompareWith(run, a, spec, cfg, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -235,9 +251,9 @@ func UnrollCombos(a *arch.Device, scale int) ([]UnrollCombo, error) {
 // ConstantImpact is Fig. 8: Sobel kernel time with and without constant
 // memory on one device.
 type ConstantImpact struct {
-	Device       string
-	WithConst    float64 // seconds
-	WithoutConst float64 // seconds
+	Device       string  `json:"device"`
+	WithConst    float64 `json:"with_const"`    // seconds
+	WithoutConst float64 `json:"without_const"` // seconds
 }
 
 // Speedup returns without/with: how much the constant cache buys.
@@ -247,12 +263,17 @@ func (c ConstantImpact) Speedup() float64 { return c.WithoutConst / c.WithConst 
 // compiled with the filter in constant versus global memory — the
 // controlled comparison of the constant-memory choice itself.
 func ConstantStudy(a *arch.Device, scale int) (ConstantImpact, error) {
+	return ConstantStudyWith(Direct, a, scale)
+}
+
+// ConstantStudyWith is ConstantStudy through an explicit Runner.
+func ConstantStudyWith(run Runner, a *arch.Device, scale int) (ConstantImpact, error) {
 	spec, _ := bench.SpecByName("Sobel")
-	with, err := runCUDA(a, spec, bench.Config{Scale: scale, UseConstant: true})
+	with, err := runCUDA(run, a, spec, bench.Config{Scale: scale, UseConstant: true})
 	if err != nil {
 		return ConstantImpact{}, err
 	}
-	without, err := runCUDA(a, spec, bench.Config{Scale: scale, UseConstant: false})
+	without, err := runCUDA(run, a, spec, bench.Config{Scale: scale, UseConstant: false})
 	if err != nil {
 		return ConstantImpact{}, err
 	}
@@ -277,17 +298,22 @@ func PTXStudy() (cuda, opencl *ptx.Stats, report string, err error) {
 
 // PortabilityCell is one entry of Table VI.
 type PortabilityCell struct {
-	Benchmark string
-	Device    string
-	Metric    string
-	Value     float64
-	Status    string // OK, FL, ABT
+	Benchmark string  `json:"benchmark"`
+	Device    string  `json:"device"`
+	Metric    string  `json:"metric"`
+	Value     float64 `json:"value,omitempty"`
+	Status    string  `json:"status"` // OK, FL, ABT
 }
 
 // PortabilityStudy regenerates Table VI: every real-world benchmark run
 // through OpenCL on the non-NVIDIA devices, with minor modifications only
 // (the device-type change is inside the opencl package).
 func PortabilityStudy(scale int) ([]PortabilityCell, error) {
+	return PortabilityStudyWith(Direct, scale)
+}
+
+// PortabilityStudyWith is PortabilityStudy through an explicit Runner.
+func PortabilityStudyWith(run Runner, scale int) ([]PortabilityCell, error) {
 	devices := []*arch.Device{arch.HD5870(), arch.Intel920(), arch.CellBE()}
 	var out []PortabilityCell
 	for _, a := range devices {
@@ -297,7 +323,7 @@ func PortabilityStudy(scale int) ([]PortabilityCell, error) {
 			}
 			cfg := bench.NativeConfig("opencl")
 			cfg.Scale = scale
-			r, err := runOpenCL(a, spec, cfg)
+			r, err := run(a, "opencl", spec, cfg)
 			if err != nil {
 				return nil, err
 			}

@@ -101,9 +101,11 @@ type Module struct {
 	m *ptx.Module
 }
 
-// CompileModule builds KIR kernels with the CUDA front-end.
+// CompileModule builds KIR kernels with the CUDA front-end. Compilation is
+// served from the process-wide compile cache: each kernel is lowered once
+// per personality, not once per context.
 func (c *Context) CompileModule(name string, kernels []*kir.Kernel) (*Module, error) {
-	m, err := compiler.CompileModule(name, kernels, compiler.CUDA())
+	m, err := compiler.CompileModuleCached(name, kernels, compiler.CUDA())
 	if err != nil {
 		return nil, err
 	}

@@ -161,8 +161,10 @@ func (c *Context) CreateProgram(kernels ...*kir.Kernel) *Program {
 }
 
 // Build compiles the program with the OpenCL front-end personality.
+// Compilation is served from the process-wide compile cache: each kernel
+// is lowered once per personality, not once per program build.
 func (p *Program) Build() error {
-	m, err := compiler.CompileModule("program", p.kernels, compiler.OpenCL())
+	m, err := compiler.CompileModuleCached("program", p.kernels, compiler.OpenCL())
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"container/list"
+
+	"gpucmp/internal/bench"
+)
+
+// lruCache is a plain LRU over completed results, guarded by the
+// scheduler's mutex (it has no locking of its own). Values are shared
+// pointers: callers must treat a cached *bench.Result as immutable.
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	byKey map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res *bench.Result
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (*bench.Result, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *lruCache) add(key string, res *bench.Result) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds (the last
+// bucket is +Inf). They span sub-millisecond cache-adjacent work up to
+// multi-minute full-scale simulations.
+var latencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+// numBuckets = len(latencyBuckets) + 1 for the +Inf overflow bucket.
+const numBuckets = 18
+
+// Histogram is a fixed-bucket latency histogram.
+type Histogram struct {
+	counts [numBuckets]uint64
+	sum    float64
+	n      uint64
+}
+
+func (h *Histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	h.counts[i]++
+	h.sum += seconds
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns total observed seconds.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the owning bucket; NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.n)
+	var seen float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if seen+float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBuckets[i-1]
+			}
+			hi := lo * 2
+			if i < len(latencyBuckets) {
+				hi = latencyBuckets[i]
+			}
+			frac := (rank - seen) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		seen += float64(c)
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// Buckets returns (upper bound, cumulative count) pairs in Prometheus
+// style, ending with the +Inf bucket.
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	bounds := make([]float64, len(h.counts))
+	cum := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i]
+		cum[i] = total
+		if i < len(latencyBuckets) {
+			bounds[i] = latencyBuckets[i]
+		} else {
+			bounds[i] = math.Inf(1)
+		}
+	}
+	return bounds, cum
+}
+
+// Metrics is the scheduler's observability surface: monotonic counters,
+// two gauges, and a per-benchmark latency histogram.
+type Metrics struct {
+	jobsRun     atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	dedupShared atomic.Uint64
+	panics      atomic.Uint64
+	timeouts    atomic.Uint64
+	inFlight    atomic.Int64
+	queueDepth  atomic.Int64
+
+	mu      sync.Mutex
+	perName map[string]*Histogram
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{perName: make(map[string]*Histogram)}
+}
+
+func (m *Metrics) observe(benchmark string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.perName[benchmark]
+	if !ok {
+		h = &Histogram{}
+		m.perName[benchmark] = h
+	}
+	h.observe(d.Seconds())
+}
+
+// BenchmarkLatency is one benchmark's latency summary.
+type BenchmarkLatency struct {
+	Benchmark string  `json:"benchmark"`
+	Count     uint64  `json:"count"`
+	MeanSec   float64 `json:"mean_seconds"`
+	P50Sec    float64 `json:"p50_seconds"`
+	P99Sec    float64 `json:"p99_seconds"`
+}
+
+// Snapshot is a point-in-time copy of every metric, JSON-marshalable.
+type Snapshot struct {
+	JobsRun     uint64 `json:"jobs_run"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	DedupShared uint64 `json:"dedup_shared"`
+	Panics      uint64 `json:"panics"`
+	Timeouts    uint64 `json:"timeouts"`
+	InFlight    int64  `json:"in_flight"`
+	QueueDepth  int64  `json:"queue_depth"`
+
+	Latency []BenchmarkLatency `json:"latency"`
+}
+
+// Snapshot copies the counters and summarises the per-benchmark
+// histograms, sorted by benchmark name for stable output.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		JobsRun:     m.jobsRun.Load(),
+		CacheHits:   m.cacheHits.Load(),
+		CacheMisses: m.cacheMisses.Load(),
+		DedupShared: m.dedupShared.Load(),
+		Panics:      m.panics.Load(),
+		Timeouts:    m.timeouts.Load(),
+		InFlight:    m.inFlight.Load(),
+		QueueDepth:  m.queueDepth.Load(),
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.perName))
+	for name := range m.perName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := m.perName[name]
+		mean := 0.0
+		if h.n > 0 {
+			mean = h.sum / float64(h.n)
+		}
+		s.Latency = append(s.Latency, BenchmarkLatency{
+			Benchmark: name,
+			Count:     h.n,
+			MeanSec:   mean,
+			P50Sec:    h.Quantile(0.50),
+			P99Sec:    h.Quantile(0.99),
+		})
+	}
+	return s
+}
+
+// Histograms returns a copy of the per-benchmark histograms for the
+// Prometheus exposition in internal/server.
+func (m *Metrics) Histograms() map[string]Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]Histogram, len(m.perName))
+	for name, h := range m.perName {
+		out[name] = *h
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+// Package sched is the concurrent experiment scheduler: a worker pool over
+// canonical experiment jobs (benchmark, device, toolchain, config) with a
+// content-keyed LRU result cache, singleflight deduplication of identical
+// in-flight jobs, per-job timeout, and panic isolation. It is the execution
+// engine behind cmd/gpucmpd and `cmd/benchall -parallel`, and the layer
+// every later scaling step (sharding, remote workers, batch APIs) plugs
+// into.
+//
+// The simulator is deterministic: a job's result depends only on its key,
+// never on scheduling order, so caching and deduplication are semantically
+// invisible — a parallel run reproduces a sequential run bit for bit.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/bench"
+)
+
+// Job is one canonical experiment cell. Two jobs with equal Key() are the
+// same experiment and share one execution and one cache slot.
+type Job struct {
+	Benchmark string       `json:"benchmark"`
+	Device    string       `json:"device"`
+	Toolchain string       `json:"toolchain"` // "cuda" or "opencl"
+	Config    bench.Config `json:"config"`
+}
+
+// Key returns the canonical content key: every field that influences the
+// result, in a fixed order. (bench.Config is a flat struct of scalars, so
+// the %d/%t rendering below is a total encoding of it.)
+func (j Job) Key() string {
+	c := j.Config
+	return fmt.Sprintf("%s|%s|%s|scale=%d tex=%t const=%t ua=%t ub=%t vspmv=%t ntranp=%t",
+		j.Benchmark, j.Toolchain, j.Device,
+		c.Scale, c.UseTexture, c.UseConstant, c.UnrollA, c.UnrollB, c.VectorSPMV, c.NaiveTranspose)
+}
+
+// Validate resolves the job's names without running it.
+func (j Job) Validate() error {
+	if _, err := bench.SpecByName(j.Benchmark); err != nil {
+		return err
+	}
+	a, err := arch.Resolve(j.Device)
+	if err != nil {
+		return err
+	}
+	switch j.Toolchain {
+	case "opencl":
+	case "cuda":
+		if a.Vendor != "NVIDIA" {
+			return fmt.Errorf("sched: device %q is %s; CUDA runs on NVIDIA devices only", j.Device, a.Vendor)
+		}
+	default:
+		return fmt.Errorf("sched: unknown toolchain %q (want cuda or opencl)", j.Toolchain)
+	}
+	return nil
+}
+
+// Outcome says how a Run was served.
+type Outcome int
+
+const (
+	// Miss: this call executed the job.
+	Miss Outcome = iota
+	// Hit: served from the result cache.
+	Hit
+	// Shared: attached to an identical job already in flight.
+	Shared
+)
+
+// String names the outcome for logs and HTTP responses.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Shared:
+		return "shared"
+	default:
+		return "miss"
+	}
+}
+
+// Options configures a Scheduler. The zero value is usable: GOMAXPROCS
+// workers, a 4096-entry cache, no job timeout.
+type Options struct {
+	// Workers is the pool size (defaults to GOMAXPROCS).
+	Workers int
+	// CacheSize caps the result LRU (defaults to 4096; negative disables
+	// caching).
+	CacheSize int
+	// JobTimeout bounds one job's execution (0 = unbounded). A timed-out
+	// job returns context.DeadlineExceeded to its waiters; the abandoned
+	// simulation finishes on its goroutine and is discarded.
+	JobTimeout time.Duration
+}
+
+// task is one in-flight execution that any number of callers wait on.
+type task struct {
+	job  Job
+	key  string
+	done chan struct{} // closed when res/err are final
+	res  *bench.Result
+	err  error
+}
+
+// Scheduler runs jobs on a fixed worker pool with caching and dedup.
+type Scheduler struct {
+	opts    Options
+	queue   chan *task
+	wg      sync.WaitGroup // workers
+	subs    sync.WaitGroup // in-progress queue submissions
+	metrics *Metrics
+
+	mu     sync.Mutex
+	closed bool
+	flight map[string]*task
+	cache  *lruCache
+}
+
+// New starts a scheduler and its worker pool. Call Close to stop it.
+func New(opts Options) *Scheduler {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.CacheSize == 0 {
+		opts.CacheSize = 4096
+	}
+	s := &Scheduler{
+		opts:    opts,
+		queue:   make(chan *task, 64),
+		metrics: newMetrics(),
+		flight:  make(map[string]*task),
+	}
+	if opts.CacheSize > 0 {
+		s.cache = newLRU(opts.CacheSize)
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting jobs and waits for the workers to drain. Pending
+// Run calls complete; new ones fail.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.subs.Wait() // let in-progress submissions reach the queue
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Run executes the job (or serves it from cache / an identical in-flight
+// execution) and returns its result. The returned *bench.Result may be
+// shared with other callers and with the cache: treat it as immutable.
+// ctx cancels this caller's wait, not the execution itself.
+func (s *Scheduler) Run(ctx context.Context, j Job) (*bench.Result, error) {
+	res, _, err := s.Do(ctx, j)
+	return res, err
+}
+
+// Do is Run plus how the job was served.
+func (s *Scheduler) Do(ctx context.Context, j Job) (*bench.Result, Outcome, error) {
+	key := j.Key()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, Miss, fmt.Errorf("sched: scheduler is closed")
+	}
+	if s.cache != nil {
+		if res, ok := s.cache.get(key); ok {
+			s.mu.Unlock()
+			s.metrics.cacheHits.Add(1)
+			return res, Hit, nil
+		}
+	}
+	if t, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		s.metrics.dedupShared.Add(1)
+		return s.wait(ctx, t, Shared)
+	}
+	t := &task{job: j, key: key, done: make(chan struct{})}
+	s.flight[key] = t
+	// Register the submission before releasing the lock so Close cannot
+	// close the queue between our closed-check and the send below.
+	s.subs.Add(1)
+	s.mu.Unlock()
+
+	s.metrics.cacheMisses.Add(1)
+	s.metrics.queueDepth.Add(1)
+	s.queue <- t
+	s.subs.Done()
+	return s.wait(ctx, t, Miss)
+}
+
+func (s *Scheduler) wait(ctx context.Context, t *task, o Outcome) (*bench.Result, Outcome, error) {
+	select {
+	case <-t.done:
+		return t.res, o, t.err
+	case <-ctx.Done():
+		return nil, o, ctx.Err()
+	}
+}
+
+// RunAll executes jobs concurrently through the pool and returns results
+// in input order. The first error is returned after all jobs settle;
+// results whose job failed are nil.
+func (s *Scheduler) RunAll(ctx context.Context, jobs []Job) ([]*bench.Result, error) {
+	results := make([]*bench.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j Job) {
+			defer wg.Done()
+			results[i], errs[i] = s.Run(ctx, j)
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Metrics exposes the scheduler's counters.
+func (s *Scheduler) Metrics() *Metrics { return s.metrics }
+
+// CacheLen returns the number of cached results.
+func (s *Scheduler) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.len()
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.metrics.queueDepth.Add(-1)
+		s.metrics.inFlight.Add(1)
+		start := time.Now()
+		t.res, t.err = s.execute(t.job)
+		s.metrics.observe(t.job.Benchmark, time.Since(start))
+		s.metrics.inFlight.Add(-1)
+		s.metrics.jobsRun.Add(1)
+
+		s.mu.Lock()
+		delete(s.flight, t.key)
+		// Cache every completed execution, including deterministic FL and
+		// ABT outcomes (they are as reproducible as OK ones). Infra
+		// errors — bad names, timeouts, panics — are not cached, so a
+		// transient failure is retried on the next request.
+		if t.err == nil && s.cache != nil {
+			s.cache.add(t.key, t.res)
+		}
+		s.mu.Unlock()
+		close(t.done)
+	}
+}
+
+// execute resolves and runs one job, with panic isolation and the
+// configured timeout. Each execution opens a fresh driver on a fresh
+// simulated device, so concurrent jobs share nothing mutable.
+func (s *Scheduler) execute(j Job) (*bench.Result, error) {
+	if s.opts.JobTimeout <= 0 {
+		return s.executeIsolated(j)
+	}
+	type outcome struct {
+		res *bench.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := s.executeIsolated(j)
+		ch <- outcome{res, err}
+	}()
+	timer := time.NewTimer(s.opts.JobTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		s.metrics.timeouts.Add(1)
+		return nil, fmt.Errorf("sched: job %s: %w after %v", j.Key(), context.DeadlineExceeded, s.opts.JobTimeout)
+	}
+}
+
+func (s *Scheduler) executeIsolated(j Job) (*bench.Result, error) {
+	return s.safely(j.Key(), func() (*bench.Result, error) {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+		spec, _ := bench.SpecByName(j.Benchmark)
+		a, _ := arch.Resolve(j.Device)
+		d, err := bench.NewDriver(j.Toolchain, a)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Run(d, j.Config)
+	})
+}
+
+// safely runs fn with panic isolation: a panicking job becomes an error on
+// that job alone instead of taking down the worker (and with it the pool).
+func (s *Scheduler) safely(key string, fn func() (*bench.Result, error)) (res *bench.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panics.Add(1)
+			buf := make([]byte, 4096)
+			buf = buf[:runtime.Stack(buf, false)]
+			res, err = nil, fmt.Errorf("sched: job %s panicked: %v\n%s", key, r, buf)
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,358 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/bench"
+)
+
+// fastJob is a small, quick experiment cell used throughout the tests.
+func fastJob() Job {
+	return Job{
+		Benchmark: "Reduce",
+		Device:    arch.GTX480().Name,
+		Toolchain: "opencl",
+		Config:    bench.Config{Scale: 16},
+	}
+}
+
+func TestKeyIsCanonicalAndComplete(t *testing.T) {
+	base := fastJob()
+	if base.Key() != fastJob().Key() {
+		t.Fatal("identical jobs must share a key")
+	}
+	// Every field change must change the key.
+	variants := []Job{
+		{Benchmark: "Scan", Device: base.Device, Toolchain: base.Toolchain, Config: base.Config},
+		{Benchmark: base.Benchmark, Device: arch.GTX280().Name, Toolchain: base.Toolchain, Config: base.Config},
+		{Benchmark: base.Benchmark, Device: base.Device, Toolchain: "cuda", Config: base.Config},
+		{Benchmark: base.Benchmark, Device: base.Device, Toolchain: base.Toolchain, Config: bench.Config{Scale: 8}},
+		{Benchmark: base.Benchmark, Device: base.Device, Toolchain: base.Toolchain, Config: bench.Config{Scale: 16, UseTexture: true}},
+		{Benchmark: base.Benchmark, Device: base.Device, Toolchain: base.Toolchain, Config: bench.Config{Scale: 16, UnrollA: true}},
+		{Benchmark: base.Benchmark, Device: base.Device, Toolchain: base.Toolchain, Config: bench.Config{Scale: 16, NaiveTranspose: true}},
+	}
+	seen := map[string]bool{base.Key(): true}
+	for _, v := range variants {
+		if seen[v.Key()] {
+			t.Errorf("key collision: %+v -> %s", v, v.Key())
+		}
+		seen[v.Key()] = true
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := fastJob().Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	bad := []Job{
+		{Benchmark: "NoSuch", Device: arch.GTX480().Name, Toolchain: "cuda"},
+		{Benchmark: "FFT", Device: "NoSuch Device", Toolchain: "cuda"},
+		{Benchmark: "FFT", Device: arch.GTX480().Name, Toolchain: "metal"},
+		{Benchmark: "FFT", Device: arch.HD5870().Name, Toolchain: "cuda"}, // CUDA on AMD
+	}
+	for _, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", j)
+		}
+	}
+}
+
+func TestCacheHitAndMetrics(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	r1, o1, err := s.Do(ctx, fastJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 != Miss {
+		t.Fatalf("first Do outcome = %v, want miss", o1)
+	}
+	r2, o2, err := s.Do(ctx, fastJob())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2 != Hit {
+		t.Fatalf("second Do outcome = %v, want hit", o2)
+	}
+	if r1 != r2 {
+		t.Error("cache hit should return the identical result pointer")
+	}
+	snap := s.Metrics().Snapshot()
+	if snap.JobsRun != 1 || snap.CacheHits != 1 || snap.CacheMisses != 1 {
+		t.Errorf("metrics = jobs %d hits %d misses %d, want 1/1/1",
+			snap.JobsRun, snap.CacheHits, snap.CacheMisses)
+	}
+	if s.CacheLen() != 1 {
+		t.Errorf("CacheLen = %d, want 1", s.CacheLen())
+	}
+	if len(snap.Latency) != 1 || snap.Latency[0].Benchmark != "Reduce" || snap.Latency[0].Count != 1 {
+		t.Errorf("latency summary = %+v, want one Reduce entry", snap.Latency)
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	s := New(Options{Workers: 4})
+	defer s.Close()
+	ctx := context.Background()
+
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]*bench.Result, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.Run(ctx, fastJob())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	snap := s.Metrics().Snapshot()
+	// All callers hit the same key: exactly one execution, the rest either
+	// shared the in-flight task or hit the cache after it completed.
+	if snap.JobsRun != 1 {
+		t.Errorf("JobsRun = %d, want 1 (singleflight)", snap.JobsRun)
+	}
+	if got := snap.CacheHits + snap.DedupShared; got != callers-1 {
+		t.Errorf("hits+shared = %d, want %d", got, callers-1)
+	}
+	for _, r := range results {
+		if r == nil || r.Value != results[0].Value {
+			t.Fatal("deduplicated callers must all see the same result")
+		}
+	}
+}
+
+func TestDisabledCacheReruns(t *testing.T) {
+	s := New(Options{Workers: 1, CacheSize: -1})
+	defer s.Close()
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := s.Run(ctx, fastJob()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap := s.Metrics().Snapshot(); snap.JobsRun != 2 {
+		t.Errorf("JobsRun = %d, want 2 with caching disabled", snap.JobsRun)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	a, b, d := &bench.Result{Benchmark: "a"}, &bench.Result{Benchmark: "b"}, &bench.Result{Benchmark: "d"}
+	c.add("a", a)
+	c.add("b", b)
+	c.get("a") // a is now most recent
+	c.add("d", d)
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted (least recently used)")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestBadJobReturnsErrorAndIsNotCached(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	ctx := context.Background()
+	j := Job{Benchmark: "NoSuch", Device: arch.GTX480().Name, Toolchain: "cuda"}
+	if _, err := s.Run(ctx, j); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+	if s.CacheLen() != 0 {
+		t.Error("failed executions must not be cached")
+	}
+	// An unknown device error must list the known devices (the same
+	// helper the CLI -device flags use).
+	j2 := Job{Benchmark: "FFT", Device: "GTX9000", Toolchain: "cuda"}
+	_, err := s.Run(ctx, j2)
+	if err == nil {
+		t.Fatal("expected error for unknown device")
+	}
+	if want := arch.GTX480().Name; !strings.Contains(err.Error(), want) {
+		t.Errorf("device error %q should enumerate known devices (missing %q)", err, want)
+	}
+}
+
+func TestPanicIsolation(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	// There is no registry hook to inject a panicking benchmark, so drive
+	// the worker's isolation wrapper directly.
+	_, err := s.safely("test-job", func() (*bench.Result, error) { panic("kernel bug") })
+	if err == nil || !strings.Contains(err.Error(), "kernel bug") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	// The pool must still be serviceable afterwards.
+	if _, err := s.Run(ctx, fastJob()); err != nil {
+		t.Fatalf("scheduler unusable after panic: %v", err)
+	}
+	if s.Metrics().Snapshot().Panics != 1 {
+		t.Error("panic counter not incremented")
+	}
+}
+
+func TestCloseIsIdempotentAndRejectsNewJobs(t *testing.T) {
+	s := New(Options{Workers: 1})
+	s.Close()
+	s.Close()
+	if _, err := s.Run(context.Background(), fastJob()); err == nil {
+		t.Fatal("Run after Close must fail")
+	}
+}
+
+func TestContextCancelledWaiter(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Run(ctx, Job{Benchmark: "FFT", Device: arch.GTX480().Name, Toolchain: "cuda", Config: bench.Config{Scale: 16}}); err != context.Canceled {
+		t.Fatalf("cancelled Run = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelReproducesSequential is the determinism contract behind
+// `cmd/benchall -parallel`: a grid executed on many workers must reproduce
+// the sequentially-executed values bit for bit, because the simulator is
+// deterministic and jobs share nothing mutable.
+func TestParallelReproducesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid comparison is slow")
+	}
+	// A cross-section of the grid: every device/toolchain combination over
+	// benchmarks with distinct execution shapes (tree reduction, shared
+	// tiles, multi-launch scan, warp-width-sensitive radix sort).
+	var jobs []Job
+	for _, a := range arch.All() {
+		for _, tc := range []string{"cuda", "opencl"} {
+			if tc == "cuda" && a.Vendor != "NVIDIA" {
+				continue
+			}
+			for _, name := range []string{"Reduce", "TranP", "Scan", "RdxS"} {
+				cfg := bench.NativeConfig(tc)
+				cfg.Scale = 16
+				jobs = append(jobs, Job{Benchmark: name, Device: a.Name, Toolchain: tc, Config: cfg})
+			}
+		}
+	}
+
+	// Sequential reference, bypassing the scheduler entirely.
+	seq := make([]*bench.Result, len(jobs))
+	for i, j := range jobs {
+		a, err := arch.Resolve(j.Device)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := bench.SpecByName(j.Benchmark)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := bench.NewDriver(j.Toolchain, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := spec.Run(d, j.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[i] = r
+	}
+
+	s := New(Options{Workers: 8})
+	defer s.Close()
+	par, err := s.RunAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range jobs {
+		a, b := seq[i], par[i]
+		label := fmt.Sprintf("%s/%s/%s", jobs[i].Benchmark, jobs[i].Device, jobs[i].Toolchain)
+		if (a.Err == nil) != (b.Err == nil) {
+			t.Errorf("%s: abort mismatch: seq=%v par=%v", label, a.Err, b.Err)
+			continue
+		}
+		if a.Value != b.Value {
+			t.Errorf("%s: Value %v != %v (must be bit-identical)", label, a.Value, b.Value)
+		}
+		if a.KernelSeconds != b.KernelSeconds {
+			t.Errorf("%s: KernelSeconds %v != %v", label, a.KernelSeconds, b.KernelSeconds)
+		}
+		if a.Correct != b.Correct {
+			t.Errorf("%s: Correct %v != %v", label, a.Correct, b.Correct)
+		}
+	}
+}
+
+func TestJobTimeout(t *testing.T) {
+	s := New(Options{Workers: 1, JobTimeout: time.Nanosecond})
+	defer s.Close()
+	_, err := s.Run(context.Background(), fastJob())
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if s.Metrics().Snapshot().Timeouts != 1 {
+		t.Error("timeout counter not incremented")
+	}
+	if s.CacheLen() != 0 {
+		t.Error("timed-out jobs must not be cached")
+	}
+}
+
+func TestGridJobsDeterministicOrder(t *testing.T) {
+	a := GridJobs(2)
+	b := GridJobs(2)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("grid sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grid order not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// CUDA cells exist only on NVIDIA devices.
+	for _, j := range a {
+		if j.Toolchain == "cuda" {
+			d, err := arch.Resolve(j.Device)
+			if err != nil || d.Vendor != "NVIDIA" {
+				t.Fatalf("CUDA job on non-NVIDIA device: %+v", j)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.observe(0.003) // lands in the (0.0025, 0.005] bucket
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 0.0025 || p50 > 0.005 {
+		t.Errorf("p50 = %v, want within the owning bucket", p50)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != numBuckets || cum[len(cum)-1] != 100 {
+		t.Errorf("Buckets: %d bounds, final cum %d", len(bounds), cum[len(cum)-1])
+	}
+}

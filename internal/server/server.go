@@ -1,0 +1,255 @@
+// Package server is the HTTP/JSON face of the experiment service: it maps
+// the paper's artifact set (run one cell, list devices and benchmarks,
+// regenerate any figure or table) onto a sched.Scheduler, so every request
+// is cached, deduplicated and executed on the worker pool. cmd/gpucmpd is
+// the daemon around it.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/bench"
+	"gpucmp/internal/compiler"
+	"gpucmp/internal/core"
+	"gpucmp/internal/sched"
+)
+
+// Server holds the service's dependencies.
+type Server struct {
+	sched *sched.Scheduler
+	start time.Time
+
+	// figureScale is the default problem-size divisor for /figures/*
+	// (overridable per request with ?scale=N). The default keeps an
+	// uncached figure regeneration interactive.
+	figureScale int
+}
+
+// Option customises a Server.
+type Option func(*Server)
+
+// WithFigureScale sets the default /figures/* problem-size divisor.
+func WithFigureScale(scale int) Option {
+	return func(s *Server) {
+		if scale > 0 {
+			s.figureScale = scale
+		}
+	}
+}
+
+// New wraps a scheduler in the HTTP service.
+func New(s *sched.Scheduler, opts ...Option) *Server {
+	srv := &Server{sched: s, start: time.Now(), figureScale: 4}
+	for _, o := range opts {
+		o(srv)
+	}
+	return srv
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/devices", s.handleDevices)
+	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/figures/", s.handleFigure)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// deviceInfo is one /devices entry.
+type deviceInfo struct {
+	Name         string   `json:"name"`
+	Vendor       string   `json:"vendor"`
+	Kind         string   `json:"kind"`
+	ComputeUnits int      `json:"compute_units"`
+	PeakGFLOPS   float64  `json:"peak_gflops"`
+	PeakGBs      float64  `json:"peak_gb_per_sec"`
+	Toolchains   []string `json:"toolchains"`
+}
+
+func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
+	var out []deviceInfo
+	for _, a := range arch.All() {
+		tcs := []string{"opencl"}
+		if a.Vendor == "NVIDIA" {
+			tcs = []string{"cuda", "opencl"}
+		}
+		out = append(out, deviceInfo{
+			Name:         a.Name,
+			Vendor:       a.Vendor,
+			Kind:         fmt.Sprint(a.Kind),
+			ComputeUnits: a.ComputeUnits,
+			PeakGFLOPS:   a.TheoreticalPeakFLOPS(),
+			PeakGBs:      a.TheoreticalPeakBandwidth(),
+			Toolchains:   tcs,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// benchmarkInfo is one /benchmarks entry.
+type benchmarkInfo struct {
+	Name          string `json:"name"`
+	Metric        string `json:"metric"`
+	LowerIsBetter bool   `json:"lower_is_better"`
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	var out []benchmarkInfo
+	for _, spec := range bench.Registry() {
+		out = append(out, benchmarkInfo{Name: spec.Name, Metric: spec.Metric, LowerIsBetter: spec.LowerIsBetter})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// runResponse is the POST /run reply: the result plus how it was served.
+type runResponse struct {
+	Result *bench.Result `json:"result"`
+	Cached bool          `json:"cached"`
+	Served string        `json:"served"` // "miss", "hit" or "shared"
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a sched.Job body to /run"))
+		return
+	}
+	var job sched.Job
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&job); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad /run body: %w", err))
+		return
+	}
+	if err := job.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, outcome, err := s.sched.Do(r.Context(), job)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("X-Cache", outcome.String())
+	writeJSON(w, http.StatusOK, runResponse{Result: res, Cached: outcome == sched.Hit, Served: outcome.String()})
+}
+
+// runner adapts the scheduler to the core.Runner the study functions take.
+// Every figure cell becomes a canonical job: cached across requests and
+// deduplicated against identical cells of concurrent requests.
+func (s *Server) runner(r *http.Request) core.Runner {
+	return func(a *arch.Device, toolchain string, spec bench.Spec, cfg bench.Config) (*bench.Result, error) {
+		return s.sched.Run(r.Context(), sched.Job{
+			Benchmark: spec.Name,
+			Device:    a.Name,
+			Toolchain: toolchain,
+			Config:    cfg,
+		})
+	}
+}
+
+func (s *Server) scaleOf(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("scale")
+	if q == "" {
+		return s.figureScale, nil
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad scale %q: want a positive integer", q)
+	}
+	return n, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.sched.Metrics().Snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	snap := s.sched.Metrics().Snapshot()
+	fmt.Fprintf(w, "# HELP gpucmpd_jobs_total Jobs executed by the worker pool.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_jobs_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_jobs_total %d\n", snap.JobsRun)
+	fmt.Fprintf(w, "# HELP gpucmpd_cache_hits_total Result-cache hits.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_cache_hits_total %d\n", snap.CacheHits)
+	fmt.Fprintf(w, "# HELP gpucmpd_cache_misses_total Result-cache misses.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_cache_misses_total %d\n", snap.CacheMisses)
+	fmt.Fprintf(w, "# HELP gpucmpd_dedup_shared_total Requests served by an identical in-flight job.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_dedup_shared_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_dedup_shared_total %d\n", snap.DedupShared)
+	fmt.Fprintf(w, "# HELP gpucmpd_panics_total Jobs that panicked (isolated, not fatal).\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_panics_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_panics_total %d\n", snap.Panics)
+	fmt.Fprintf(w, "# HELP gpucmpd_timeouts_total Jobs that exceeded the job timeout.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_timeouts_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_timeouts_total %d\n", snap.Timeouts)
+	fmt.Fprintf(w, "# HELP gpucmpd_in_flight Jobs currently executing.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_in_flight gauge\n")
+	fmt.Fprintf(w, "gpucmpd_in_flight %d\n", snap.InFlight)
+	fmt.Fprintf(w, "# HELP gpucmpd_queue_depth Jobs queued but not yet executing.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_queue_depth gauge\n")
+	fmt.Fprintf(w, "gpucmpd_queue_depth %d\n", snap.QueueDepth)
+	hits, misses := compiler.CompileCacheStats()
+	fmt.Fprintf(w, "# HELP gpucmpd_compile_cache_hits_total Compiled-kernel cache hits.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_compile_cache_hits_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_compile_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# HELP gpucmpd_compile_cache_misses_total Compiled-kernel cache misses.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_compile_cache_misses_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_compile_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# HELP gpucmpd_job_seconds Job wall latency per benchmark.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_job_seconds histogram\n")
+	hists := s.sched.Metrics().Histograms()
+	for _, l := range snap.Latency {
+		h := hists[l.Benchmark]
+		bounds, cum := h.Buckets()
+		for i := range bounds {
+			le := "+Inf"
+			if i < len(bounds)-1 {
+				le = strconv.FormatFloat(bounds[i], 'g', -1, 64)
+			}
+			fmt.Fprintf(w, "gpucmpd_job_seconds_bucket{benchmark=%q,le=%q} %d\n", l.Benchmark, le, cum[i])
+		}
+		fmt.Fprintf(w, "gpucmpd_job_seconds_sum{benchmark=%q} %g\n", l.Benchmark, h.Sum())
+		fmt.Fprintf(w, "gpucmpd_job_seconds_count{benchmark=%q} %d\n", l.Benchmark, h.Count())
+	}
+	fmt.Fprintf(w, "# HELP gpucmpd_job_quantile_seconds Estimated job-latency quantiles per benchmark.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_job_quantile_seconds gauge\n")
+	for _, l := range snap.Latency {
+		fmt.Fprintf(w, "gpucmpd_job_quantile_seconds{benchmark=%q,quantile=\"0.5\"} %g\n", l.Benchmark, l.P50Sec)
+		fmt.Fprintf(w, "gpucmpd_job_quantile_seconds{benchmark=%q,quantile=\"0.99\"} %g\n", l.Benchmark, l.P99Sec)
+	}
+}

@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTableJSONRoundTrip checks the wire form the gpucmpd figure endpoints
+// return for table-shaped artifacts (Table V, Table VI): lower-case keys,
+// cell text preserved exactly.
+func TestTableJSONRoundTrip(t *testing.T) {
+	in := NewTable("Table VI — portability", "benchmark", "GTX480", "HD5870", "Cell")
+	in.Add("FFT", "OK", "FL", "ABT")
+	in.Add("MD", 412.5, 93.125, 0.25)
+
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"title"`, `"headers"`, `"rows"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("wire form missing %s: %s", key, data)
+		}
+	}
+
+	var out Table
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&out, in) {
+		t.Errorf("round trip changed table:\n in: %+v\nout: %+v", in, &out)
+	}
+	// Add formats floats with %.4g before they ever reach the wire, so the
+	// JSON rows are strings and survive re-encoding byte for byte.
+	again, err := json.Marshal(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Errorf("re-encoding not stable:\n first: %s\nsecond: %s", data, again)
+	}
+}
+
+// TestBarJSONKeys pins the Bar wire form used by bar-chart figures.
+func TestBarJSONKeys(t *testing.T) {
+	data, err := json.Marshal(Bar{Label: "FFT", Value: 1.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"label":"FFT","value":1.25}` {
+		t.Errorf("bar wire form = %s", data)
+	}
+}

@@ -9,11 +9,13 @@ import (
 	"strings"
 )
 
-// Table is a fixed-width text table.
+// Table is a fixed-width text table. The JSON form (title, headers, rows)
+// is what the gpucmpd figure endpoints return for table-shaped artifacts
+// and what scripting consumers parse.
 type Table struct {
-	Title   string
-	Headers []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
 }
 
 // NewTable starts a table with the given headers.
@@ -99,8 +101,8 @@ func Pct(ratio float64) string { return fmt.Sprintf("%.1f%%", ratio*100) }
 // of a figure in a terminal. Values are scaled to width characters against
 // the maximum value; a reference line can be drawn at ref (e.g. PR = 1).
 type Bar struct {
-	Label string
-	Value float64
+	Label string  `json:"label"`
+	Value float64 `json:"value"`
 }
 
 // BarChart renders bars with a shared scale. When ref > 0, a '|' marks the
