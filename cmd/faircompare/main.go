@@ -2,7 +2,10 @@
 // methodology (Section IV-C, Fig. 9) on one benchmark: it audits the
 // native (unfair) configuration pair, reports where the eight steps
 // diverge and who is responsible, then equalises the programmer-controlled
-// steps and shows how the PerformanceRatio moves toward parity.
+// steps and shows how the PerformanceRatio moves toward parity. With
+// -ablate it also runs the Section-V gap-closing study, porting each
+// missing NVOPENCC optimisation into the OpenCL front-end one named knob
+// at a time and reporting how much of the residual step-5 gap each closes.
 package main
 
 import (
@@ -19,6 +22,8 @@ func main() {
 	name := flag.String("bench", "MD", "benchmark to audit (see Table II names)")
 	scale := flag.Int("scale", 1, "problem-size divisor")
 	device := flag.String("device", arch.GTX280().Name, "device name")
+	ablate := flag.Bool("ablate", true, "run the Section-V pass-level gap-closing study")
+	verbose := flag.Bool("v", false, "print per-step pass statistics and remark counts")
 	flag.Parse()
 
 	a, err := arch.Resolve(*device)
@@ -70,4 +75,30 @@ func main() {
 	fmt.Println()
 	fmt.Println("The remaining mismatch is step 5 — the front-end compilers themselves —")
 	fmt.Println("which is the paper's residual explanation for gaps like the FFT's.")
+
+	if !*ablate {
+		return
+	}
+
+	// Step C: close the step-5 gap itself. Each NVOPENCC optimisation the
+	// OpenCL front-end lacks is a named knob; port them across one at a
+	// time and re-measure after every step (Section V).
+	fmt.Println()
+	fmt.Printf("=== Section-V gap closing: porting front-end optimisations one knob at a time ===\n")
+	study, err := core.GapClosingStudy(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(study)
+	if *verbose {
+		for _, step := range study.Steps {
+			fmt.Printf("\n+%s: %s\n", step.Knob, step.Description)
+			fmt.Printf("  solo effect: %.2f us (vs base %.2f us)\n",
+				step.SoloSeconds*1e6, study.BaseSeconds*1e6)
+			fmt.Printf("  front-end remarks: %d\n", step.Remarks)
+			for _, ps := range step.PassStats {
+				fmt.Printf("  %s\n", ps)
+			}
+		}
+	}
 }

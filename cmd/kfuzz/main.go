@@ -10,6 +10,7 @@
 //	kfuzz -device hd5870 -n 200     # one device by (substring) name
 //	kfuzz -n 100000 -max-time 30s   # bounded CI smoke campaign
 //	kfuzz -seed 3 -minimize         # shrink any failure before reporting
+//	kfuzz -seed 3 -bisect           # name the compiler pass/feature at fault
 //	kfuzz -seed 3 -dump corpus/     # write the program as corpus JSON
 //
 // Exit status is 0 when every execution agreed with the reference and
@@ -35,6 +36,7 @@ func main() {
 		n        = flag.Int("n", 50, "number of seeds to run")
 		device   = flag.String("device", "", "restrict to one device (case-insensitive substring of its name)")
 		minimize = flag.Bool("minimize", false, "shrink failing kernels before reporting")
+		bisect   = flag.Bool("bisect", false, "on divergence, disable compiler passes/features one at a time to name the culprit")
 		maxTime  = flag.Duration("max-time", 0, "stop starting new seeds after this long (0 = no limit)")
 		dump     = flag.String("dump", "", "write each generated program as JSON into this directory")
 		verbose  = flag.Bool("v", false, "print each kernel before running it")
@@ -81,7 +83,7 @@ func main() {
 		camp.Add(res)
 		if res.Divergence != nil {
 			failed = true
-			report(p, res.Divergence, devices, *minimize, *dump)
+			report(p, res.Divergence, devices, *minimize, *bisect, *dump)
 		}
 	}
 
@@ -110,8 +112,16 @@ func pickDevices(pattern string) ([]*arch.Device, error) {
 	return out, nil
 }
 
-func report(p *fuzz.Program, d *fuzz.Divergence, devices []*arch.Device, minimize bool, dump string) {
+func report(p *fuzz.Program, d *fuzz.Divergence, devices []*arch.Device, minimize, bisect bool, dump string) {
 	fmt.Printf("DIVERGENCE\n%s\n", d.Error())
+	if bisect {
+		rep, err := fuzz.BisectDivergence(p, d)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bisect: %v\n", err)
+		} else {
+			fmt.Print(rep)
+		}
+	}
 	if !minimize {
 		return
 	}

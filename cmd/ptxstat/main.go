@@ -1,21 +1,34 @@
 // Command ptxstat regenerates Table V of the paper: the static PTX
 // instruction census of the FFT "forward" kernel as emitted by the two
-// front-end compilers, before the shared back end optimises it.
+// front-end compilers, before the shared back end optimises it. With
+// -passes it instead walks the back-end pass pipeline and prints the
+// instruction-mix delta each pass is responsible for, per toolchain.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"gpucmp/internal/bench"
 	"gpucmp/internal/compiler"
 	"gpucmp/internal/core"
+	"gpucmp/internal/ptx"
 )
 
 func main() {
 	disasm := flag.Bool("disasm", false, "also dump both PTX listings")
+	passes := flag.Bool("passes", false, "print per-pass before/after instruction-mix deltas instead of Table V")
 	flag.Parse()
+
+	if *passes {
+		if err := passReport(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	_, _, report, err := core.PTXStudy()
 	if err != nil {
@@ -39,4 +52,60 @@ func main() {
 			fmt.Printf("\n===== %s =====\n%s\n", p.Name, pk.Disassemble())
 		}
 	}
+}
+
+// passReport compiles the FFT forward kernel under both personalities with
+// the pipeline observer attached and renders, for every back-end pass, the
+// instruction-mix rows it changed. Output is deterministic: identical
+// configs compile to bit-identical PTX, so this is golden-file tested.
+func passReport(w io.Writer) error {
+	k := bench.FFTKernel()
+	for _, p := range []compiler.Personality{compiler.CUDA(), compiler.OpenCL()} {
+		fmt.Fprintf(w, "===== %s: back-end pass deltas for the FFT forward kernel =====\n", p.Name)
+		var obsErr error
+		cfg := compiler.Config{
+			Personality: p,
+			Observer: func(pass compiler.Pass, before, after *ptx.Stats) {
+				if _, err := fmt.Fprintf(w, "\npass %s — %s\n", pass.Name, pass.Description); err != nil {
+					obsErr = err
+					return
+				}
+				if _, err := io.WriteString(w, ptx.DiffTable(before, after)); err != nil {
+					obsErr = err
+				}
+			},
+		}
+		pk, err := compiler.CompileWithConfig(k, cfg)
+		if err != nil {
+			return err
+		}
+		if obsErr != nil {
+			return obsErr
+		}
+		fmt.Fprintf(w, "\nper-pass summary\n")
+		for _, st := range pk.PassStats {
+			fmt.Fprintf(w, "  %s\n", st)
+		}
+		fmt.Fprintf(w, "remarks (%d total, deduplicated)\n", len(pk.Remarks))
+		// The remark stream repeats per unrolled trip; collapse identical
+		// messages to a count in first-seen order to keep the report readable.
+		counts := map[string]int{}
+		var order []string
+		for _, r := range pk.Remarks {
+			s := r.String()
+			if counts[s] == 0 {
+				order = append(order, s)
+			}
+			counts[s]++
+		}
+		for _, s := range order {
+			if n := counts[s]; n > 1 {
+				fmt.Fprintf(w, "  %s  (x%d)\n", s, n)
+			} else {
+				fmt.Fprintf(w, "  %s\n", s)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestPassReportGolden pins the -passes report byte-for-byte. The report is
+// a pure function of the compiler: if it drifts, either a pass changed
+// behaviour (inspect the diff, then regenerate with -update) or determinism
+// broke (same config must compile to bit-identical PTX).
+func TestPassReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := passReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "passes.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("pass report drifted from %s (run with -update after verifying the change)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestPassReportStable runs the report twice in-process: identical configs
+// must produce identical reports, pass deltas included.
+func TestPassReportStable(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := passReport(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := passReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("pass report differs between identical runs")
+	}
+}

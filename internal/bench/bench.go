@@ -79,6 +79,10 @@ type Result struct {
 	// Err is non-nil when the run aborted — the Table VI "ABT" state.
 	Err error `json:"-"`
 
+	// Kernels carries the compiler story for every kernel the run built:
+	// per-pass statistics and the remark stream (see KernelReport).
+	Kernels []KernelReport `json:"kernels,omitempty"`
+
 	Traces []*sim.Trace `json:"-"`
 }
 
@@ -199,6 +203,7 @@ func result(d Driver, name, metric string, value float64, correct bool) *Result 
 		KernelSeconds:   d.KernelTime(),
 		EndToEndSeconds: d.Elapsed(),
 		Correct:         correct,
+		Kernels:         KernelReports(d),
 		Traces:          d.Traces(),
 	}
 }

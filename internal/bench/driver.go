@@ -11,7 +11,13 @@ import (
 )
 
 // CUDADriver adapts a cuda.Context to the Driver interface.
-type CUDADriver struct{ Ctx *cuda.Context }
+type CUDADriver struct {
+	Ctx *cuda.Context
+
+	// built records every kernel Build compiled, in source order, so
+	// KernelReports can attach the compiler story to the benchmark result.
+	built []*ptx.Kernel
+}
 
 // NewCUDADriver opens a CUDA context on the device.
 func NewCUDADriver(a *arch.Device) (*CUDADriver, error) {
@@ -57,7 +63,17 @@ func (d *CUDADriver) Build(kernels ...*kir.Kernel) (Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cudaModule{m: m}, nil
+	mod := cudaModule{m: m}
+	// Record in the caller's kernel order, which is deterministic (module
+	// maps are not).
+	for _, src := range kernels {
+		pk, err := mod.Kernel(src.Name)
+		if err != nil {
+			return nil, err
+		}
+		d.built = append(d.built, pk)
+	}
+	return mod, nil
 }
 
 // Launch runs a kernel.
@@ -93,6 +109,8 @@ func (d *CUDADriver) ResetTimer() { d.Ctx.ResetTimer() }
 type OpenCLDriver struct {
 	Ctx   *opencl.Context
 	Queue *opencl.CommandQueue
+
+	built []*ptx.Kernel // see CUDADriver.built
 }
 
 // NewOpenCLDriver opens an OpenCL context on the device.
@@ -145,7 +163,15 @@ func (d *OpenCLDriver) Build(kernels ...*kir.Kernel) (Module, error) {
 	if err := p.Build(); err != nil {
 		return nil, err
 	}
-	return clModule{p: p}, nil
+	mod := clModule{p: p}
+	for _, src := range kernels {
+		pk, err := mod.Kernel(src.Name)
+		if err != nil {
+			return nil, err
+		}
+		d.built = append(d.built, pk)
+	}
+	return mod, nil
 }
 
 // Launch converts grid x block to NDRange global/local sizes and enqueues.

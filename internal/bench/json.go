@@ -21,6 +21,8 @@ type resultJSON struct {
 	Correct bool   `json:"correct"`
 	Status  string `json:"status"`
 	Error   string `json:"error,omitempty"`
+
+	Kernels []KernelReport `json:"kernels,omitempty"`
 }
 
 // MarshalJSON encodes the result with Err as a plain string and a
@@ -36,6 +38,7 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		EndToEndSeconds: r.EndToEndSeconds,
 		Correct:         r.Correct,
 		Status:          r.Status(),
+		Kernels:         r.Kernels,
 	}
 	if r.Err != nil {
 		out.Error = r.Err.Error()
@@ -60,6 +63,7 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		KernelSeconds:   in.KernelSeconds,
 		EndToEndSeconds: in.EndToEndSeconds,
 		Correct:         in.Correct,
+		Kernels:         in.Kernels,
 	}
 	if in.Error != "" {
 		r.Err = errors.New(in.Error)

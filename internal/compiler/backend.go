@@ -2,25 +2,16 @@ package compiler
 
 import "gpucmp/internal/ptx"
 
-// Optimize is the shared second-stage compiler (PTXAS in the paper's
-// development flow, step 6): dead-code elimination followed by mul+add
-// fusion into mad/fma. Both toolchains run it, mirroring the paper's
-// observation that the back-end is common while the front-ends differ.
-func Optimize(k *ptx.Kernel) {
-	copyPropagate(k)
-	deadCodeEliminate(k)
-	fuseMulAdd(k)
-}
-
 // copyPropagate forwards register-to-register mov sources into later uses
 // within each basic block, after which dead-code elimination removes the
 // movs themselves. This models the register-allocation phase of the real
 // back end: the mov-heavy PTX that NVOPENCC emits (Table V) does not cost
-// issue slots in the final machine code.
-func copyPropagate(k *ptx.Kernel) {
+// issue slots in the final machine code. It returns the number of operands
+// (sources and guard predicates) rewritten.
+func copyPropagate(k *ptx.Kernel) int {
 	n := len(k.Instrs)
 	if n == 0 {
-		return
+		return 0
 	}
 	// Basic-block boundaries: branch targets and instructions after
 	// branches end the propagation window.
@@ -43,6 +34,7 @@ func copyPropagate(k *ptx.Kernel) {
 			}
 		}
 	}
+	rewritten := 0
 	for i := range k.Instrs {
 		if leader[i] {
 			copies = make(map[ptx.Reg]ptx.Operand)
@@ -58,12 +50,14 @@ func copyPropagate(k *ptx.Kernel) {
 						continue
 					}
 					in.Src[s] = src
+					rewritten++
 				}
 			}
 		}
 		if in.GuardPred != ptx.NoReg {
 			if src, ok := copies[in.GuardPred]; ok && !src.IsImm && !src.IsSpec {
 				in.GuardPred = src.Reg
+				rewritten++
 			}
 		}
 		if in.Dst != ptx.NoReg {
@@ -75,6 +69,7 @@ func copyPropagate(k *ptx.Kernel) {
 			}
 		}
 	}
+	return rewritten
 }
 
 // hasSideEffect reports whether an instruction must be preserved regardless
@@ -100,8 +95,9 @@ func readsOf(in *ptx.Instruction, mark func(ptx.Reg)) {
 
 // deadCodeEliminate removes side-effect-free instructions whose destination
 // register is never read anywhere in the kernel, iterating to a fixpoint,
-// then compacts the instruction stream and remaps branch targets.
-func deadCodeEliminate(k *ptx.Kernel) {
+// then compacts the instruction stream and remaps branch targets. It
+// returns the number of instructions removed.
+func deadCodeEliminate(k *ptx.Kernel) int {
 	n := len(k.Instrs)
 	dead := make([]bool, n)
 	for {
@@ -131,13 +127,13 @@ func deadCodeEliminate(k *ptx.Kernel) {
 			break
 		}
 	}
-	compact(k, dead)
+	return compact(k, dead)
 }
 
 // compact removes instructions marked dead and remaps Target/Join indices.
 // A target pointing at a removed instruction is redirected to the next kept
-// one (or the end).
-func compact(k *ptx.Kernel, dead []bool) {
+// one (or the end). It returns the number of instructions removed.
+func compact(k *ptx.Kernel, dead []bool) int {
 	n := len(k.Instrs)
 	// newIndex[i] = number of kept instructions strictly before i.
 	newIndex := make([]int, n+1)
@@ -162,16 +158,19 @@ func compact(k *ptx.Kernel, dead []bool) {
 		}
 		out = append(out, in)
 	}
+	removed := len(k.Instrs) - len(out)
 	k.Instrs = out
+	return removed
 }
 
 // fuseMulAdd rewrites adjacent mul+add pairs into a single mad (integer) or
 // fma (float) when the intermediate register has exactly one use, the pair
-// is not split by a branch target, and both carry the same guard.
-func fuseMulAdd(k *ptx.Kernel) {
+// is not split by a branch target, and both carry the same guard. It
+// returns the number of pairs fused.
+func fuseMulAdd(k *ptx.Kernel) int {
 	n := len(k.Instrs)
 	if n == 0 {
-		return
+		return 0
 	}
 	isTarget := make([]bool, n+1)
 	for i := range k.Instrs {
@@ -244,5 +243,5 @@ func fuseMulAdd(k *ptx.Kernel) {
 		k.Instrs[i+1] = fused
 		dead[i] = true
 	}
-	compact(k, dead)
+	return compact(k, dead)
 }

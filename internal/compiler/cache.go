@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"gpucmp/internal/kir"
@@ -18,14 +19,17 @@ import (
 // result.
 //
 // Sharing is sound because a *ptx.Kernel is immutable once Compile returns:
-// the simulator and both runtimes only read Instrs/Params/footprints.
+// the simulator and both runtimes only read Instrs/Params/footprints
+// (including the attached PassStats and Remarks).
 // The key is the kernel's canonical source form (kir.Format, which includes
-// unroll pragmas) plus the warp-width assumption plus every personality
-// field, so distinct Config-driven kernel variants never collide.
+// unroll pragmas) plus the warp-width assumption plus the full compile
+// configuration — every personality field by name (Personality.Canonical)
+// and the back-end pass pipeline — so distinct kernel variants, ablated
+// personalities and reduced pipelines never collide.
 
 type compileKey struct {
-	personality string
-	source      string
+	config string
+	source string
 }
 
 type compileEntry struct {
@@ -41,17 +45,35 @@ var (
 	compileMiss  uint64
 )
 
-func keyFor(k *kir.Kernel, p Personality) compileKey {
+// CanonicalKey renders the cacheable identity of a Config: the canonical
+// personality encoding, the ordered pass-name list, and the debug flag.
+// Pass identity is the name — a custom Pass that shadows a standard name
+// with different behaviour must not be used with the cached entry points.
+func (c Config) CanonicalKey() string {
+	return fmt.Sprintf("%s|passes=%s|debug=%t",
+		c.Personality.Canonical(), strings.Join(PassNames(c.passes()), ","), c.Debug)
+}
+
+func keyFor(k *kir.Kernel, cfg Config) compileKey {
 	return compileKey{
-		// Personality is a flat struct of scalars; %+v is a total encoding.
-		personality: fmt.Sprintf("%+v", p),
-		source:      fmt.Sprintf("warp=%d\n%s", k.WarpWidthAssumption, kir.Format(k)),
+		config: cfg.CanonicalKey(),
+		source: fmt.Sprintf("warp=%d\n%s", k.WarpWidthAssumption, kir.Format(k)),
 	}
 }
 
 // CompileCached is Compile behind the process-wide compile cache.
 func CompileCached(k *kir.Kernel, p Personality) (*ptx.Kernel, error) {
-	key := keyFor(k, p)
+	return CompileCachedConfig(k, Config{Personality: p})
+}
+
+// CompileCachedConfig is CompileWithConfig behind the process-wide compile
+// cache. Observed compiles are refused: the observer would only fire on
+// the miss, making instrumentation appear and vanish with cache state.
+func CompileCachedConfig(k *kir.Kernel, cfg Config) (*ptx.Kernel, error) {
+	if cfg.Observer != nil {
+		return nil, fmt.Errorf("compiler: CompileCachedConfig: Observer is not cacheable; use CompileWithConfig")
+	}
+	key := keyFor(k, cfg)
 	compileMu.Lock()
 	e, ok := compileCache[key]
 	if !ok {
@@ -62,7 +84,7 @@ func CompileCached(k *kir.Kernel, p Personality) (*ptx.Kernel, error) {
 		compileHits++
 	}
 	compileMu.Unlock()
-	e.once.Do(func() { e.k, e.err = Compile(k, p) })
+	e.once.Do(func() { e.k, e.err = CompileWithConfig(k, cfg) })
 	return e.k, e.err
 }
 

@@ -1,0 +1,166 @@
+package compiler
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"gpucmp/internal/ptx"
+)
+
+// TestCanonicalCoversEveryField mutates each Personality field in turn via
+// reflection and checks the canonical encoding changes. A field missing
+// from Canonical() would silently alias compile-cache entries for
+// personalities that differ only in that field.
+func TestCanonicalCoversEveryField(t *testing.T) {
+	typ := reflect.TypeOf(Personality{})
+	base := Personality{}.Canonical()
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		v := reflect.New(typ).Elem()
+		fv := v.Field(i)
+		switch fv.Kind() {
+		case reflect.Bool:
+			fv.SetBool(true)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			fv.SetInt(7)
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			fv.SetUint(7)
+		case reflect.String:
+			fv.SetString("probe")
+		default:
+			t.Fatalf("field %s has kind %s; teach this test how to probe it", f.Name, fv.Kind())
+		}
+		got := v.Interface().(Personality).Canonical()
+		if got == base {
+			t.Errorf("Canonical() does not cover field %s: changing it leaves the key at %q",
+				f.Name, base)
+		}
+	}
+}
+
+func TestCanonicalKeyCoversPipelineConfig(t *testing.T) {
+	base := Config{Personality: OpenCL()}
+	if a, b := base.CanonicalKey(), (Config{Personality: CUDA()}).CanonicalKey(); a == b {
+		t.Error("different personalities share a key")
+	}
+	reduced := Config{Personality: OpenCL(), Passes: WithoutPass(DefaultPasses(), PassDCE)}
+	if base.CanonicalKey() == reduced.CanonicalKey() {
+		t.Error("reduced pass pipeline shares a key with the default pipeline")
+	}
+	dbg := Config{Personality: OpenCL(), Debug: true}
+	if base.CanonicalKey() == dbg.CanonicalKey() {
+		t.Error("debug mode shares a key with release mode")
+	}
+	// The key is explicit, not a struct dump: every personality field name
+	// appears, so a reordering of fields cannot silently change the key.
+	key := base.CanonicalKey()
+	for _, frag := range []string{"name=", "paramSpace=", "passes=", "debug="} {
+		if !strings.Contains(key, frag) {
+			t.Errorf("canonical key missing %q: %s", frag, key)
+		}
+	}
+}
+
+func TestCompileCachedConfigRejectsObserver(t *testing.T) {
+	k := vecAddKernel(t)
+	bad := Config{Personality: CUDA()}
+	bad.Observer = func(p Pass, before, after *ptx.Stats) {}
+	if _, err := CompileCachedConfig(k, bad); err == nil {
+		t.Fatal("cached compile accepted an Observer")
+	}
+}
+
+// TestCachedConfigDistinguishesPipelines: the same kernel compiled under
+// the default and a reduced pipeline must come back different through the
+// cache (distinct keys), and repeated compiles must share (hits recorded).
+func TestCachedConfigDistinguishesPipelines(t *testing.T) {
+	ResetCompileCache()
+	defer ResetCompileCache()
+	k := loopyKernel(t)
+	full, err := CompileCachedConfig(k, Config{Personality: CUDA()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := CompileCachedConfig(k, Config{
+		Personality: CUDA(), Passes: WithoutPass(DefaultPasses(), PassDCE)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Instrs) == len(reduced.Instrs) {
+		t.Error("default and reduced pipelines produced same-size kernels; keys may alias")
+	}
+	again, err := CompileCachedConfig(k, Config{Personality: CUDA()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != full {
+		t.Error("identical config did not share the cached kernel")
+	}
+	hits, misses := CompileCacheStats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("cache counters hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}
+
+// TestConcurrentCompilesAreBitIdentical is the determinism acceptance
+// criterion: many goroutines compiling the same kernel under the same
+// config (bypassing the cache, so each run is a real compile) must produce
+// byte-for-byte identical PTX, remarks and pass stats. Run with -race.
+func TestConcurrentCompilesAreBitIdentical(t *testing.T) {
+	kernels := []string{"loopy", "vadd"}
+	for _, which := range kernels {
+		which := which
+		t.Run(which, func(t *testing.T) {
+			var src = vecAddKernel(t)
+			if which == "loopy" {
+				src = loopyKernel(t)
+			}
+			for _, cfg := range []Config{
+				{Personality: CUDA()},
+				{Personality: OpenCL()},
+				{Personality: OpenCL(), Passes: WithoutPass(DefaultPasses(), PassMadFuse)},
+				{Personality: CUDA(), Debug: true},
+			} {
+				cfg := cfg
+				const workers = 8
+				outs := make([]string, workers)
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					w := w
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						pk, err := CompileWithConfig(src, cfg)
+						if err != nil {
+							outs[w] = "error: " + err.Error()
+							return
+						}
+						var b strings.Builder
+						b.WriteString(pk.Disassemble())
+						for _, r := range pk.Remarks {
+							b.WriteString(r.String())
+							b.WriteByte('\n')
+						}
+						for _, s := range pk.PassStats {
+							b.WriteString(s.String())
+							b.WriteByte('\n')
+						}
+						outs[w] = b.String()
+					}()
+				}
+				wg.Wait()
+				for w := 1; w < workers; w++ {
+					if outs[w] != outs[0] {
+						t.Fatalf("config %s: concurrent compile %d differs from compile 0:\n--- 0:\n%s\n--- %d:\n%s",
+							cfg.CanonicalKey(), w, outs[0], w, outs[w])
+					}
+				}
+				if strings.HasPrefix(outs[0], "error:") {
+					t.Fatalf("config %s: %s", cfg.CanonicalKey(), outs[0])
+				}
+			}
+		})
+	}
+}

@@ -8,13 +8,51 @@ import (
 	"gpucmp/internal/ptx"
 )
 
+// Config is the full declarative description of one compilation: the
+// front-end personality plus the back-end pass pipeline. The zero Passes
+// value means the default pipeline; ablation experiments and the fuzz
+// oracle's miscompile bisection pass explicit subsets (or extra passes).
+type Config struct {
+	Personality Personality
+
+	// Passes is the back-end pipeline; nil means DefaultPasses().
+	Passes []Pass
+
+	// Debug re-validates the kernel's structural invariants after every
+	// pass, pinning a pipeline corruption to the pass that introduced it.
+	Debug bool
+
+	// Observer, when set, receives each pass's before/after instruction
+	// census (cmd/ptxstat's per-pass mode). Observed compiles are not
+	// cacheable: CompileCachedConfig rejects a non-nil Observer.
+	Observer func(pass Pass, before, after *ptx.Stats)
+}
+
+func (c Config) passes() []Pass {
+	if c.Passes == nil {
+		return DefaultPasses()
+	}
+	return c.Passes
+}
+
 // Compile lowers one KIR kernel with the given front-end personality and
-// runs the shared PTXAS back-end over the result.
+// runs the default shared PTXAS back-end pipeline over the result.
 func Compile(k *kir.Kernel, p Personality) (*ptx.Kernel, error) {
+	return CompileWithConfig(k, Config{Personality: p})
+}
+
+// CompileWithConfig lowers one KIR kernel under a full compile
+// configuration. The produced kernel carries the remarks stream and the
+// per-pass stats; given equal (kernel, Config) inputs the instruction
+// stream is bit-identical across processes and goroutines.
+func CompileWithConfig(k *kir.Kernel, cfg Config) (*ptx.Kernel, error) {
 	if err := kir.Check(k); err != nil {
 		return nil, err
 	}
+	p := cfg.Personality
+	rem := &Remarks{}
 	g := newGen(k, p)
+	g.rem = rem
 	g.prologue()
 	g.block(k.Body)
 	g.emit(ptx.NewInstruction(ptx.OpRet))
@@ -44,7 +82,13 @@ func Compile(k *kir.Kernel, p Personality) (*ptx.Kernel, error) {
 		})
 	}
 	out.FrontEndStats = out.StaticStats()
-	Optimize(out)
+	pl := Pipeline{Passes: cfg.passes(), Debug: cfg.Debug, Observer: cfg.Observer}
+	stats, err := pl.Run(out, rem)
+	if err != nil {
+		return nil, err
+	}
+	out.PassStats = stats
+	out.Remarks = rem.List()
 	if err := out.Validate(); err != nil {
 		return nil, fmt.Errorf("compiler: internal error: %w", err)
 	}
@@ -131,6 +175,9 @@ type gen struct {
 
 	guard    ptx.Reg // active guard predicate (NoReg when none)
 	guardNeg bool
+
+	// rem collects front-end remarks; nil is a valid no-op sink.
+	rem *Remarks
 }
 
 func newGen(k *kir.Kernel, p Personality) *gen {
@@ -277,6 +324,16 @@ func (g *gen) cseLookup(key string) (value, bool) {
 		return value{}, false
 	}
 	owned := g.claim(e.reg)
+	if !owned && g.deferred[e.reg] {
+		// The register is only alive because this entry's protection
+		// deferred its release. Hand that deferred release to the caller:
+		// otherwise a pressure eviction while the caller still holds the
+		// operand would free the register mid-expression, and the allocator
+		// could hand it to a sibling subexpression before this use is
+		// emitted.
+		delete(g.deferred, e.reg)
+		owned = true
+	}
 	return value{op: ptx.R(e.reg), owned: owned, t: e.t}, true
 }
 
@@ -305,6 +362,7 @@ func (g *gen) evictOldestCSE() {
 			continue
 		}
 		delete(g.cse, key)
+		g.rem.Addf(PhaseFrontEnd, "CSE evicted r%d under register pressure (window %d)", e.reg, g.p.MaxCSERegs)
 		g.unprotect(e)
 		return
 	}
@@ -352,6 +410,10 @@ func (g *gen) dropCSEDeeperThan(depth int) {
 func (g *gen) prologue() {
 	if !g.p.CacheParams {
 		return
+	}
+	if len(g.k.Params) > 0 {
+		g.rem.Addf(PhaseFrontEnd, "cached %d parameter(s) in registers at entry from the %s space",
+			len(g.k.Params), g.p.ParamSpace)
 	}
 	for i, pa := range g.k.Params {
 		r := g.alloc() // pinned for the kernel's lifetime
@@ -601,15 +663,18 @@ func (g *gen) lowerBin(e *kir.Bin, hint ptx.Reg) value {
 		switch e.Op {
 		case kir.OpMul:
 			op = ptx.OpShl
+			g.rem.Addf(PhaseFrontEnd, "strength-reduced mul by %d into shl", r.op.Imm)
 			r.op = ptx.ImmU(log2u(r.op.Imm))
 		case kir.OpDiv:
 			if rt == kir.U32 {
 				op = ptx.OpShr
+				g.rem.Addf(PhaseFrontEnd, "strength-reduced div by %d into shr", r.op.Imm)
 				r.op = ptx.ImmU(log2u(r.op.Imm))
 			}
 		case kir.OpRem:
 			if rt == kir.U32 {
 				op = ptx.OpAnd
+				g.rem.Addf(PhaseFrontEnd, "strength-reduced rem by %d into and", r.op.Imm)
 				r.op = ptx.ImmU(r.op.Imm - 1)
 			}
 		}

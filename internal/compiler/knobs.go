@@ -1,0 +1,87 @@
+package compiler
+
+import "gpucmp/internal/ptx"
+
+// Knob is one named, individually applicable front-end transformation —
+// the unit of the paper's Section-V experiments, where each optimisation
+// the OpenCL front-end is missing is ported across one at a time and the
+// performance gap re-measured after each step.
+type Knob struct {
+	Name        string
+	Description string
+	Apply       func(*Personality)
+}
+
+// GapKnobs lists the NVOPENCC optimisations absent from the OpenCL
+// front-end, in the order the ablation study applies them. Applying all of
+// them to OpenCL() yields a personality that generates bit-identical PTX
+// to CUDA() (only the toolchain tag differs) — the fully "closed" gap.
+func GapKnobs() []Knob {
+	cu := CUDA()
+	return []Knob{
+		{
+			Name:        "param-registers",
+			Description: "fetch kernel arguments from the param space instead of the constant bank",
+			Apply:       func(p *Personality) { p.ParamSpace = ptx.SpaceParam },
+		},
+		{
+			Name:        "wide-cse",
+			Description: "widen the CSE register window to NVOPENCC's bound",
+			Apply:       func(p *Personality) { p.MaxCSERegs = cu.MaxCSERegs },
+		},
+		{
+			Name:        "no-strength-reduce",
+			Description: "keep mul/div/rem instead of strength-reducing into shifts and masks",
+			Apply:       func(p *Personality) { p.StrengthReduce = false },
+		},
+		{
+			Name:        "guard-predication",
+			Description: "predicate small if-bodies with guard bits instead of setp+selp chains",
+			Apply: func(p *Personality) {
+				p.SelpPureIf = false
+				p.MaxSelpAssigns = 0
+				p.GuardSmallIf = true
+				p.MaxGuardInstrs = cu.MaxGuardInstrs
+			},
+		},
+		{
+			Name:        "aggressive-auto-unroll",
+			Description: "fully unroll small constant-trip loops without a pragma, at NVOPENCC's thresholds",
+			Apply: func(p *Personality) {
+				p.AutoUnrollTrips = cu.AutoUnrollTrips
+				p.AutoUnrollMaxNodes = cu.AutoUnrollMaxNodes
+			},
+		},
+		{
+			Name:        "pressure-aware-unroll",
+			Description: "stop spilling replicated unroll copies through local memory",
+			Apply: func(p *Personality) {
+				p.SpillOnUnroll = false
+				p.SpillsPerCopy = 0
+			},
+		},
+		{
+			Name:        "mov-copies",
+			Description: "bind named values through explicit register copies (NVOPENCC's allocation style)",
+			Apply:       func(p *Personality) { p.MovCopies = true },
+		},
+	}
+}
+
+// FeatureKnobs lists the front-end features that can be individually
+// switched off, for miscompile bisection: when a fuzz divergence vanishes
+// with exactly one feature disabled, that feature's lowering is the prime
+// suspect. Each Apply disables one feature.
+func FeatureKnobs() []Knob {
+	return []Knob{
+		{Name: "cse", Description: "value-numbering CSE", Apply: func(p *Personality) { p.CSE = false }},
+		{Name: "strength-reduce", Description: "power-of-two strength reduction", Apply: func(p *Personality) { p.StrengthReduce = false }},
+		{Name: "mov-copies", Description: "explicit mov copy binding", Apply: func(p *Personality) { p.MovCopies = false }},
+		{Name: "guard-if", Description: "guard-predicated small ifs", Apply: func(p *Personality) { p.GuardSmallIf = false }},
+		{Name: "selp-if", Description: "setp+selp if-conversion", Apply: func(p *Personality) { p.SelpPureIf = false }},
+		{Name: "auto-unroll", Description: "automatic full unrolling", Apply: func(p *Personality) { p.AutoUnrollTrips = 0 }},
+		{Name: "pragma-unroll", Description: "unroll-pragma handling", Apply: func(p *Personality) { p.HonorUnrollPragma = false }},
+		{Name: "spill-on-unroll", Description: "register-pressure-naive unroll spills", Apply: func(p *Personality) { p.SpillOnUnroll = false }},
+		{Name: "cache-params", Description: "entry-block parameter caching", Apply: func(p *Personality) { p.CacheParams = false }},
+	}
+}

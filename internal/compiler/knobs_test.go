@@ -1,0 +1,93 @@
+package compiler
+
+import (
+	"testing"
+)
+
+// TestGapKnobsConvergeToCUDA is the end state of the Section-V study at the
+// codegen level: the OpenCL personality with every gap knob applied
+// generates instruction-identical PTX to the CUDA personality — the whole
+// front-end gap is the sum of the named knobs, with nothing left over.
+func TestGapKnobsConvergeToCUDA(t *testing.T) {
+	ported := OpenCL()
+	for _, kn := range GapKnobs() {
+		if kn.Name == "" || kn.Description == "" || kn.Apply == nil {
+			t.Fatalf("malformed knob: %+v", kn)
+		}
+		kn.Apply(&ported)
+	}
+	for _, name := range []string{"vadd", "loopy"} {
+		k := vecAddKernel(t)
+		if name == "loopy" {
+			k = loopyKernel(t)
+		}
+		cu, err := Compile(k, CUDA())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := Compile(k, ported)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl.Toolchain != "opencl" {
+			t.Errorf("%s: ported build should keep its toolchain tag, got %q", name, cl.Toolchain)
+		}
+		// Compare the instruction streams, not the headers: the toolchain
+		// tag legitimately differs.
+		stripHeader := func(s string) string {
+			for i := 0; i < len(s); i++ {
+				if s[i] == '\n' {
+					return s[i+1:]
+				}
+			}
+			return s
+		}
+		ad, bd := stripHeader(cu.Disassemble()), stripHeader(cl.Disassemble())
+		if ad != bd {
+			t.Errorf("%s: fully ported OpenCL build differs from CUDA:\n--- cuda:\n%s\n--- ported:\n%s",
+				name, cu.Disassemble(), cl.Disassemble())
+		}
+	}
+}
+
+// TestEachGapKnobMoves: every gap knob individually changes the canonical
+// personality encoding — no knob is a no-op against the OpenCL base.
+func TestEachGapKnobMoves(t *testing.T) {
+	base := OpenCL().Canonical()
+	for _, kn := range GapKnobs() {
+		p := OpenCL()
+		kn.Apply(&p)
+		if p.Canonical() == base {
+			t.Errorf("gap knob %q does not change the OpenCL personality", kn.Name)
+		}
+	}
+}
+
+// TestEachFeatureKnobDisables: every feature knob individually changes the
+// CUDA or OpenCL personality it applies to (each disables something that
+// at least one personality enables).
+func TestEachFeatureKnobDisables(t *testing.T) {
+	cu, cl := CUDA().Canonical(), OpenCL().Canonical()
+	for _, kn := range FeatureKnobs() {
+		a, b := CUDA(), OpenCL()
+		kn.Apply(&a)
+		kn.Apply(&b)
+		if a.Canonical() == cu && b.Canonical() == cl {
+			t.Errorf("feature knob %q is a no-op on both personalities", kn.Name)
+		}
+	}
+}
+
+// TestKnobNamesUnique: knob names are identifiers in reports and bisection
+// output; collisions would make those ambiguous.
+func TestKnobNamesUnique(t *testing.T) {
+	for _, set := range [][]Knob{GapKnobs(), FeatureKnobs()} {
+		seen := map[string]bool{}
+		for _, kn := range set {
+			if seen[kn.Name] {
+				t.Errorf("duplicate knob name %q", kn.Name)
+			}
+			seen[kn.Name] = true
+		}
+	}
+}

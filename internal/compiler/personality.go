@@ -22,7 +22,11 @@
 // elimination and mul+add fusion on both toolchains' output.
 package compiler
 
-import "gpucmp/internal/ptx"
+import (
+	"fmt"
+
+	"gpucmp/internal/ptx"
+)
 
 // Personality captures one front-end's code-generation behaviour.
 type Personality struct {
@@ -81,6 +85,22 @@ type Personality struct {
 	// point a makes the OpenCL build collapse to half of CUDA's speed.
 	SpillOnUnroll bool
 	SpillsPerCopy int
+}
+
+// Canonical renders every Personality field explicitly, by name, in
+// declaration order. It is the personality half of the compile-cache key:
+// unlike a %+v dump its shape does not shift when fields are reordered,
+// and TestCanonicalCoversEveryField fails the build if a newly added field
+// is missing here (which would silently alias cache entries).
+func (p Personality) Canonical() string {
+	return fmt.Sprintf("name=%s paramSpace=%d cacheParams=%t cse=%t maxCSERegs=%d"+
+		" strengthReduce=%t movCopies=%t guardSmallIf=%t maxGuardInstrs=%d"+
+		" selpPureIf=%t maxSelpAssigns=%d autoUnrollTrips=%d autoUnrollMaxNodes=%d"+
+		" honorUnrollPragma=%t spillOnUnroll=%t spillsPerCopy=%d",
+		p.Name, p.ParamSpace, p.CacheParams, p.CSE, p.MaxCSERegs,
+		p.StrengthReduce, p.MovCopies, p.GuardSmallIf, p.MaxGuardInstrs,
+		p.SelpPureIf, p.MaxSelpAssigns, p.AutoUnrollTrips, p.AutoUnrollMaxNodes,
+		p.HonorUnrollPragma, p.SpillOnUnroll, p.SpillsPerCopy)
 }
 
 // CUDA returns the NVOPENCC personality.

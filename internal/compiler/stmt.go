@@ -211,6 +211,7 @@ func (g *gen) ifStmt(s *kir.IfStmt) {
 
 	// OpenCL personality: if-convert pure single-armed conditionals.
 	if g.p.SelpPureIf && len(s.Else) == 0 && len(s.Then) <= g.p.MaxSelpAssigns && pureAssignBody(s.Then) {
+		g.rem.Addf(PhaseFrontEnd, "if-converted %d assignment(s) into setp+selp chain", len(s.Then))
 		g.depth++
 		for _, st := range s.Then {
 			a := st.(*kir.AssignStmt)
@@ -238,6 +239,8 @@ func (g *gen) ifStmt(s *kir.IfStmt) {
 	// CUDA personality: guard small branch-free bodies with the predicate.
 	if g.p.GuardSmallIf && len(s.Else) == 0 && simpleBody(s.Then) &&
 		kir.CountNodes(s.Then) <= g.p.MaxGuardInstrs*3 && g.guard == ptx.NoReg {
+		g.rem.Addf(PhaseFrontEnd, "predicated %d-node if-body with guard p%d (no branch emitted)",
+			kir.CountNodes(s.Then), pred)
 		g.depth++
 		g.guard = pred
 		g.guardNeg = false
@@ -351,6 +354,11 @@ func (g *gen) forStmt(s *kir.ForStmt) {
 		autoFull := g.p.AutoUnrollTrips > 0 && trips <= int64(g.p.AutoUnrollTrips) &&
 			trips*int64(kir.CountNodes(s.Body)) <= int64(g.p.AutoUnrollMaxNodes)
 		if wantFull || autoFull {
+			how := "by pragma"
+			if !wantFull {
+				how = "automatically"
+			}
+			g.rem.Addf(PhaseFrontEnd, "fully unrolled loop over %s by %d trip(s) %s", s.Var, trips, how)
 			for t := int64(0); t < trips; t++ {
 				iv := &kir.ConstInt{T: s.T, V: init + t*step}
 				g.block(kir.SubstVar(s.Body, s.Var, iv))
@@ -387,6 +395,7 @@ func (g *gen) forStmt(s *kir.ForStmt) {
 // remainder loop.
 func (g *gen) partialUnroll(s *kir.ForStmt, step int64) {
 	n := int64(s.Unroll)
+	g.rem.Addf(PhaseFrontEnd, "partially unrolled loop over %s by pragma factor %d", s.Var, n)
 	r := g.alloc()
 	g.vars[s.Var] = r
 	g.varTypes[s.Var] = s.T
@@ -441,6 +450,10 @@ func (g *gen) rolledLoopSpilled(varName string, t kir.Type, cond kir.Expr, body 
 	// Reserve local slots for the spilled values.
 	spillOff := int32(g.localBytes)
 	g.localBytes += spills * 4
+	for c := 1; c < copies; c++ {
+		g.rem.Addf(PhaseFrontEnd, "spill inserted for unroll copy %d (%d round trip(s) through local memory)",
+			c, perCopy)
+	}
 
 	g.enterLoop()
 	head := len(g.out)

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/bench"
+	"gpucmp/internal/compiler"
+	"gpucmp/internal/perfmodel"
+	"gpucmp/internal/ptx"
+	"gpucmp/internal/sim"
+	"gpucmp/internal/workload"
+)
+
+// This file is the pass-level ablation API behind the paper's Section-V
+// argument: the CUDA-vs-OpenCL gap on compiler-bound kernels is the sum of
+// individually portable front-end optimisations. Each missing optimisation
+// is a named compiler.Knob; GapClosingStudy applies them to the OpenCL
+// personality one at a time, re-measures the FFT forward kernel after each
+// step, and reports how much of the gap each knob closes — the experiment
+// the paper runs by hand, as a reproducible API.
+
+// AblationStep is one row of the gap-closing experiment: the state of the
+// comparison after cumulatively applying knobs up to and including this one.
+type AblationStep struct {
+	Knob        string  `json:"knob"`
+	Description string  `json:"description"`
+	Seconds     float64 `json:"seconds"`      // OpenCL kernel seconds, knobs 0..i applied
+	PR          float64 `json:"pr"`           // Eq. (1) vs the CUDA build
+	ClosedShare float64 `json:"closed_share"` // fraction of the native gap closed so far
+	// SoloSeconds isolates the knob: base personality plus only this knob.
+	SoloSeconds float64 `json:"solo_seconds"`
+
+	// PassStats is the back-end pipeline report for this step's compile,
+	// and Remarks its front-end remark count — the observability story for
+	// why the number moved.
+	PassStats []ptx.PassStat `json:"pass_stats"`
+	Remarks   int            `json:"remarks"`
+}
+
+// GapClosingReport is the full Section-V reproduction on one device.
+type GapClosingReport struct {
+	Device      string         `json:"device"`
+	Kernel      string         `json:"kernel"`
+	CUDASeconds float64        `json:"cuda_seconds"`
+	BaseSeconds float64        `json:"base_seconds"` // unmodified OpenCL front-end
+	BasePR      float64        `json:"base_pr"`
+	Steps       []AblationStep `json:"steps"`
+	FinalPR     float64        `json:"final_pr"`
+	Closed      bool           `json:"closed"` // FinalPR inside the similarity band
+}
+
+// String renders the study as the step-by-step table faircompare prints.
+func (r *GapClosingReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pass-level ablation of the %s kernel on %s\n", r.Kernel, r.Device)
+	fmt.Fprintf(&b, "  %-24s %12s %8s %8s\n", "ported optimisation", "opencl-us", "PR", "closed")
+	fmt.Fprintf(&b, "  %-24s %12.2f %8.3f %7.0f%%\n", "(native front-end)", r.BaseSeconds*1e6, r.BasePR, 0.0)
+	for _, s := range r.Steps {
+		fmt.Fprintf(&b, "  %-24s %12.2f %8.3f %7.0f%%\n", "+"+s.Knob, s.Seconds*1e6, s.PR, 100*s.ClosedShare)
+	}
+	fmt.Fprintf(&b, "  %-24s %12.2f %8.3f\n", "(cuda front-end)", r.CUDASeconds*1e6, 1.0)
+	if r.Closed {
+		fmt.Fprintf(&b, "  gap closed: |1-PR| < 0.1 after porting all %d optimisations\n", len(r.Steps))
+	} else {
+		fmt.Fprintf(&b, "  residual gap after all knobs: PR=%.3f\n", r.FinalPR)
+	}
+	return b.String()
+}
+
+// ablationLaunch describes the fixed FFT launch the study times: a 128
+// batch of 512-point signals on 64-thread work-groups, the shape used by
+// the paper's Table V analysis of the forward kernel.
+const (
+	ablationBatch  = 128
+	ablationPoints = 512
+	ablationBlock  = 64
+)
+
+// timeKernel compiles the FFT forward kernel under cfg and prices one
+// launch on the device with the toolchain's performance model.
+func timeKernel(a *arch.Device, cfg compiler.Config) (float64, *ptx.Kernel, error) {
+	pk, err := compiler.CompileWithConfig(bench.FFTKernel(), cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	dev, err := sim.NewDevice(a)
+	if err != nil {
+		return 0, nil, err
+	}
+	re, im := workload.SignalBatch(ablationBatch, ablationPoints, 17)
+	upload := func(f []float32) (uint32, error) {
+		words := make([]uint32, len(f))
+		for i := range f {
+			words[i] = f32bits(f[i])
+		}
+		addr, err := dev.Global.Alloc(uint32(4 * len(words)))
+		if err != nil {
+			return 0, err
+		}
+		return addr, dev.Global.WriteWords(addr, words)
+	}
+	inRe, err := upload(re)
+	if err != nil {
+		return 0, nil, err
+	}
+	inIm, err := upload(im)
+	if err != nil {
+		return 0, nil, err
+	}
+	outRe, err := dev.Global.Alloc(4 * ablationBatch * ablationPoints)
+	if err != nil {
+		return 0, nil, err
+	}
+	outIm, err := dev.Global.Alloc(4 * ablationBatch * ablationPoints)
+	if err != nil {
+		return 0, nil, err
+	}
+	tr, err := dev.Launch(pk, sim.Dim3{X: ablationBatch, Y: 1}, sim.Dim3{X: ablationBlock, Y: 1},
+		[]uint32{inRe, inIm, outRe, outIm})
+	if err != nil {
+		return 0, nil, err
+	}
+	tc := perfmodel.ToolchainFor(cfg.Personality.Name)
+	return perfmodel.KernelTime(dev.Arch, tc, tr).Total, pk, nil
+}
+
+// GapClosingStudy runs the Section-V experiment on one device: starting
+// from the native OpenCL front-end, port each missing NVOPENCC
+// optimisation across (compiler.GapKnobs order), re-measuring the FFT
+// forward kernel after every step, until the personality generates the
+// same code as NVOPENCC and the PR lands inside the similarity band.
+func GapClosingStudy(a *arch.Device) (*GapClosingReport, error) {
+	cuda, _, err := timeKernel(a, compiler.Config{Personality: compiler.CUDA()})
+	if err != nil {
+		return nil, err
+	}
+	base, _, err := timeKernel(a, compiler.Config{Personality: compiler.OpenCL()})
+	if err != nil {
+		return nil, err
+	}
+	rep := &GapClosingReport{
+		Device:      a.Name,
+		Kernel:      "FFT-forward",
+		CUDASeconds: cuda,
+		BaseSeconds: base,
+		BasePR:      PR(base, cuda, true),
+	}
+	cum := compiler.OpenCL()
+	for _, knob := range compiler.GapKnobs() {
+		knob.Apply(&cum)
+		sec, pk, err := timeKernel(a, compiler.Config{Personality: cum})
+		if err != nil {
+			return nil, fmt.Errorf("core: ablation step %q: %w", knob.Name, err)
+		}
+		solo := compiler.OpenCL()
+		knob.Apply(&solo)
+		soloSec, _, err := timeKernel(a, compiler.Config{Personality: solo})
+		if err != nil {
+			return nil, fmt.Errorf("core: solo ablation %q: %w", knob.Name, err)
+		}
+		step := AblationStep{
+			Knob:        knob.Name,
+			Description: knob.Description,
+			Seconds:     sec,
+			PR:          PR(sec, cuda, true),
+			SoloSeconds: soloSec,
+			PassStats:   pk.PassStats,
+			Remarks:     len(pk.Remarks),
+		}
+		if base != cuda {
+			step.ClosedShare = (base - sec) / (base - cuda)
+		}
+		rep.Steps = append(rep.Steps, step)
+	}
+	if n := len(rep.Steps); n > 0 {
+		rep.FinalPR = rep.Steps[n-1].PR
+	} else {
+		rep.FinalPR = rep.BasePR
+	}
+	rep.Closed = Similar(rep.FinalPR)
+	return rep, nil
+}
+
+func f32bits(f float32) uint32 { return math.Float32bits(f) }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/bench"
+	"gpucmp/internal/compiler"
+)
+
+// TestGapClosingStudy reproduces the paper's Section-V result through the
+// pass-level ablation API: porting every missing NVOPENCC optimisation into
+// the OpenCL front-end closes the FFT gap into the similarity band, with
+// each ported optimisation reported as its own named step.
+func TestGapClosingStudy(t *testing.T) {
+	rep, err := GapClosingStudy(arch.GTX280())
+	if err != nil {
+		t.Fatal(err)
+	}
+	knobs := compiler.GapKnobs()
+	if len(rep.Steps) != len(knobs) {
+		t.Fatalf("got %d steps, want one per gap knob (%d)", len(rep.Steps), len(knobs))
+	}
+	for i, s := range rep.Steps {
+		if s.Knob != knobs[i].Name {
+			t.Errorf("step %d: knob %q, want %q (study must follow GapKnobs order)", i, s.Knob, knobs[i].Name)
+		}
+		if s.Seconds <= 0 || s.SoloSeconds <= 0 {
+			t.Errorf("step %q: non-positive timing (%v cumulative, %v solo)", s.Knob, s.Seconds, s.SoloSeconds)
+		}
+		if len(s.PassStats) == 0 {
+			t.Errorf("step %q: no back-end pass statistics attached", s.Knob)
+		}
+	}
+	if rep.BaseSeconds <= rep.CUDASeconds {
+		t.Errorf("expected the native OpenCL build to be slower: base=%v cuda=%v", rep.BaseSeconds, rep.CUDASeconds)
+	}
+	if Similar(rep.BasePR) {
+		t.Errorf("base PR %.3f already inside the similarity band; no gap to close", rep.BasePR)
+	}
+	if !rep.Closed {
+		t.Errorf("gap not closed: final PR %.3f outside |1-PR| < 0.1", rep.FinalPR)
+	}
+	last := rep.Steps[len(rep.Steps)-1]
+	if last.ClosedShare <= 0 {
+		t.Errorf("final step closed share %.3f, want > 0", last.ClosedShare)
+	}
+
+	out := rep.String()
+	for _, k := range knobs {
+		if !strings.Contains(out, "+"+k.Name) {
+			t.Errorf("report does not list ported optimisation %q individually:\n%s", k.Name, out)
+		}
+	}
+	if !strings.Contains(out, "gap closed") {
+		t.Errorf("report does not state the gap closed:\n%s", out)
+	}
+}
+
+// TestGapKnobsCloseCompletely checks the end state of the ablation: the
+// OpenCL personality with every gap knob applied generates instruction-
+// identical PTX to the CUDA personality, so the residual PR is purely the
+// host-side toolchain pricing, not codegen.
+func TestGapKnobsCloseCompletely(t *testing.T) {
+	ported := compiler.OpenCL()
+	for _, k := range compiler.GapKnobs() {
+		k.Apply(&ported)
+	}
+	want := compiler.CUDA()
+	want.Name = ported.Name // only the toolchain tag may differ
+	if got, w := ported.Canonical(), want.Canonical(); got != w {
+		t.Errorf("fully ported personality differs from CUDA beyond the name:\n got %s\nwant %s", got, w)
+	}
+}
+
+// TestAuditFlagsBackEndPassMismatch makes the pass pipeline part of the
+// step-6 fairness audit: two setups that ran different back-end pipelines
+// must be reported UNFAIR at second-stage compilation.
+func TestAuditFlagsBackEndPassMismatch(t *testing.T) {
+	left := DescribeSetup("cuda", "FFT", "dev", bench.Config{Scale: 1}, 128)
+	right := DescribeSetup("opencl", "FFT", "dev", bench.Config{Scale: 1}, 128)
+	right.BackEndPasses = []string{compiler.PassCopyProp, compiler.PassDCE} // mad-fuse dropped
+
+	rep := Audit(left, right)
+	found := false
+	for _, m := range rep.Mismatches {
+		if m.Step == StepBackEndCompile {
+			found = true
+			if !strings.Contains(m.Left, compiler.PassMadFuse) || strings.Contains(m.Right, compiler.PassMadFuse) {
+				t.Errorf("mismatch should show the missing pass: left=%q right=%q", m.Left, m.Right)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("differing back-end pipelines not flagged at step 6: %v", rep.Mismatches)
+	}
+}

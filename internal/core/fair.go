@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"gpucmp/internal/bench"
+	"gpucmp/internal/compiler"
 )
 
 // Step enumerates the eight stages of the GPU-application development flow
@@ -91,9 +92,10 @@ type Setup struct {
 	Algorithm     string // step 2
 	APIStyle      string // step 3: host API + timer discipline
 	Optimisation  bench.Config
-	FrontEnd      string // step 5: NVOPENCC vs the OpenCL front-end
-	BackEnd       string // step 6: PTXAS for both
-	ProblemScale  int    // step 7: problem parameters
+	FrontEnd      string   // step 5: NVOPENCC vs the OpenCL front-end
+	BackEnd       string   // step 6: PTXAS for both
+	BackEndPasses []string // step 6: the back-end pass pipeline, in order
+	ProblemScale  int      // step 7: problem parameters
 	WorkGroupSize int    // step 7: algorithmic parameters
 	Device        string // step 8
 }
@@ -116,6 +118,7 @@ func DescribeSetup(toolchain, benchmark, device string, cfg bench.Config, wgSize
 		Optimisation:  cfg,
 		FrontEnd:      fe,
 		BackEnd:       "ptxas",
+		BackEndPasses: compiler.DefaultPassNames(),
 		ProblemScale:  cfg.Scale,
 		WorkGroupSize: wgSize,
 		Device:        device,
@@ -175,7 +178,12 @@ func Audit(left, right Setup) *FairnessReport {
 	add(StepImplementation, left.APIStyle, right.APIStyle)
 	add(StepNativeOptimisation, optString(left.Optimisation), optString(right.Optimisation))
 	add(StepFrontEndCompile, left.FrontEnd, right.FrontEnd)
-	add(StepBackEndCompile, left.BackEnd, right.BackEnd)
+	// Step 6 covers both the back-end's identity and its pass pipeline: a
+	// comparison where one side skipped, say, mad-fuse is unfair even
+	// though both sides nominally ran "ptxas".
+	add(StepBackEndCompile,
+		fmt.Sprintf("%s[%s]", left.BackEnd, strings.Join(left.BackEndPasses, ",")),
+		fmt.Sprintf("%s[%s]", right.BackEnd, strings.Join(right.BackEndPasses, ",")))
 	add(StepConfiguration,
 		fmt.Sprintf("scale=%d wg=%d", left.ProblemScale, left.WorkGroupSize),
 		fmt.Sprintf("scale=%d wg=%d", right.ProblemScale, right.WorkGroupSize))

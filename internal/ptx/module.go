@@ -31,6 +31,13 @@ type Kernel struct {
 	// simulator executes.
 	FrontEndStats *Stats
 
+	// PassStats records, in execution order, what each back-end pass did
+	// to this kernel; Remarks is the compiler's observation stream from
+	// the front-end and the passes. Both are immutable once Compile
+	// returns, like the rest of the kernel.
+	PassStats []PassStat `json:"pass_stats,omitempty"`
+	Remarks   []Remark   `json:"remarks,omitempty"`
+
 	NumRegs     int // 32-bit registers per thread (includes predicates)
 	SharedBytes int // static shared memory per work-group
 	LocalBytes  int // per-thread local (spill) memory

@@ -1,0 +1,110 @@
+package ptx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PassStat records what one back-end pass did to one kernel: the
+// instruction and live-register counts on both sides of the pass plus the
+// pass-specific work counters. The compiler pipeline attaches one entry
+// per executed pass to Kernel.PassStats, in execution order, so any layer
+// holding a compiled kernel (the scheduler, the HTTP service, cmd/ptxstat)
+// can report per-pass deltas without recompiling.
+type PassStat struct {
+	Pass         string `json:"pass"`
+	InstrsBefore int    `json:"instrs_before"`
+	InstrsAfter  int    `json:"instrs_after"`
+	RegsBefore   int    `json:"regs_before"` // distinct registers referenced
+	RegsAfter    int    `json:"regs_after"`
+
+	// Work counters; a pass fills only the ones that describe it.
+	Removed   int `json:"removed,omitempty"`   // instructions deleted
+	Rewritten int `json:"rewritten,omitempty"` // operands forwarded / rewritten
+	Fused     int `json:"fused,omitempty"`     // instruction pairs combined
+}
+
+// Changed reports whether the pass altered the kernel at all.
+func (s PassStat) Changed() bool {
+	return s.InstrsBefore != s.InstrsAfter || s.RegsBefore != s.RegsAfter ||
+		s.Removed != 0 || s.Rewritten != 0 || s.Fused != 0
+}
+
+// String renders one pass-stat line.
+func (s PassStat) String() string {
+	return fmt.Sprintf("%-12s instrs %d->%d regs %d->%d removed=%d rewritten=%d fused=%d",
+		s.Pass, s.InstrsBefore, s.InstrsAfter, s.RegsBefore, s.RegsAfter,
+		s.Removed, s.Rewritten, s.Fused)
+}
+
+// Remark is one structured compiler observation: "fully unrolled loop i by
+// 8", "CSE evicted r12", "spill inserted for unroll copy 3". Phase is
+// "frontend" for code-generation remarks or the back-end pass name.
+type Remark struct {
+	Phase   string `json:"phase"`
+	Message string `json:"message"`
+}
+
+// String renders the remark as "phase: message".
+func (r Remark) String() string { return r.Phase + ": " + r.Message }
+
+// UsedRegs counts the distinct registers the kernel's instructions
+// reference (destinations, sources and guard predicates). Passes do not
+// renumber registers, so this — not NumRegs, which is the allocator's
+// high-water mark — is the quantity that shrinks when dead code goes away.
+func (k *Kernel) UsedRegs() int {
+	seen := make(map[Reg]bool)
+	mark := func(r Reg) {
+		if r != NoReg {
+			seen[r] = true
+		}
+	}
+	for i := range k.Instrs {
+		in := &k.Instrs[i]
+		mark(in.Dst)
+		mark(in.GuardPred)
+		for _, s := range in.Src {
+			if !s.IsImm && !s.IsSpec {
+				mark(s.Reg)
+			}
+		}
+	}
+	return len(seen)
+}
+
+// DiffTable renders the instruction-mix rows on which two censuses differ,
+// one "<label>  before -> after  (delta)" line per changed row, sorted by
+// class then label. Identical mixes render as a single "(no change)" line.
+func DiffTable(before, after *Stats) string {
+	keys := make(map[OpKey]bool)
+	for k := range before.ByOp {
+		keys[k] = true
+	}
+	for k := range after.ByOp {
+		keys[k] = true
+	}
+	var changed []OpKey
+	for k := range keys {
+		if before.ByOp[k] != after.ByOp[k] {
+			changed = append(changed, k)
+		}
+	}
+	if len(changed) == 0 {
+		return "  (no change)\n"
+	}
+	sort.Slice(changed, func(i, j int) bool {
+		ci, cj := ClassOf(changed[i].Op), ClassOf(changed[j].Op)
+		if ci != cj {
+			return ci < cj
+		}
+		return changed[i].String() < changed[j].String()
+	})
+	var b strings.Builder
+	for _, k := range changed {
+		l, r := before.ByOp[k], after.ByOp[k]
+		fmt.Fprintf(&b, "  %-14s %5d -> %-5d (%+d)\n", k.String(), l, r, r-l)
+	}
+	fmt.Fprintf(&b, "  %-14s %5d -> %-5d (%+d)\n", "TOTAL", before.Total, after.Total, after.Total-before.Total)
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"gpucmp/internal/compiler"
+)
+
+// TestCompilerPassesEndpoint: GET /compiler/passes publishes the compiler's
+// pass and knob vocabulary, matching the in-process registries.
+func TestCompilerPassesEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := get(t, ts.URL+"/compiler/passes")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var info compilerInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	wantPasses := compiler.DefaultPassNames()
+	if len(info.Passes) != len(wantPasses) {
+		t.Fatalf("%d passes, want %d", len(info.Passes), len(wantPasses))
+	}
+	for i, p := range info.Passes {
+		if p.Name != wantPasses[i] {
+			t.Errorf("pass %d = %q, want %q (order is the pipeline order)", i, p.Name, wantPasses[i])
+		}
+		if p.Description == "" {
+			t.Errorf("pass %q has no description", p.Name)
+		}
+	}
+	if len(info.GapKnobs) != len(compiler.GapKnobs()) {
+		t.Errorf("%d gap knobs, want %d", len(info.GapKnobs), len(compiler.GapKnobs()))
+	}
+	if len(info.FeatureKnobs) != len(compiler.FeatureKnobs()) {
+		t.Errorf("%d feature knobs, want %d", len(info.FeatureKnobs), len(compiler.FeatureKnobs()))
+	}
+}
+
+// TestRunResultCarriesKernelReports: a /run reply includes the per-kernel
+// pass statistics and remarks, so service clients can see the compiler
+// story without local access.
+func TestRunResultCarriesKernelReports(t *testing.T) {
+	ts, _ := newTestServer(t)
+	body := `{"benchmark":"FFT","device":"GeForce GTX480","toolchain":"opencl","config":{"scale":16}}`
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out runResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Result == nil || len(out.Result.Kernels) == 0 {
+		t.Fatalf("/run result carries no kernel reports: %+v", out.Result)
+	}
+	for _, kr := range out.Result.Kernels {
+		if len(kr.PassStats) == 0 {
+			t.Errorf("kernel %s: no pass stats over the wire", kr.Name)
+		}
+		if kr.Toolchain != "opencl" {
+			t.Errorf("kernel %s tagged %q", kr.Name, kr.Toolchain)
+		}
+	}
+}

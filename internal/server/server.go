@@ -59,6 +59,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/figures/", s.handleFigure)
+	mux.HandleFunc("/compiler/passes", s.handleCompilerPasses)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -131,6 +132,41 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 		out = append(out, benchmarkInfo{Name: spec.Name, Metric: spec.Metric, LowerIsBetter: spec.LowerIsBetter})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// passInfo is one back-end pass entry of GET /compiler/passes.
+type passInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// knobInfo is one front-end knob entry of GET /compiler/passes.
+type knobInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// compilerInfo is the GET /compiler/passes reply: the pass-pipeline and
+// knob vocabulary of the compiler, for clients building ablation requests
+// or interpreting the pass_stats/remarks attached to /run results.
+type compilerInfo struct {
+	Passes       []passInfo `json:"passes"` // back-end pipeline, in order
+	GapKnobs     []knobInfo `json:"gap_knobs"`
+	FeatureKnobs []knobInfo `json:"feature_knobs"`
+}
+
+func (s *Server) handleCompilerPasses(w http.ResponseWriter, r *http.Request) {
+	info := compilerInfo{}
+	for _, p := range compiler.DefaultPasses() {
+		info.Passes = append(info.Passes, passInfo{Name: p.Name, Description: p.Description})
+	}
+	for _, k := range compiler.GapKnobs() {
+		info.GapKnobs = append(info.GapKnobs, knobInfo{Name: k.Name, Description: k.Description})
+	}
+	for _, k := range compiler.FeatureKnobs() {
+		info.FeatureKnobs = append(info.FeatureKnobs, knobInfo{Name: k.Name, Description: k.Description})
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // runResponse is the POST /run reply: the result plus how it was served.
