@@ -43,9 +43,12 @@ func main() {
 	jobs := sched.GridJobs(*scale)
 	s := sched.New(sched.Options{Workers: *parallel})
 	defer s.Close()
-	results, err := s.RunAll(context.Background(), jobs)
-	if err != nil {
-		log.Fatal(err)
+	// RunAll returns partial results: failed cells are nil in the slice and
+	// their errors arrive joined. Emit every successful cell and mark the
+	// failures instead of aborting the whole grid.
+	results, runErr := s.RunAll(context.Background(), jobs)
+	if runErr != nil {
+		log.Printf("benchall: some cells failed (continuing with partial grid):\n%v", runErr)
 	}
 
 	records := make([]Record, len(jobs))
@@ -56,11 +59,16 @@ func main() {
 			Device:    jobs[i].Device,
 			Toolchain: jobs[i].Toolchain,
 			Metric:    spec.Metric,
-			Status:    res.Status(),
 		}
-		if res.Err != nil {
+		switch {
+		case res == nil:
+			rec.Status = "ERR"
+			rec.Error = "job failed; see joined error log"
+		case res.Err != nil:
+			rec.Status = res.Status()
 			rec.Error = res.Err.Error()
-		} else {
+		default:
+			rec.Status = res.Status()
 			rec.Value = res.Value
 			rec.KernelSec = res.KernelSeconds
 		}
@@ -93,5 +101,8 @@ func main() {
 		if err := enc.Encode(records); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if runErr != nil {
+		os.Exit(1)
 	}
 }

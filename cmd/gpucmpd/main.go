@@ -12,18 +12,29 @@
 //	curl -X POST localhost:8480/run -d '{"benchmark":"FFT","device":"GeForce GTX480","toolchain":"opencl","config":{"scale":4}}'
 //	curl localhost:8480/figures/fig3?scale=4
 //	curl localhost:8480/metrics
+//
+// With -chaos the daemon does not serve: it runs a one-shot chaos smoke
+// test — the benchmark matrix under a 30% injected transient-failure rate
+// plus occasional hangs — and exits 0 only if every job either succeeded
+// or failed with a typed permanent error and no goroutines leaked. CI
+// runs this as a post-build smoke check.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
+	"gpucmp/internal/fault"
 	"gpucmp/internal/sched"
 	"gpucmp/internal/server"
 )
@@ -34,7 +45,13 @@ func main() {
 	cacheSize := flag.Int("cache-size", 4096, "result-cache entries (negative disables caching)")
 	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-job execution timeout (0 = unbounded)")
 	figureScale := flag.Int("figure-scale", 4, "default problem-size divisor for /figures/*")
+	chaos := flag.Bool("chaos", false, "run the one-shot chaos smoke test and exit instead of serving")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-injection seed for -chaos")
 	flag.Parse()
+
+	if *chaos {
+		os.Exit(runChaos(*chaosSeed, *workers))
+	}
 
 	s := sched.New(sched.Options{
 		Workers:    *workers,
@@ -43,11 +60,21 @@ func main() {
 	})
 	defer s.Close()
 
+	// The write timeout must outlast the slowest legitimate response — a
+	// cache-miss /run or /figures request that executes jobs — so derive
+	// it from the job timeout rather than guessing.
+	writeTimeout := 15 * time.Minute
+	if *jobTimeout > 0 {
+		writeTimeout = *jobTimeout + time.Minute
+	}
 	srv := server.New(s, server.WithFigureScale(*figureScale))
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	stop := make(chan os.Signal, 1)
@@ -55,12 +82,15 @@ func main() {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		<-stop
-		log.Printf("gpucmpd: shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		sig := <-stop
+		log.Printf("gpucmpd: %v received, draining in-flight requests", sig)
+		signal.Stop(stop) // a second signal kills the process immediately
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("gpucmpd: shutdown: %v", err)
+		} else {
+			log.Printf("gpucmpd: drained cleanly")
 		}
 	}()
 
@@ -69,4 +99,86 @@ func main() {
 		log.Fatal(err)
 	}
 	<-done
+}
+
+// runChaos executes the chaos smoke: the cheap cross-toolchain benchmark
+// matrix under injected faults. Returns the process exit code.
+func runChaos(seed uint64, workers int) int {
+	inj := fault.New(seed, fault.Schedule{TransientRate: 0.3, HangRate: 0.05})
+	before := runtime.NumGoroutine()
+	s := sched.New(sched.Options{
+		Workers:    workers,
+		JobTimeout: 15 * time.Second,
+		Injector:   inj,
+	})
+
+	var jobs []sched.Job
+	for _, b := range []string{"Reduce", "Scan", "Sobel", "TranP"} {
+		for _, tc := range []string{"cuda", "opencl"} {
+			j := sched.Job{Benchmark: b, Device: "GeForce GTX480", Toolchain: tc}
+			j.Config.Scale = 16
+			jobs = append(jobs, j)
+		}
+	}
+
+	log.Printf("chaos: running %d jobs at 30%% transient / 5%% hang rate (seed %d)", len(jobs), seed)
+	start := time.Now()
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j sched.Job) {
+			defer wg.Done()
+			_, errs[i] = s.Run(context.Background(), j)
+		}(i, j)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	bad, ok := 0, 0
+	for i, jerr := range errs {
+		switch {
+		case jerr == nil:
+			ok++
+		case errors.Is(jerr, sched.ErrPermanent), errors.Is(jerr, sched.ErrWatchdog):
+			log.Printf("chaos: job %s failed typed (%s): %v", jobs[i].Key(), sched.ClassOf(jerr), jerr)
+			ok++
+		default:
+			log.Printf("chaos: FAIL job %s returned untyped error: %v", jobs[i].Key(), jerr)
+			bad++
+		}
+	}
+
+	snap := s.Metrics().Snapshot()
+	s.Close()
+
+	// Goroutine-leak check: everything the scheduler spawned must exit.
+	leakDeadline := time.Now().Add(10 * time.Second)
+	leaked := true
+	for time.Now().Before(leakDeadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			leaked = false
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	log.Printf("chaos: %d/%d jobs ok in %v; retries=%d timeouts=%d reclaims=%d leaks=%d faults=%v",
+		ok, len(jobs), elapsed.Round(time.Millisecond),
+		snap.Retries, snap.Timeouts, snap.WatchdogReclaims, snap.WatchdogLeaks, inj.Counts())
+
+	if bad > 0 {
+		log.Printf("chaos: FAIL: %d jobs returned untyped errors", bad)
+		return 1
+	}
+	if snap.WatchdogLeaks > 0 {
+		log.Printf("chaos: FAIL: %d watchdog kills failed to reclaim their worker", snap.WatchdogLeaks)
+		return 1
+	}
+	if leaked {
+		log.Printf("chaos: FAIL: goroutines leaked (%d before, %d after)", before, runtime.NumGoroutine())
+		return 1
+	}
+	fmt.Println("chaos: PASS")
+	return 0
 }

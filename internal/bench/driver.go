@@ -215,6 +215,21 @@ func NewDriver(toolchain string, a *arch.Device) (Driver, error) {
 	return NewOpenCLDriver(a)
 }
 
+// SimDevice exposes the simulated device underneath a driver — the seam
+// the scheduler's watchdog uses to cancel a runaway kernel (sim.Device.
+// Cancel) and the fault injector hooks into. Returns nil for drivers that
+// do not wrap a simulated device.
+func SimDevice(d Driver) *sim.Device {
+	switch dd := d.(type) {
+	case *CUDADriver:
+		return dd.Ctx.Device()
+	case *OpenCLDriver:
+		return dd.Ctx.Device()
+	default:
+		return nil
+	}
+}
+
 // Breakdowns exposes the per-launch timing decompositions of a driver.
 func Breakdowns(d Driver) []perfmodel.Breakdown {
 	switch dd := d.(type) {

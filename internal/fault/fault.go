@@ -1,0 +1,252 @@
+// Package fault is a deterministic, seeded fault injector modelling the
+// failure modes of the paper-era (2010) GPU driver stacks the measurements
+// were taken on: transient kernel-launch failures, CL_OUT_OF_RESOURCES
+// aborts, runaway kernels killed by the display watchdog, and corrupted
+// cached results. The injector plugs into the scheduler at the device seam
+// (sched.Options.Injector), so every layer above — retry, circuit breaker,
+// graceful degradation — can be exercised under chaos.
+//
+// Faults are deterministic per (seed, job key, attempt number): two runs
+// with the same seed and the same job stream inject exactly the same
+// faults, which makes chaos failures reproducible and bisectable the same
+// way fuzzer failures are.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the modelled failure modes.
+type Kind int
+
+const (
+	// KindTransientLaunch is a launch that fails once and succeeds on
+	// retry — the spurious CL_INVALID_COMMAND_QUEUE / launch-timeout
+	// class of 2010-era driver bugs.
+	KindTransientLaunch Kind = iota
+	// KindOutOfResources is a launch rejected with an out-of-resources
+	// error (the Table VI "ABT" mechanism happening spuriously).
+	KindOutOfResources
+	// KindHang is a kernel that never completes: the attempt blocks until
+	// the scheduler's watchdog cancels it.
+	KindHang
+	// KindCorruptCache flips the checksum of a stored cache entry, so the
+	// next read detects the corruption and must re-execute.
+	KindCorruptCache
+
+	numKinds
+)
+
+// String returns the metric-friendly name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTransientLaunch:
+		return "transient_launch"
+	case KindOutOfResources:
+		return "out_of_resources"
+	case KindHang:
+		return "hang"
+	case KindCorruptCache:
+		return "corrupt_cache"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Typed errors for the injected failures. The scheduler's taxonomy
+// classifies ErrTransientLaunch as retryable and ErrOutOfResources as
+// permanent; both are errors.Is-able.
+var (
+	ErrTransientLaunch = errors.New("fault: injected transient launch failure")
+	ErrOutOfResources  = errors.New("fault: injected out of resources")
+)
+
+// Schedule sets the per-attempt injection probabilities. The rates are
+// evaluated as a ladder (transient, then OOR, then hang) against one
+// uniform draw, so their sum must be ≤ 1.
+type Schedule struct {
+	// TransientRate is the probability a launch attempt fails with
+	// ErrTransientLaunch.
+	TransientRate float64
+	// OORRate is the probability a launch attempt fails with
+	// ErrOutOfResources.
+	OORRate float64
+	// HangRate is the probability a launch attempt hangs until the
+	// watchdog cancels it.
+	HangRate float64
+	// CorruptRate is the probability a cache store is corrupted.
+	CorruptRate float64
+	// MaxPerKey caps how many launch faults are injected for one job key
+	// (0 = unlimited). Setting it below the scheduler's retry budget
+	// guarantees every job eventually succeeds, which is what the
+	// bit-identical chaos comparison needs.
+	MaxPerKey int
+}
+
+// Validate reports whether the rates form a probability ladder.
+func (s Schedule) Validate() error {
+	for _, r := range []float64{s.TransientRate, s.OORRate, s.HangRate, s.CorruptRate} {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("fault: rate %v out of [0,1]", r)
+		}
+	}
+	if sum := s.TransientRate + s.OORRate + s.HangRate; sum > 1 {
+		return fmt.Errorf("fault: launch-fault rates sum to %v > 1", sum)
+	}
+	if s.MaxPerKey < 0 {
+		return fmt.Errorf("fault: negative MaxPerKey %d", s.MaxPerKey)
+	}
+	return nil
+}
+
+// A Fault is one injected failure decision.
+type Fault struct {
+	Kind Kind
+	// Err is the typed error for TransientLaunch / OutOfResources faults;
+	// nil for Hang (the caller owns the blocking-until-cancelled part).
+	Err error
+}
+
+// Injector decides, deterministically, which attempts fail. A nil
+// *Injector is valid and injects nothing, so callers can hold one
+// unconditionally.
+type Injector struct {
+	seed uint64
+	sch  Schedule
+
+	mu       sync.Mutex
+	launches map[string]uint64 // per-key launch-attempt counter
+	stores   map[string]uint64 // per-key cache-store counter
+	faults   map[string]int    // per-key injected launch-fault count
+
+	counts [numKinds]atomic.Uint64
+}
+
+// New builds an injector for the seed and schedule. It panics on an
+// invalid schedule — an injector is test/chaos plumbing, and a bad
+// schedule is a programming error.
+func New(seed uint64, sch Schedule) *Injector {
+	if err := sch.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{
+		seed:     seed,
+		sch:      sch,
+		launches: map[string]uint64{},
+		stores:   map[string]uint64{},
+		faults:   map[string]int{},
+	}
+}
+
+// Seed returns the injector's seed (for logging chaos runs).
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Launch is called once per launch attempt for the job key and returns
+// the fault to inject, or nil to let the attempt run for real. The
+// decision depends only on (seed, key, attempt number), never on timing.
+func (in *Injector) Launch(key string) *Fault {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	n := in.launches[key]
+	in.launches[key] = n + 1
+	capped := in.sch.MaxPerKey > 0 && in.faults[key] >= in.sch.MaxPerKey
+	if !capped {
+		// Decide while still holding the lock so the per-key fault count
+		// stays consistent with the decision.
+		u := in.uniform(key, n, saltLaunch)
+		var f *Fault
+		switch {
+		case u < in.sch.TransientRate:
+			f = &Fault{Kind: KindTransientLaunch,
+				Err: fmt.Errorf("fault: %s attempt %d: %w", key, n, ErrTransientLaunch)}
+		case u < in.sch.TransientRate+in.sch.OORRate:
+			f = &Fault{Kind: KindOutOfResources,
+				Err: fmt.Errorf("fault: %s attempt %d: %w", key, n, ErrOutOfResources)}
+		case u < in.sch.TransientRate+in.sch.OORRate+in.sch.HangRate:
+			f = &Fault{Kind: KindHang}
+		}
+		if f != nil {
+			in.faults[key]++
+			in.mu.Unlock()
+			in.counts[f.Kind].Add(1)
+			return f
+		}
+	}
+	in.mu.Unlock()
+	return nil
+}
+
+// CorruptStore is called once per cache store for the job key and reports
+// whether this stored entry should be corrupted.
+func (in *Injector) CorruptStore(key string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	n := in.stores[key]
+	in.stores[key] = n + 1
+	u := in.uniform(key, n, saltStore)
+	in.mu.Unlock()
+	if u < in.sch.CorruptRate {
+		in.counts[KindCorruptCache].Add(1)
+		return true
+	}
+	return false
+}
+
+// Counts returns how many faults of each kind have been injected so far,
+// keyed by Kind.String().
+func (in *Injector) Counts() map[string]uint64 {
+	out := map[string]uint64{}
+	if in == nil {
+		return out
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		out[k.String()] = in.counts[k].Load()
+	}
+	return out
+}
+
+// Total returns the total number of injected faults.
+func (in *Injector) Total() uint64 {
+	if in == nil {
+		return 0
+	}
+	var t uint64
+	for k := Kind(0); k < numKinds; k++ {
+		t += in.counts[k].Load()
+	}
+	return t
+}
+
+// Domain-separation salts so launch and store decisions for the same
+// (key, n) are independent.
+const (
+	saltLaunch = 0x1cebe1a9
+	saltStore  = 0x5ca1ab1e
+)
+
+// uniform maps (seed, key, n, salt) to a uniform draw in [0,1) via an
+// fnv64a hash mixed through splitmix64 — the same style of stateless
+// hashing the workload generators use, so runs are position-independent.
+func (in *Injector) uniform(key string, n, salt uint64) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := in.seed ^ h.Sum64() ^ (n * 0x9e3779b97f4a7c15) ^ salt
+	// splitmix64 finaliser.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

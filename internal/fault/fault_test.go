@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// replay collects the fault decisions for nAttempts launches of each key.
+func replay(in *Injector, keys []string, nAttempts int) []string {
+	var out []string
+	for _, k := range keys {
+		for i := 0; i < nAttempts; i++ {
+			f := in.Launch(k)
+			if f == nil {
+				out = append(out, "-")
+			} else {
+				out = append(out, f.Kind.String())
+			}
+		}
+	}
+	return out
+}
+
+func TestDeterministicPerSeedAndKey(t *testing.T) {
+	sch := Schedule{TransientRate: 0.3, OORRate: 0.05, HangRate: 0.1, CorruptRate: 0.2}
+	keys := []string{"job-a", "job-b", "job-c"}
+
+	a := replay(New(42, sch), keys, 20)
+	b := replay(New(42, sch), keys, 20)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+
+	c := replay(New(43, sch), keys, 20)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+
+	// Interleaving order must not matter: decisions depend only on the
+	// per-key attempt number.
+	in1, in2 := New(7, sch), New(7, sch)
+	var inter, seq []string
+	for i := 0; i < 10; i++ {
+		for _, k := range keys {
+			if f := in1.Launch(k); f != nil {
+				inter = append(inter, k+":"+f.Kind.String())
+			} else {
+				inter = append(inter, k+":-")
+			}
+		}
+	}
+	for _, k := range keys {
+		for i := 0; i < 10; i++ {
+			if f := in2.Launch(k); f != nil {
+				seq = append(seq, k+":"+f.Kind.String())
+			} else {
+				seq = append(seq, k+":-")
+			}
+		}
+	}
+	// Compare per-key subsequences.
+	count := func(s []string, k string) string {
+		var got string
+		for _, e := range s {
+			if len(e) > len(k) && e[:len(k)] == k {
+				got += e
+			}
+		}
+		return got
+	}
+	for _, k := range keys {
+		if count(inter, k) != count(seq, k) {
+			t.Fatalf("key %s: interleaved and sequential replays diverge", k)
+		}
+	}
+}
+
+func TestRatesApproximatelyHonoured(t *testing.T) {
+	sch := Schedule{TransientRate: 0.3, OORRate: 0.05, HangRate: 0.05}
+	in := New(1, sch)
+	const n = 20000
+	var transient, oor, hang int
+	for i := 0; i < n; i++ {
+		switch f := in.Launch(fmt.Sprintf("key-%d", i)); {
+		case f == nil:
+		case f.Kind == KindTransientLaunch:
+			transient++
+			if !errors.Is(f.Err, ErrTransientLaunch) {
+				t.Fatal("transient fault error is not ErrTransientLaunch")
+			}
+		case f.Kind == KindOutOfResources:
+			oor++
+			if !errors.Is(f.Err, ErrOutOfResources) {
+				t.Fatal("OOR fault error is not ErrOutOfResources")
+			}
+		case f.Kind == KindHang:
+			hang++
+			if f.Err != nil {
+				t.Fatal("hang fault must carry no error (the seam blocks instead)")
+			}
+		}
+	}
+	check := func(name string, got int, want float64) {
+		frac := float64(got) / n
+		if math.Abs(frac-want) > 0.02 {
+			t.Errorf("%s rate = %.3f, want ~%.2f", name, frac, want)
+		}
+	}
+	check("transient", transient, 0.3)
+	check("oor", oor, 0.05)
+	check("hang", hang, 0.05)
+
+	counts := in.Counts()
+	if counts["transient_launch"] != uint64(transient) || counts["hang"] != uint64(hang) {
+		t.Fatalf("Counts() = %v, want transient=%d hang=%d", counts, transient, hang)
+	}
+	if in.Total() != uint64(transient+oor+hang) {
+		t.Fatalf("Total() = %d, want %d", in.Total(), transient+oor+hang)
+	}
+}
+
+func TestMaxPerKeyBoundsFaults(t *testing.T) {
+	in := New(99, Schedule{TransientRate: 1.0, MaxPerKey: 3})
+	var faults int
+	for i := 0; i < 10; i++ {
+		if in.Launch("only-key") != nil {
+			faults++
+		}
+	}
+	if faults != 3 {
+		t.Fatalf("injected %d faults, want exactly MaxPerKey=3", faults)
+	}
+}
+
+func TestCorruptStoreIndependentOfLaunch(t *testing.T) {
+	in := New(5, Schedule{CorruptRate: 1.0})
+	if f := in.Launch("k"); f != nil {
+		t.Fatalf("launch fault injected with zero launch rates: %v", f.Kind)
+	}
+	if !in.CorruptStore("k") {
+		t.Fatal("CorruptStore = false with CorruptRate 1.0")
+	}
+	if got := in.Counts()["corrupt_cache"]; got != 1 {
+		t.Fatalf("corrupt_cache count = %d, want 1", got)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Launch("k") != nil || in.CorruptStore("k") || in.Total() != 0 || in.Seed() != 0 {
+		t.Fatal("nil injector must inject nothing")
+	}
+	if len(in.Counts()) != 0 {
+		t.Fatal("nil injector Counts must be empty")
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := []Schedule{
+		{TransientRate: -0.1},
+		{TransientRate: 1.1},
+		{TransientRate: 0.5, OORRate: 0.4, HangRate: 0.3},
+		{MaxPerKey: -1},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("schedule %d: Validate() = nil, want error", i)
+		}
+	}
+	if err := (Schedule{TransientRate: 0.3, OORRate: 0.1, HangRate: 0.1, CorruptRate: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}

@@ -135,6 +135,9 @@ func Generate(seed uint64, cfg GenConfig) *Program {
 	if err := kir.CheckUniformBarriers(k); err != nil {
 		panic(fmt.Sprintf("fuzz: seed %d generated divergent barriers: %v", seed, err))
 	}
+	if err := CheckBoundedLoops(k); err != nil {
+		panic(fmt.Sprintf("fuzz: seed %d generated a non-terminating kernel: %v", seed, err))
+	}
 
 	prog := &Program{
 		Seed:    seed,

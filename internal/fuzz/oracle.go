@@ -35,6 +35,17 @@ func (p *Program) clone(name string) []uint32 {
 	return dst
 }
 
+// Oracle step budgets. Every legitimate fuzz program finishes in at most a
+// few thousand steps per thread; these budgets leave three orders of
+// magnitude of headroom while still killing a non-terminating kernel (a
+// generator or corpus bug) in well under a second instead of wedging the
+// campaign. A kill surfaces as a typed kir.ErrWatchdog / sim.ErrWatchdog
+// in the returned error chain.
+const (
+	refStepBudget = 1 << 22 // interpreter statements per thread
+	simStepBudget = 1 << 22 // simulator warp instructions per work-group
+)
+
 // Reference executes the program on the kir.Run host interpreter and
 // returns the output buffer. This is the semantic ground truth the
 // compiled pipelines are judged against.
@@ -46,8 +57,9 @@ func Reference(p *Program) ([]uint32, error) {
 	err := kir.Run(p.Kernel, kir.RunConfig{
 		GridX: p.Grid, GridY: 1,
 		BlockX: p.Block, BlockY: 1,
-		Buffers: bufs,
-		Scalars: p.Scalars,
+		Buffers:    bufs,
+		Scalars:    p.Scalars,
+		StepBudget: refStepBudget,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fuzz: seed %d: reference: %w", p.Seed, err)
@@ -75,6 +87,7 @@ func Execute(p *Program, pk *ptx.Kernel, a *arch.Device) ([]uint32, *sim.Trace, 
 	if err != nil {
 		return nil, nil, err
 	}
+	dev.StepBudget = simStepBudget
 	var args []uint32
 	var outAddr uint32
 	for _, prm := range p.Kernel.Params {
@@ -151,12 +164,12 @@ func (d *Divergence) Error() string {
 
 // Result summarises one program's trip through the oracle.
 type Result struct {
-	Seed        uint64
-	Divergence  *Divergence // nil when every execution agreed
-	Executions  int         // personality x device runs that completed
-	Skipped     []string    // "toolchain/device: reason" resource aborts
-	WarpInstrs  int64       // total across executions, for campaign stats
-	LaneInstrs  int64
+	Seed       uint64
+	Divergence *Divergence // nil when every execution agreed
+	Executions int         // personality x device runs that completed
+	Skipped    []string    // "toolchain/device: reason" resource aborts
+	WarpInstrs int64       // total across executions, for campaign stats
+	LaneInstrs int64
 }
 
 // Toolchains returns the two modelled personalities in a stable order.

@@ -7,10 +7,16 @@ package kir
 // CPU fallback for running kernels.
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 )
+
+// ErrWatchdog is returned when a work-item exceeds RunConfig.StepBudget:
+// the reference executor's equivalent of the display watchdog killing a
+// runaway kernel instead of hanging the host.
+var ErrWatchdog = errors.New("kir: watchdog: step budget exceeded")
 
 // RunConfig describes one launch for the reference executor.
 type RunConfig struct {
@@ -23,6 +29,11 @@ type RunConfig struct {
 	Scalars map[string]uint32
 	// WarpSize is the value the WarpSize builtin reports (default 32).
 	WarpSize int
+	// StepBudget bounds the statements one work-item may execute before the
+	// run is killed with an error wrapping ErrWatchdog (0 = unbounded). Set
+	// it when running untrusted kernels — a non-terminating loop otherwise
+	// hangs the executor.
+	StepBudget uint64
 }
 
 // Run executes the kernel over the whole grid. Blocks run sequentially;
@@ -72,10 +83,16 @@ func Run(k *Kernel, cfg RunConfig) error {
 							return m
 						}(),
 					}
+					ev.budget = cfg.StepBudget
 					defer func() {
 						if r := recover(); r != nil {
-							errs[t] = fmt.Errorf("kir: Run: block (%d,%d) thread %d (tid %d,%d): %v",
-								bx, by, t, ev.tidX, ev.tidY, r)
+							if err, ok := r.(error); ok && errors.Is(err, ErrWatchdog) {
+								errs[t] = fmt.Errorf("kir: Run: block (%d,%d) thread %d (tid %d,%d) killed after %d steps: %w",
+									bx, by, t, ev.tidX, ev.tidY, ev.steps, ErrWatchdog)
+							} else {
+								errs[t] = fmt.Errorf("kir: Run: block (%d,%d) thread %d (tid %d,%d): %v",
+									bx, by, t, ev.tidX, ev.tidY, r)
+							}
 							bar.abort(t, fmt.Sprint(r))
 						} else {
 							bar.leave(t)
@@ -204,6 +221,19 @@ type runEval struct {
 	tidX, tidY uint32
 	ctaX, ctaY uint32
 	vars       map[string]uint32
+
+	steps  uint64
+	budget uint64 // 0 = unbounded
+}
+
+// step charges one executed statement (or loop iteration) against the
+// budget, panicking with ErrWatchdog once it is exhausted; the per-thread
+// recover in Run converts the panic into a typed error.
+func (e *runEval) step() {
+	e.steps++
+	if e.budget > 0 && e.steps > e.budget {
+		panic(ErrWatchdog)
+	}
 }
 
 func (e *runEval) buffer(name string) []uint32 {
@@ -225,6 +255,7 @@ func (e *runEval) isSharedOrGlobal(name string) bool {
 
 func (e *runEval) stmts(stmts []Stmt) {
 	for _, s := range stmts {
+		e.step()
 		switch s := s.(type) {
 		case *DeclStmt:
 			e.vars[s.Name] = e.expr(s.Init)
@@ -278,6 +309,7 @@ func (e *runEval) stmts(stmts []Stmt) {
 		case *ForStmt:
 			e.vars[s.Var] = e.expr(s.Init)
 			for e.less(s.T, e.vars[s.Var], e.expr(s.Limit)) {
+				e.step() // charge empty-body iterations too (step 0 never terminates)
 				e.stmts(s.Body)
 				e.vars[s.Var] += e.expr(s.Step)
 			}

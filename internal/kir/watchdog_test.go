@@ -1,0 +1,52 @@
+package kir
+
+import (
+	"errors"
+	"testing"
+)
+
+// hangKernel loops forever: step 0 keeps the induction variable below the
+// limit on every iteration.
+func hangKernel() *Kernel {
+	b := NewKernel("hang")
+	out := b.GlobalBuffer("out", U32)
+	b.For("i", U(0), U(1), U(0), func(i Expr) {
+		b.Store(out, U(0), i)
+	})
+	return b.MustBuild()
+}
+
+func TestRunStepBudget(t *testing.T) {
+	err := Run(hangKernel(), RunConfig{
+		GridX: 1, GridY: 1, BlockX: 2, BlockY: 1,
+		Buffers:    map[string][]uint32{"out": make([]uint32, 1)},
+		StepBudget: 10_000,
+	})
+	if !errors.Is(err, ErrWatchdog) {
+		t.Fatalf("Run of non-terminating kernel: err = %v, want ErrWatchdog", err)
+	}
+}
+
+func TestRunStepBudgetSparesTerminatingKernels(t *testing.T) {
+	b := NewKernel("sum")
+	out := b.GlobalBuffer("out", U32)
+	acc := b.Declare("acc", U(0))
+	b.For("i", U(0), U(64), U(1), func(i Expr) {
+		b.Assign(acc, Add(acc, i))
+	})
+	b.Store(out, U(0), acc)
+	k := b.MustBuild()
+
+	buf := make([]uint32, 1)
+	err := Run(k, RunConfig{
+		GridX: 1, GridY: 1, BlockX: 1, BlockY: 1,
+		Buffers:    map[string][]uint32{"out": buf},
+		StepBudget: 10_000,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := uint32(64 * 63 / 2); buf[0] != want {
+		t.Fatalf("out = %d, want %d", buf[0], want)
+	}
+}

@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds the scheduler's retries of Transient failures.
+// Watchdog and Permanent failures are never retried: a watchdog kill costs
+// a full JobTimeout per attempt and deterministic failures cannot heal.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (<= 0 selects the default of 4; 1 disables retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 5ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (default 250ms).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 5 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	return p
+}
+
+// backoff returns the delay before retry number attempt (1-based): capped
+// exponential growth with deterministic jitter in [0.5, 1.0) x the slot,
+// derived from (key, attempt) so two runs of the same job stream sleep
+// identically — chaos runs stay reproducible.
+func (p RetryPolicy) backoff(key string, attempt int) time.Duration {
+	slot := p.BaseDelay << uint(attempt-1)
+	if slot > p.MaxDelay || slot <= 0 {
+		slot = p.MaxDelay
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := h.Sum64() ^ (uint64(attempt) * 0x9e3779b97f4a7c15)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	frac := 0.5 + 0.5*float64(x>>11)/(1<<53)
+	return time.Duration(float64(slot) * frac)
+}
+
+// BreakerConfig configures the per-device circuit breakers.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive Transient/Watchdog
+	// failures open a device's breaker (<= 0 selects the default of 5).
+	FailureThreshold int
+	// CoolDown is how long an open breaker rejects jobs before letting
+	// one probe through half-open (default 30s).
+	CoolDown time.Duration
+	// Disabled turns the breakers off entirely.
+	Disabled bool
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.CoolDown <= 0 {
+		c.CoolDown = 30 * time.Second
+	}
+	return c
+}
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: the device is healthy; jobs flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the device failed repeatedly; jobs are rejected until
+	// the cool-down elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cool-down elapsed; one probe job is in flight
+	// to decide between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String names the state for /healthz and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is one device's circuit breaker: closed → (threshold consecutive
+// failures) → open → (cool-down) → half-open → one probe decides.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int       // consecutive breaker-relevant failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	trips    uint64    // times the breaker opened
+}
+
+// allow reports whether a job may run now. When it returns false, the
+// second result is how long until the next probe is allowed.
+func (b *breaker) allow() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		if wait := b.cfg.CoolDown - b.now().Sub(b.openedAt); wait > 0 {
+			return false, wait
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false, b.cfg.CoolDown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// success records a completed job: it closes a half-open breaker and
+// resets the failure streak.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// failure records a Transient/Watchdog failure and reports whether this
+// call tripped the breaker open.
+func (b *breaker) failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: straight back to open for another cool-down.
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.trips++
+		return true
+	case BreakerOpen:
+		return false
+	default:
+		b.fails++
+		if b.fails >= b.cfg.FailureThreshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+			return true
+		}
+		return false
+	}
+}
+
+// BreakerSnapshot is one device's breaker state for /healthz.
+type BreakerSnapshot struct {
+	Device           string  `json:"device"`
+	State            string  `json:"state"`
+	ConsecutiveFails int     `json:"consecutive_fails"`
+	Trips            uint64  `json:"trips"`
+	RetryAfterSec    float64 `json:"retry_after_seconds,omitempty"`
+}
+
+func (b *breaker) snapshot(device string) BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := BreakerSnapshot{
+		Device:           device,
+		State:            b.state.String(),
+		ConsecutiveFails: b.fails,
+		Trips:            b.trips,
+	}
+	if b.state == BreakerOpen {
+		if wait := b.cfg.CoolDown - b.now().Sub(b.openedAt); wait > 0 {
+			s.RetryAfterSec = wait.Seconds()
+		}
+	}
+	return s
+}
+
+// breakerFor returns (creating if needed) the breaker for a device, or nil
+// when breakers are disabled.
+func (s *Scheduler) breakerFor(device string) *breaker {
+	if s.opts.Breaker.Disabled {
+		return nil
+	}
+	s.brkMu.Lock()
+	defer s.brkMu.Unlock()
+	b, ok := s.breakers[device]
+	if !ok {
+		b = &breaker{cfg: s.opts.Breaker, now: s.now}
+		s.breakers[device] = b
+	}
+	return b
+}
+
+// Breakers snapshots every device breaker, sorted by device name, for
+// /healthz.
+func (s *Scheduler) Breakers() []BreakerSnapshot {
+	s.brkMu.Lock()
+	names := make([]string, 0, len(s.breakers))
+	for name := range s.breakers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	brs := make([]*breaker, len(names))
+	for i, name := range names {
+		brs[i] = s.breakers[name]
+	}
+	s.brkMu.Unlock()
+	out := make([]BreakerSnapshot, len(names))
+	for i, b := range brs {
+		out[i] = b.snapshot(names[i])
+	}
+	return out
+}
+
+// BreakerState returns the state of one device's breaker (BreakerClosed if
+// the device has never failed or breakers are disabled).
+func (s *Scheduler) BreakerState(device string) BreakerState {
+	s.brkMu.Lock()
+	b, ok := s.breakers[device]
+	s.brkMu.Unlock()
+	if !ok {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

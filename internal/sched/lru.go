@@ -2,13 +2,17 @@ package sched
 
 import (
 	"container/list"
+	"encoding/json"
+	"hash/fnv"
 
 	"gpucmp/internal/bench"
 )
 
 // lruCache is a plain LRU over completed results, guarded by the
 // scheduler's mutex (it has no locking of its own). Values are shared
-// pointers: callers must treat a cached *bench.Result as immutable.
+// pointers: callers must treat a cached *bench.Result as immutable. Each
+// entry carries a checksum of its result so readers can detect a
+// corrupted entry and evict it instead of serving it.
 type lruCache struct {
 	cap   int
 	order *list.List // front = most recently used; values are *lruEntry
@@ -18,28 +22,31 @@ type lruCache struct {
 type lruEntry struct {
 	key string
 	res *bench.Result
+	sum uint64 // resultChecksum at store time; 0 = unverifiable
 }
 
 func newLRU(capacity int) *lruCache {
 	return &lruCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
 }
 
-func (c *lruCache) get(key string) (*bench.Result, bool) {
+func (c *lruCache) get(key string) (*bench.Result, uint64, bool) {
 	el, ok := c.byKey[key]
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).res, true
+	e := el.Value.(*lruEntry)
+	return e.res, e.sum, true
 }
 
-func (c *lruCache) add(key string, res *bench.Result) {
+func (c *lruCache) add(key string, res *bench.Result, sum uint64) {
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*lruEntry).res = res
+		e := el.Value.(*lruEntry)
+		e.res, e.sum = res, sum
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, res: res, sum: sum})
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)
@@ -47,4 +54,28 @@ func (c *lruCache) add(key string, res *bench.Result) {
 	}
 }
 
+func (c *lruCache) remove(key string) {
+	if el, ok := c.byKey[key]; ok {
+		c.order.Remove(el)
+		delete(c.byKey, key)
+	}
+}
+
 func (c *lruCache) len() int { return c.order.Len() }
+
+// corruptFlip is XORed into a stored checksum by the fault injector's
+// corrupt-cache fault, guaranteeing a mismatch on the next read.
+const corruptFlip = 0xdeadbeefdeadbeef
+
+// resultChecksum fingerprints a result via its canonical JSON encoding
+// (results are served as JSON, so the encoding covers every field that
+// reaches a client). Returns 0 — "unverifiable" — if encoding fails.
+func resultChecksum(res *bench.Result) uint64 {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}

@@ -98,6 +98,14 @@ type Metrics struct {
 	inFlight    atomic.Int64
 	queueDepth  atomic.Int64
 
+	// Resilience counters.
+	retries          atomic.Uint64 // transient failures retried
+	breakerTrips     atomic.Uint64 // breaker transitions to open
+	breakerDenials   atomic.Uint64 // jobs rejected by an open breaker
+	watchdogReclaims atomic.Uint64 // cancelled attempts that acknowledged
+	watchdogLeaks    atomic.Uint64 // cancelled attempts abandoned after grace
+	cacheCorruptions atomic.Uint64 // corrupted cache entries detected+evicted
+
 	mu      sync.Mutex
 	perName map[string]*Histogram
 }
@@ -137,6 +145,13 @@ type Snapshot struct {
 	InFlight    int64  `json:"in_flight"`
 	QueueDepth  int64  `json:"queue_depth"`
 
+	Retries          uint64 `json:"retries"`
+	BreakerTrips     uint64 `json:"breaker_trips"`
+	BreakerDenials   uint64 `json:"breaker_denials"`
+	WatchdogReclaims uint64 `json:"watchdog_reclaims"`
+	WatchdogLeaks    uint64 `json:"watchdog_leaks"`
+	CacheCorruptions uint64 `json:"cache_corruptions"`
+
 	Latency []BenchmarkLatency `json:"latency"`
 }
 
@@ -152,6 +167,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		Timeouts:    m.timeouts.Load(),
 		InFlight:    m.inFlight.Load(),
 		QueueDepth:  m.queueDepth.Load(),
+
+		Retries:          m.retries.Load(),
+		BreakerTrips:     m.breakerTrips.Load(),
+		BreakerDenials:   m.breakerDenials.Load(),
+		WatchdogReclaims: m.watchdogReclaims.Load(),
+		WatchdogLeaks:    m.watchdogLeaks.Load(),
+		CacheCorruptions: m.cacheCorruptions.Load(),
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

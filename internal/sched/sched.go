@@ -13,13 +13,17 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gpucmp/internal/arch"
 	"gpucmp/internal/bench"
+	"gpucmp/internal/fault"
+	"gpucmp/internal/sim"
 )
 
 // Job is one canonical experiment cell. Two jobs with equal Key() are the
@@ -87,17 +91,32 @@ func (o Outcome) String() string {
 }
 
 // Options configures a Scheduler. The zero value is usable: GOMAXPROCS
-// workers, a 4096-entry cache, no job timeout.
+// workers, a 4096-entry cache, no job timeout, default retry policy and
+// circuit breakers, no fault injection.
 type Options struct {
 	// Workers is the pool size (defaults to GOMAXPROCS).
 	Workers int
 	// CacheSize caps the result LRU (defaults to 4096; negative disables
 	// caching).
 	CacheSize int
-	// JobTimeout bounds one job's execution (0 = unbounded). A timed-out
-	// job returns context.DeadlineExceeded to its waiters; the abandoned
-	// simulation finishes on its goroutine and is discarded.
+	// JobTimeout bounds one execution attempt (0 = unbounded). When it
+	// fires, the watchdog cancels the attempt's simulated device and the
+	// worker is reclaimed as soon as the warp loop hits its next
+	// checkpoint; waiters get an error classified as ErrWatchdog that
+	// still wraps context.DeadlineExceeded.
 	JobTimeout time.Duration
+	// ReclaimGrace is how long the watchdog waits for a cancelled attempt
+	// to acknowledge before giving up and abandoning its goroutine
+	// (default 2s; the warp loop checkpoints every sim.CheckpointInterval
+	// instructions, so acknowledgement is normally immediate).
+	ReclaimGrace time.Duration
+	// Retry bounds the retries of Transient failures.
+	Retry RetryPolicy
+	// Breaker configures the per-device circuit breakers.
+	Breaker BreakerConfig
+	// Injector, when non-nil, injects deterministic faults at the device
+	// seam (chaos testing).
+	Injector *fault.Injector
 }
 
 // task is one in-flight execution that any number of callers wait on.
@@ -112,15 +131,21 @@ type task struct {
 // Scheduler runs jobs on a fixed worker pool with caching and dedup.
 type Scheduler struct {
 	opts    Options
+	retry   RetryPolicy
 	queue   chan *task
 	wg      sync.WaitGroup // workers
 	subs    sync.WaitGroup // in-progress queue submissions
 	metrics *Metrics
+	now     func() time.Time // injectable clock for breaker tests
 
 	mu     sync.Mutex
 	closed bool
 	flight map[string]*task
 	cache  *lruCache
+	stale  *lruCache // last known good result per key, for degraded serving
+
+	brkMu    sync.Mutex
+	breakers map[string]*breaker
 }
 
 // New starts a scheduler and its worker pool. Call Close to stop it.
@@ -131,15 +156,27 @@ func New(opts Options) *Scheduler {
 	if opts.CacheSize == 0 {
 		opts.CacheSize = 4096
 	}
+	if opts.ReclaimGrace <= 0 {
+		opts.ReclaimGrace = 2 * time.Second
+	}
+	opts.Breaker = opts.Breaker.withDefaults()
 	s := &Scheduler{
-		opts:    opts,
-		queue:   make(chan *task, 64),
-		metrics: newMetrics(),
-		flight:  make(map[string]*task),
+		opts:     opts,
+		retry:    opts.Retry.withDefaults(),
+		queue:    make(chan *task, 64),
+		metrics:  newMetrics(),
+		now:      time.Now,
+		flight:   make(map[string]*task),
+		breakers: make(map[string]*breaker),
 	}
 	if opts.CacheSize > 0 {
 		s.cache = newLRU(opts.CacheSize)
 	}
+	staleCap := opts.CacheSize
+	if staleCap <= 0 {
+		staleCap = 4096
+	}
+	s.stale = newLRU(staleCap)
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -181,10 +218,15 @@ func (s *Scheduler) Do(ctx context.Context, j Job) (*bench.Result, Outcome, erro
 		return nil, Miss, fmt.Errorf("sched: scheduler is closed")
 	}
 	if s.cache != nil {
-		if res, ok := s.cache.get(key); ok {
-			s.mu.Unlock()
-			s.metrics.cacheHits.Add(1)
-			return res, Hit, nil
+		if res, sum, ok := s.cache.get(key); ok {
+			if sum == 0 || sum == resultChecksum(res) {
+				s.mu.Unlock()
+				s.metrics.cacheHits.Add(1)
+				return res, Hit, nil
+			}
+			// Corrupted entry: evict it and fall through to re-execute.
+			s.cache.remove(key)
+			s.metrics.cacheCorruptions.Add(1)
 		}
 	}
 	if t, ok := s.flight[key]; ok {
@@ -216,8 +258,10 @@ func (s *Scheduler) wait(ctx context.Context, t *task, o Outcome) (*bench.Result
 }
 
 // RunAll executes jobs concurrently through the pool and returns results
-// in input order. The first error is returned after all jobs settle;
-// results whose job failed are nil.
+// in input order. Every job settles: successful results stay addressable
+// by index even when other jobs fail, and the error (nil when all jobs
+// succeeded) is the errors.Join of every failure, each annotated with its
+// job index and key. Results whose job failed are nil.
 func (s *Scheduler) RunAll(ctx context.Context, jobs []Job) ([]*bench.Result, error) {
 	results := make([]*bench.Result, len(jobs))
 	errs := make([]error, len(jobs))
@@ -230,12 +274,26 @@ func (s *Scheduler) RunAll(ctx context.Context, jobs []Job) ([]*bench.Result, er
 		}(i, j)
 	}
 	wg.Wait()
-	for _, err := range errs {
+	var failures []error
+	for i, err := range errs {
 		if err != nil {
-			return results, err
+			failures = append(failures, fmt.Errorf("job %d (%s): %w", i, jobs[i].Key(), err))
 		}
 	}
-	return results, nil
+	return results, errors.Join(failures...)
+}
+
+// Stale returns the last known good result for a key, if any — the
+// degraded-serving fallback when the live path is unavailable. Stale
+// entries carry checksums too, so a corrupted entry reads as absent.
+func (s *Scheduler) Stale(key string) (*bench.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, sum, ok := s.stale.get(key)
+	if !ok || (sum != 0 && sum != resultChecksum(res)) {
+		return nil, false
+	}
+	return res, true
 }
 
 // Metrics exposes the scheduler's counters.
@@ -257,7 +315,7 @@ func (s *Scheduler) worker() {
 		s.metrics.queueDepth.Add(-1)
 		s.metrics.inFlight.Add(1)
 		start := time.Now()
-		t.res, t.err = s.execute(t.job)
+		t.res, t.err = s.execute(t.job, t.key)
 		s.metrics.observe(t.job.Benchmark, time.Since(start))
 		s.metrics.inFlight.Add(-1)
 		s.metrics.jobsRun.Add(1)
@@ -268,28 +326,118 @@ func (s *Scheduler) worker() {
 		// ABT outcomes (they are as reproducible as OK ones). Infra
 		// errors — bad names, timeouts, panics — are not cached, so a
 		// transient failure is retried on the next request.
-		if t.err == nil && s.cache != nil {
-			s.cache.add(t.key, t.res)
+		if t.err == nil {
+			sum := resultChecksum(t.res)
+			if s.cache != nil {
+				cached := sum
+				if s.opts.Injector.CorruptStore(t.key) {
+					// An injected corruption flips the stored checksum, not
+					// the shared result, so waiters holding the pointer are
+					// unaffected; the next cache read detects the mismatch.
+					cached ^= corruptFlip
+				}
+				s.cache.add(t.key, t.res, cached)
+			}
+			// Remember the last known good result for degraded serving.
+			s.stale.add(t.key, t.res, sum)
 		}
 		s.mu.Unlock()
 		close(t.done)
 	}
 }
 
-// execute resolves and runs one job, with panic isolation and the
-// configured timeout. Each execution opens a fresh driver on a fresh
-// simulated device, so concurrent jobs share nothing mutable.
-func (s *Scheduler) execute(j Job) (*bench.Result, error) {
+// execute resolves and runs one job through the resilience ladder: per-
+// device circuit breaker, then per-attempt execution with panic isolation
+// and watchdog timeout, with capped exponential backoff between retries of
+// Transient failures. The returned error, when non-nil, is classified
+// (errors.Is against ErrTransient / ErrPermanent / ErrWatchdog /
+// ErrBreakerOpen).
+func (s *Scheduler) execute(j Job, key string) (*bench.Result, error) {
+	br := s.breakerFor(j.Device)
+	for attempt := 1; ; attempt++ {
+		if br != nil {
+			if ok, wait := br.allow(); !ok {
+				s.metrics.breakerDenials.Add(1)
+				return nil, &BreakerOpenError{Device: j.Device, RetryAfter: wait}
+			}
+		}
+		res, err := s.executeAttempt(j, key)
+		if err == nil {
+			if br != nil {
+				br.success()
+			}
+			return res, nil
+		}
+		class := ClassOf(err)
+		if br != nil && class != Permanent {
+			// Only device-health failures (transient, watchdog) count
+			// toward tripping: a malformed job says nothing about the
+			// device.
+			if br.failure() {
+				s.metrics.breakerTrips.Add(1)
+			}
+		}
+		if class != Transient {
+			return nil, wrapClass(class, err)
+		}
+		if attempt >= s.retry.MaxAttempts {
+			// Retry budget exhausted: the job as a whole is permanently
+			// failed, with the last transient cause still in the chain.
+			return nil, wrapClass(Permanent,
+				fmt.Errorf("sched: job %s: %d attempts exhausted: %w", key, attempt, err))
+		}
+		s.metrics.retries.Add(1)
+		time.Sleep(s.retry.backoff(key, attempt))
+	}
+}
+
+// attemptCtl is the kill switch of one execution attempt. The attempt
+// publishes its simulated device as soon as it exists; the watchdog closes
+// cancel and cancels the device, and the warp loop aborts at its next
+// checkpoint.
+type attemptCtl struct {
+	once   sync.Once
+	cancel chan struct{}
+	dev    atomic.Pointer[sim.Device]
+}
+
+func newAttemptCtl() *attemptCtl { return &attemptCtl{cancel: make(chan struct{})} }
+
+// kill cancels the attempt: idempotent, safe from any goroutine.
+func (c *attemptCtl) kill() {
+	c.once.Do(func() { close(c.cancel) })
+	if d := c.dev.Load(); d != nil {
+		d.Cancel()
+	}
+}
+
+// publish registers the attempt's device. Re-checking cancel afterwards
+// closes the race with a kill that ran between the load in kill and this
+// store: the attempt then cancels its own device.
+func (c *attemptCtl) publish(d *sim.Device) {
+	c.dev.Store(d)
+	select {
+	case <-c.cancel:
+		d.Cancel()
+	default:
+	}
+}
+
+// executeAttempt runs one attempt under the watchdog. On timeout it
+// cancels the attempt's device and waits up to ReclaimGrace for the
+// goroutine to acknowledge — the worker is reclaimed, not leaked.
+func (s *Scheduler) executeAttempt(j Job, key string) (*bench.Result, error) {
 	if s.opts.JobTimeout <= 0 {
-		return s.executeIsolated(j)
+		return s.executeIsolated(j, key, nil)
 	}
 	type outcome struct {
 		res *bench.Result
 		err error
 	}
+	ctl := newAttemptCtl()
 	ch := make(chan outcome, 1)
 	go func() {
-		res, err := s.executeIsolated(j)
+		res, err := s.executeIsolated(j, key, ctl)
 		ch <- outcome{res, err}
 	}()
 	timer := time.NewTimer(s.opts.JobTimeout)
@@ -299,14 +447,43 @@ func (s *Scheduler) execute(j Job) (*bench.Result, error) {
 		return o.res, o.err
 	case <-timer.C:
 		s.metrics.timeouts.Add(1)
-		return nil, fmt.Errorf("sched: job %s: %w after %v", j.Key(), context.DeadlineExceeded, s.opts.JobTimeout)
+		ctl.kill()
+		grace := time.NewTimer(s.opts.ReclaimGrace)
+		defer grace.Stop()
+		select {
+		case <-ch:
+			// The cancelled attempt acknowledged: its late result is
+			// discarded (never cached) and the goroutine is gone.
+			s.metrics.watchdogReclaims.Add(1)
+		case <-grace.C:
+			// The attempt ignored cancellation (e.g. stuck outside the
+			// warp loop). Abandon its goroutine and record the leak.
+			s.metrics.watchdogLeaks.Add(1)
+		}
+		return nil, wrapClass(Watchdog,
+			fmt.Errorf("sched: job %s: %w after %v", key, context.DeadlineExceeded, s.opts.JobTimeout))
 	}
 }
 
-func (s *Scheduler) executeIsolated(j Job) (*bench.Result, error) {
-	return s.safely(j.Key(), func() (*bench.Result, error) {
+func (s *Scheduler) executeIsolated(j Job, key string, ctl *attemptCtl) (*bench.Result, error) {
+	return s.safely(key, func() (*bench.Result, error) {
 		if err := j.Validate(); err != nil {
 			return nil, err
+		}
+		// The fault-injection seam: chaos schedules fail, hang or reject
+		// the attempt here, where the job meets the device.
+		if f := s.opts.Injector.Launch(key); f != nil {
+			switch f.Kind {
+			case fault.KindHang:
+				if ctl != nil {
+					// Hang until the watchdog cancels the attempt — the
+					// same reclaim path a real runaway kernel exercises.
+					<-ctl.cancel
+				}
+				return nil, fmt.Errorf("sched: job %s: injected hang: %w", key, sim.ErrWatchdog)
+			default:
+				return nil, f.Err
+			}
 		}
 		spec, _ := bench.SpecByName(j.Benchmark)
 		a, _ := arch.Resolve(j.Device)
@@ -314,7 +491,20 @@ func (s *Scheduler) executeIsolated(j Job) (*bench.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return spec.Run(d, j.Config)
+		if ctl != nil {
+			if dev := bench.SimDevice(d); dev != nil {
+				ctl.publish(dev)
+			}
+		}
+		res, err := spec.Run(d, j.Config)
+		// A watchdog kill surfaces from the benchmark harness as an ABT
+		// result with a nil Go error (the launch-failure convention).
+		// Convert it to a typed error so it is never cached as a
+		// deterministic outcome and classifies as Watchdog.
+		if err == nil && res != nil && res.Err != nil && errors.Is(res.Err, sim.ErrWatchdog) {
+			return nil, fmt.Errorf("sched: job %s: %w", key, res.Err)
+		}
+		return res, err
 	})
 }
 

@@ -7,15 +7,19 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"gpucmp/internal/arch"
 	"gpucmp/internal/bench"
 	"gpucmp/internal/compiler"
 	"gpucmp/internal/core"
+	"gpucmp/internal/perfmodel"
 	"gpucmp/internal/sched"
 )
 
@@ -28,6 +32,12 @@ type Server struct {
 	// (overridable per request with ?scale=N). The default keeps an
 	// uncached figure regeneration interactive.
 	figureScale int
+
+	// Degradation counters: how /run requests were served when the live
+	// path was unavailable.
+	degradedEstimates atomic.Uint64 // perfmodel analytical estimates served
+	degradedStale     atomic.Uint64 // stale last-known-good results served
+	unavailable       atomic.Uint64 // 503s: nothing could be served
 }
 
 // Option customises a Server.
@@ -82,9 +92,20 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// /healthz reflects the per-device circuit breakers: the service is
+	// "degraded" (still 200 — it serves fallbacks) while any breaker is
+	// away from closed.
+	breakers := s.sched.Breakers()
+	status := "ok"
+	for _, b := range breakers {
+		if b.State != "closed" {
+			status = "degraded"
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status":         status,
 		"uptime_seconds": time.Since(s.start).Seconds(),
+		"breakers":       breakers,
 	})
 }
 
@@ -170,10 +191,17 @@ func (s *Server) handleCompilerPasses(w http.ResponseWriter, r *http.Request) {
 }
 
 // runResponse is the POST /run reply: the result plus how it was served.
+// Degraded marks a result that did NOT come from a live (or cached-live)
+// simulation: an analytical estimate or a stale last-known-good entry,
+// served because the live path was unavailable.
 type runResponse struct {
 	Result *bench.Result `json:"result"`
 	Cached bool          `json:"cached"`
-	Served string        `json:"served"` // "miss", "hit" or "shared"
+	Served string        `json:"served"` // "miss", "hit", "shared" or "degraded"
+
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedMode  string `json:"degraded_mode,omitempty"`  // "estimate" or "stale"
+	DegradedCause string `json:"degraded_cause,omitempty"` // why the live path failed
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -195,11 +223,75 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	res, outcome, err := s.sched.Do(r.Context(), job)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		if r.Context().Err() != nil {
+			// The client went away; nothing sensible to serve.
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		switch sched.ClassOf(err) {
+		case sched.Permanent:
+			// Deterministic failure: degrading would mask a real answer.
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			// Transient, watchdog or breaker-open: walk the degradation
+			// ladder instead of failing the request.
+			s.serveDegraded(w, job, err)
+		}
 		return
 	}
 	w.Header().Set("X-Cache", outcome.String())
 	writeJSON(w, http.StatusOK, runResponse{Result: res, Cached: outcome == sched.Hit, Served: outcome.String()})
+}
+
+// serveDegraded is the tail of the degradation ladder (retry and breaker
+// already happened inside the scheduler): perfmodel analytical estimate →
+// stale cache entry → 503 + Retry-After. Served results carry an explicit
+// Degraded marker so clients can tell them from live measurements.
+func (s *Server) serveDegraded(w http.ResponseWriter, job sched.Job, cause error) {
+	// Rung 1: analytical estimate from the performance model. No
+	// simulation involved — always available for rate-valued metrics.
+	if spec, serr := bench.SpecByName(job.Benchmark); serr == nil {
+		if a, aerr := arch.Resolve(job.Device); aerr == nil {
+			tc := perfmodel.ToolchainFor(job.Toolchain)
+			if v, ok := perfmodel.Estimate(a, tc, spec.Metric); ok {
+				s.degradedEstimates.Add(1)
+				est := &bench.Result{
+					Benchmark: job.Benchmark,
+					Toolchain: job.Toolchain,
+					Device:    job.Device,
+					Metric:    spec.Metric,
+					Value:     v,
+					Correct:   true,
+				}
+				w.Header().Set("X-Cache", "degraded")
+				writeJSON(w, http.StatusOK, runResponse{
+					Result: est, Served: "degraded",
+					Degraded: true, DegradedMode: "estimate", DegradedCause: cause.Error(),
+				})
+				return
+			}
+		}
+	}
+	// Rung 2: stale last-known-good result.
+	if res, ok := s.sched.Stale(job.Key()); ok {
+		s.degradedStale.Add(1)
+		w.Header().Set("X-Cache", "degraded")
+		writeJSON(w, http.StatusOK, runResponse{
+			Result: res, Served: "degraded",
+			Degraded: true, DegradedMode: "stale", DegradedCause: cause.Error(),
+		})
+		return
+	}
+	// Rung 3: nothing can be served. 503 with a Retry-After hint — the
+	// breaker's remaining cool-down when that is the blocker.
+	s.unavailable.Add(1)
+	retryAfter := 5.0
+	var boe *sched.BreakerOpenError
+	if errors.As(cause, &boe) && boe.RetryAfter > 0 {
+		retryAfter = boe.RetryAfter.Seconds()
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter))))
+	writeError(w, http.StatusServiceUnavailable, cause)
 }
 
 // runner adapts the scheduler to the core.Runner the study functions take.
@@ -259,6 +351,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP gpucmpd_queue_depth Jobs queued but not yet executing.\n")
 	fmt.Fprintf(w, "# TYPE gpucmpd_queue_depth gauge\n")
 	fmt.Fprintf(w, "gpucmpd_queue_depth %d\n", snap.QueueDepth)
+	fmt.Fprintf(w, "# HELP gpucmpd_retries_total Transient job failures retried.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_retries_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_retries_total %d\n", snap.Retries)
+	fmt.Fprintf(w, "# HELP gpucmpd_breaker_trips_total Circuit-breaker transitions to open.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_breaker_trips_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_breaker_trips_total %d\n", snap.BreakerTrips)
+	fmt.Fprintf(w, "# HELP gpucmpd_breaker_denials_total Jobs rejected by an open circuit breaker.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_breaker_denials_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_breaker_denials_total %d\n", snap.BreakerDenials)
+	fmt.Fprintf(w, "# HELP gpucmpd_watchdog_reclaims_total Timed-out attempts cancelled and reclaimed.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_watchdog_reclaims_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_watchdog_reclaims_total %d\n", snap.WatchdogReclaims)
+	fmt.Fprintf(w, "# HELP gpucmpd_watchdog_leaks_total Timed-out attempts abandoned after the reclaim grace.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_watchdog_leaks_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_watchdog_leaks_total %d\n", snap.WatchdogLeaks)
+	fmt.Fprintf(w, "# HELP gpucmpd_cache_corruptions_total Corrupted cache entries detected and evicted.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_cache_corruptions_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_cache_corruptions_total %d\n", snap.CacheCorruptions)
+	fmt.Fprintf(w, "# HELP gpucmpd_degraded_total Requests served degraded, by fallback mode.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_degraded_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_degraded_total{mode=\"estimate\"} %d\n", s.degradedEstimates.Load())
+	fmt.Fprintf(w, "gpucmpd_degraded_total{mode=\"stale\"} %d\n", s.degradedStale.Load())
+	fmt.Fprintf(w, "# HELP gpucmpd_unavailable_total Requests that got 503: no fallback could serve them.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_unavailable_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_unavailable_total %d\n", s.unavailable.Load())
+	fmt.Fprintf(w, "# HELP gpucmpd_breaker_state Per-device breaker state (0=closed, 1=half-open, 2=open).\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_breaker_state gauge\n")
+	for _, b := range s.sched.Breakers() {
+		v := 0
+		switch b.State {
+		case "half-open":
+			v = 1
+		case "open":
+			v = 2
+		}
+		fmt.Fprintf(w, "gpucmpd_breaker_state{device=%q} %d\n", b.Device, v)
+	}
 	hits, misses := compiler.CompileCacheStats()
 	fmt.Fprintf(w, "# HELP gpucmpd_compile_cache_hits_total Compiled-kernel cache hits.\n")
 	fmt.Fprintf(w, "# TYPE gpucmpd_compile_cache_hits_total counter\n")

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gpucmp/internal/arch"
 	"gpucmp/internal/mem"
@@ -24,6 +25,20 @@ var (
 	ErrInvalidWorkGroupSize = errors.New("invalid work-group size")
 	ErrInvalidConfig        = errors.New("invalid launch configuration")
 )
+
+// ErrWatchdog is returned when a kernel is killed mid-execution: either a
+// work-group exceeded the device's step budget (the display-watchdog kill
+// of 2010-era driver stacks) or the host cancelled the launch through
+// Device.Cancel. Errors returned from Launch wrap this sentinel, so
+// callers can errors.Is against it.
+var ErrWatchdog = errors.New("watchdog killed the kernel")
+
+// DefaultStepBudget is the per-work-group warp-instruction budget NewDevice
+// installs. It is orders of magnitude above what any modelled benchmark
+// executes in one work-group, so well-behaved kernels never see it, while a
+// runaway (non-terminating) kernel is killed deterministically instead of
+// hanging the simulator.
+const DefaultStepBudget = 1 << 26
 
 // Dim3 is a 2-D launch dimension (the benchmarks never need Z).
 type Dim3 struct{ X, Y int }
@@ -50,7 +65,27 @@ type Device struct {
 
 	// Parallel controls whether compute units run on separate goroutines.
 	Parallel bool
+
+	// StepBudget bounds the warp instructions one work-group may execute
+	// before the launch is killed with ErrWatchdog (0 = unbounded). The
+	// budget is per work-group, so the verdict is independent of grid size
+	// and of how blocks are scheduled across compute units.
+	StepBudget uint64
+
+	// cancelled is the host-side kill switch, set by Cancel and polled at
+	// watchdog checkpoints inside the warp interpreter loop.
+	cancelled atomic.Bool
 }
+
+// Cancel asynchronously kills any in-flight or future launch on the device:
+// the warp loops observe the flag at their next checkpoint (every
+// CheckpointInterval warp instructions) and abort with ErrWatchdog. It is
+// the mechanism a scheduler's job timeout uses to reclaim a worker from a
+// runaway kernel instead of leaking it.
+func (d *Device) Cancel() { d.cancelled.Store(true) }
+
+// Cancelled reports whether Cancel has been called.
+func (d *Device) Cancelled() bool { return d.cancelled.Load() }
 
 // DefaultBackingBytes caps the host allocation backing a simulated device's
 // global memory. The modelled capacity (Table IV) can reach 6 GB, far more
@@ -75,11 +110,12 @@ func NewDeviceWithMemory(a *arch.Device, backingBytes uint32) (*Device, error) {
 		backingBytes = uint32(capacity)
 	}
 	return &Device{
-		Arch:     a,
-		Global:   mem.NewMemory(backingBytes),
-		constSeg: make([]uint32, constSegBytes/4),
-		constBrk: paramAreaBytes,
-		Parallel: true,
+		Arch:       a,
+		Global:     mem.NewMemory(backingBytes),
+		constSeg:   make([]uint32, constSegBytes/4),
+		constBrk:   paramAreaBytes,
+		Parallel:   true,
+		StepBudget: DefaultStepBudget,
 	}, nil
 }
 
@@ -170,6 +206,9 @@ func (d *Device) ResidentGroups(k *ptx.Kernel, block Dim3) int {
 // args must supply one 32-bit value per kernel parameter (buffer base
 // addresses for pointers, raw values for scalars).
 func (d *Device) Launch(k *ptx.Kernel, grid, block Dim3, args []uint32) (*Trace, error) {
+	if d.cancelled.Load() {
+		return nil, fmt.Errorf("sim: %s: launch on cancelled device: %w", k.Name, ErrWatchdog)
+	}
 	if err := d.CheckLaunch(k, grid, block); err != nil {
 		return nil, err
 	}

@@ -16,6 +16,11 @@ type frame struct {
 	reconv int
 }
 
+// CheckpointInterval is how many warp instructions a work-group executes
+// between watchdog checkpoints (cancellation-flag polls). It bounds how
+// long a Cancel call can go unobserved: one checkpoint interval per warp.
+const CheckpointInterval = 1024
+
 // blockCtx is the shared state of one work-group execution.
 type blockCtx struct {
 	cu             *cuState
@@ -24,6 +29,13 @@ type blockCtx struct {
 	ctaidX, ctaidY uint32
 	shared         []uint32
 	W              int
+
+	// steps counts warp instructions executed by this work-group; the
+	// watchdog compares it against budget (0 = unbounded). Warps of a block
+	// run sequentially, so the count — and therefore the watchdog verdict —
+	// is deterministic.
+	steps  uint64
+	budget uint64
 }
 
 // warpCtx is one warp's execution state.
@@ -50,6 +62,7 @@ func (cu *cuState) runBlock(k *ptx.Kernel, grid, block Dim3, bx, by int, args []
 		ctaidX: uint32(bx), ctaidY: uint32(by),
 		shared: make([]uint32, (k.SharedBytes+3)/4),
 		W:      W,
+		budget: cu.dev.StepBudget,
 	}
 	threads := block.Count()
 	nwarps := (threads + W - 1) / W
@@ -211,6 +224,16 @@ func (w *warpCtx) run() error {
 			w.frames = w.frames[:fi]
 			continue
 		}
+		b := w.b
+		b.steps++
+		if b.budget > 0 && b.steps > b.budget {
+			return fmt.Errorf("sim: %s: block (%d,%d) exceeded the %d warp-instruction step budget: %w",
+				b.k.Name, b.ctaidX, b.ctaidY, b.budget, ErrWatchdog)
+		}
+		if b.steps%CheckpointInterval == 0 && cu.dev.cancelled.Load() {
+			return fmt.Errorf("sim: %s: cancelled at step %d: %w", b.k.Name, b.steps, ErrWatchdog)
+		}
+
 		in := &instrs[f.pc]
 		active := w.activeUnderGuard(in, f.mask)
 		lanes := mem.ActiveLanes(active)
