@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -47,7 +48,20 @@ func main() {
 	figureScale := flag.Int("figure-scale", 4, "default problem-size divisor for /figures/*")
 	chaos := flag.Bool("chaos", false, "run the one-shot chaos smoke test and exit instead of serving")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-injection seed for -chaos")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// pprof gets its own listener so profiling endpoints never ride on
+		// the public API address (and the DefaultServeMux registration that
+		// importing net/http/pprof performs stays off the main handler).
+		go func() {
+			log.Printf("gpucmpd: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("gpucmpd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	if *chaos {
 		os.Exit(runChaos(*chaosSeed, *workers))

@@ -1,0 +1,218 @@
+// Command simbench measures the simulator's own execution speed — not the
+// modelled GPU performance, but how fast the host interprets kernels. Each
+// paper benchmark runs twice per device, once on the predecoded fast
+// engine (the default) and once on the retained reference interpreter
+// (sim.Device.Reference), and the wall-clock time, warp-instruction
+// throughput and heap-allocation cost of both are recorded. The output is
+// the evidence file for the interpreter-optimisation work: BENCH_sim.json
+// carries per-cell numbers plus the geometric-mean speedup.
+//
+// CI runs a short profile (-scale 8 -reps 1) as a smoke gate with
+// -minspeedup and -maxallocs thresholds; the committed BENCH_sim.json is
+// produced by the default profile.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/bench"
+)
+
+// Record is one (benchmark, device, engine) cell.
+type Record struct {
+	Benchmark string `json:"benchmark"`
+	Device    string `json:"device"`
+	Engine    string `json:"engine"` // "fast" or "reference"
+
+	WallSeconds  float64 `json:"wall_seconds"`  // best of -reps runs
+	WarpInstrs   int64   `json:"warp_instrs"`   // per run
+	MWIPerSec    float64 `json:"mwi_per_sec"`   // warp-instruction throughput
+	AllocsPerRun uint64  `json:"allocs_per_run"`
+	AllocsPerMWI float64 `json:"allocs_per_mwi"` // heap allocations per million warp-instrs
+}
+
+// Summary aggregates the grid: per-cell speedups and their geometric mean.
+type Summary struct {
+	Profile        string             `json:"profile"`
+	GeomeanSpeedup float64            `json:"geomean_speedup"`
+	Speedups       map[string]float64 `json:"speedups"` // "Bench/Device" -> fast speedup
+	FastAllocsGeo  float64            `json:"fast_allocs_per_mwi_geomean"`
+}
+
+// Output is the BENCH_sim.json document.
+type Output struct {
+	Summary Summary  `json:"summary"`
+	Records []Record `json:"records"`
+}
+
+// toolchain picks the runtime a device supports (the AMD part only speaks
+// OpenCL); the engine comparison is toolchain-agnostic either way.
+func toolchain(dev *arch.Device) string {
+	if dev.Vendor == "AMD" {
+		return "opencl"
+	}
+	return "cuda"
+}
+
+// run executes one benchmark once on a fresh driver and returns the
+// interpreter's wall time (sim.Device.ExecNanos — launches only, so the
+// engines are compared without the identical host-side compile, staging
+// and verification work), the warp-instruction count, and the heap
+// allocations of the whole run.
+func run(spec bench.Spec, dev *arch.Device, cfg bench.Config, reference bool) (float64, int64, uint64, error) {
+	d, err := bench.NewDriver(toolchain(dev), dev)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sd := bench.SimDevice(d)
+	if sd == nil {
+		return 0, 0, 0, fmt.Errorf("driver exposes no simulated device")
+	}
+	sd.Reference = reference
+	sd.Parallel = false // single-threaded: measure the interpreter, not the host's cores
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := spec.Run(d, cfg)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if res.Err != nil {
+		return 0, 0, 0, res.Err
+	}
+	var wi int64
+	for _, tr := range res.Traces {
+		wi += tr.Dyn.Total
+	}
+	return float64(sd.ExecNanos()) / 1e9, wi, after.Mallocs - before.Mallocs, nil
+}
+
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+func main() {
+	scale := flag.Int("scale", 2, "problem-size divisor (1 = full size)")
+	reps := flag.Int("reps", 3, "runs per cell; best wall time wins")
+	out := flag.String("out", "BENCH_sim.json", "output path ('-' for stdout)")
+	only := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+	minSpeedup := flag.Float64("minspeedup", 0, "fail if the geomean fast/reference speedup is below this (0 = off)")
+	maxAllocs := flag.Float64("maxallocs", 0, "fail if the fast engine's geomean allocs per million warp-instrs exceeds this (0 = off)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, n := range strings.Split(*only, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+	devices := []*arch.Device{arch.GTX280(), arch.GTX480(), arch.HD5870()}
+
+	var o Output
+	o.Summary.Profile = fmt.Sprintf("scale=%d reps=%d engine-parallelism=off", *scale, *reps)
+	o.Summary.Speedups = map[string]float64{}
+	var speedups, fastAllocRates []float64
+
+	for _, spec := range bench.Registry() {
+		if len(want) > 0 && !want[spec.Name] {
+			continue
+		}
+		for _, dev := range devices {
+			cfg := bench.NativeConfig(toolchain(dev))
+			cfg.Scale = *scale
+			var cell [2]Record // [0]=fast, [1]=reference
+			ok := true
+			for ei, reference := range []bool{false, true} {
+				best := math.Inf(1)
+				var wi int64
+				var allocs uint64
+				for r := 0; r < *reps; r++ {
+					wall, w, a, err := run(spec, dev, cfg, reference)
+					if err != nil {
+						log.Printf("simbench: %s/%s (%s): %v — skipping cell",
+							spec.Name, dev.Name, engineName(reference), err)
+						ok = false
+						break
+					}
+					if wall < best {
+						best, wi, allocs = wall, w, a
+					}
+				}
+				if !ok {
+					break
+				}
+				cell[ei] = Record{
+					Benchmark:    spec.Name,
+					Device:       dev.Name,
+					Engine:       engineName(reference),
+					WallSeconds:  best,
+					WarpInstrs:   wi,
+					MWIPerSec:    float64(wi) / best / 1e6,
+					AllocsPerRun: allocs,
+					AllocsPerMWI: float64(allocs) / (float64(wi) / 1e6),
+				}
+			}
+			if !ok {
+				continue
+			}
+			o.Records = append(o.Records, cell[0], cell[1])
+			sp := cell[1].WallSeconds / cell[0].WallSeconds
+			key := spec.Name + "/" + dev.Name
+			o.Summary.Speedups[key] = math.Round(sp*100) / 100
+			speedups = append(speedups, sp)
+			fastAllocRates = append(fastAllocRates, math.Max(cell[0].AllocsPerMWI, 1e-9))
+			fmt.Printf("%-14s %-8s fast %8.1f MWI/s  ref %8.1f MWI/s  speedup %5.2fx  allocs/MWI %8.1f\n",
+				spec.Name, dev.Name, cell[0].MWIPerSec, cell[1].MWIPerSec, sp, cell[0].AllocsPerMWI)
+		}
+	}
+	if len(speedups) == 0 {
+		log.Fatal("simbench: no cells completed")
+	}
+	o.Summary.GeomeanSpeedup = math.Round(geomean(speedups)*1000) / 1000
+	o.Summary.FastAllocsGeo = math.Round(geomean(fastAllocRates)*10) / 10
+	fmt.Printf("\ngeomean speedup: %.3fx over %d cells; fast-engine allocs/MWI geomean %.1f\n",
+		o.Summary.GeomeanSpeedup, len(speedups), o.Summary.FastAllocsGeo)
+
+	data, err := json.MarshalIndent(&o, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	if *minSpeedup > 0 && o.Summary.GeomeanSpeedup < *minSpeedup {
+		log.Fatalf("simbench: geomean speedup %.3fx below the %.2fx floor — interpreter performance regressed",
+			o.Summary.GeomeanSpeedup, *minSpeedup)
+	}
+	if *maxAllocs > 0 && o.Summary.FastAllocsGeo > *maxAllocs {
+		log.Fatalf("simbench: fast-engine allocations %.1f/MWI above the %.1f ceiling — arena recycling regressed",
+			o.Summary.FastAllocsGeo, *maxAllocs)
+	}
+}
+
+func engineName(reference bool) string {
+	if reference {
+		return "reference"
+	}
+	return "fast"
+}

@@ -1,0 +1,35 @@
+package kir
+
+// Benchmark of the host reference executor. It is not expected to be fast
+// — one goroutine per work-item and a tree-walking evaluator — but its
+// throughput is the baseline that puts the simulator's interpreter numbers
+// (internal/sim benchmarks, cmd/simbench) in context.
+
+import "testing"
+
+func BenchmarkRunReferenceExecutor(b *testing.B) {
+	bb := NewKernel("spin")
+	out := bb.GlobalBuffer("out", U32)
+	gid := bb.Declare("gid", bb.GlobalIDX())
+	acc := bb.Declare("acc", gid)
+	bb.For("i", U(0), U(64), U(1), func(i Expr) {
+		bb.Assign(acc, Add(Mul(acc, U(3)), U(1)))
+	})
+	bb.Store(out, gid, acc)
+	k := bb.MustBuild()
+
+	const threads = 1024
+	buf := make([]uint32, threads)
+	cfg := RunConfig{
+		GridX: threads / 64, GridY: 1, BlockX: 64, BlockY: 1,
+		Buffers: map[string][]uint32{"out": buf},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Run(k, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(threads*66)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mstmt/s")
+}

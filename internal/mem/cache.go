@@ -1,5 +1,7 @@
 package mem
 
+import "math/bits"
+
 // Cache is a direct-mapped cache model used for the texture cache, the
 // constant cache, and the Fermi L1/L2 hierarchy. Only tags are tracked —
 // data always comes from backing memory — because the model only needs hit
@@ -7,8 +9,15 @@ package mem
 type Cache struct {
 	lineBytes uint32
 	sets      uint32
-	tags      []uint32
-	valid     []bool
+
+	// lineShift/setMask replace the division and modulo in Access when the
+	// line size and set count are powers of two (they are for every modelled
+	// cache except the per-unit L2 slice); lineShift < 0 disables them.
+	lineShift int8
+	setPow2   bool
+
+	tags  []uint32
+	valid []bool
 
 	Hits   int64
 	Misses int64
@@ -23,12 +32,18 @@ func NewCache(sizeBytes, lineBytes uint32) *Cache {
 	if sets == 0 {
 		sets = 1
 	}
-	return &Cache{
+	c := &Cache{
 		lineBytes: lineBytes,
 		sets:      sets,
+		lineShift: -1,
 		tags:      make([]uint32, sets),
 		valid:     make([]bool, sets),
 	}
+	if lineBytes&(lineBytes-1) == 0 {
+		c.lineShift = int8(bits.TrailingZeros32(lineBytes))
+	}
+	c.setPow2 = sets&(sets-1) == 0
+	return c
 }
 
 // LineBytes returns the line size.
@@ -37,8 +52,18 @@ func (c *Cache) LineBytes() uint32 { return c.lineBytes }
 // Access looks up the byte address, fills the line on miss, and reports
 // whether it hit.
 func (c *Cache) Access(addr uint32) bool {
-	line := addr / c.lineBytes
-	set := line % c.sets
+	var line uint32
+	if c.lineShift >= 0 {
+		line = addr >> uint(c.lineShift)
+	} else {
+		line = addr / c.lineBytes
+	}
+	var set uint32
+	if c.setPow2 {
+		set = line & (c.sets - 1)
+	} else {
+		set = line % c.sets
+	}
 	if c.valid[set] && c.tags[set] == line {
 		c.Hits++
 		return true

@@ -106,6 +106,15 @@ type Metrics struct {
 	watchdogLeaks    atomic.Uint64 // cancelled attempts abandoned after grace
 	cacheCorruptions atomic.Uint64 // corrupted cache entries detected+evicted
 
+	// Throughput counters: simulated work completed, summed from the launch
+	// traces of every successfully executed job (cache hits don't count —
+	// they re-serve work already accounted for). Warp instructions are the
+	// interpreter's unit of progress; lane instructions weight them by the
+	// active lanes, so the pair exposes both simulator throughput and the
+	// average SIMD efficiency of the workload.
+	warpInstrs atomic.Int64
+	laneInstrs atomic.Int64
+
 	mu      sync.Mutex
 	perName map[string]*Histogram
 }
@@ -152,6 +161,9 @@ type Snapshot struct {
 	WatchdogLeaks    uint64 `json:"watchdog_leaks"`
 	CacheCorruptions uint64 `json:"cache_corruptions"`
 
+	WarpInstrs int64 `json:"warp_instrs"`
+	LaneInstrs int64 `json:"lane_instrs"`
+
 	Latency []BenchmarkLatency `json:"latency"`
 }
 
@@ -174,6 +186,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		WatchdogReclaims: m.watchdogReclaims.Load(),
 		WatchdogLeaks:    m.watchdogLeaks.Load(),
 		CacheCorruptions: m.cacheCorruptions.Load(),
+
+		WarpInstrs: m.warpInstrs.Load(),
+		LaneInstrs: m.laneInstrs.Load(),
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

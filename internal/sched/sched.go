@@ -319,6 +319,15 @@ func (s *Scheduler) worker() {
 		s.metrics.observe(t.job.Benchmark, time.Since(start))
 		s.metrics.inFlight.Add(-1)
 		s.metrics.jobsRun.Add(1)
+		if t.err == nil && t.res != nil {
+			var wi, li int64
+			for _, tr := range t.res.Traces {
+				wi += tr.Dyn.Total
+				li += tr.LaneInstrs
+			}
+			s.metrics.warpInstrs.Add(wi)
+			s.metrics.laneInstrs.Add(li)
+		}
 
 		s.mu.Lock()
 		delete(s.flight, t.key)

@@ -369,6 +369,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP gpucmpd_cache_corruptions_total Corrupted cache entries detected and evicted.\n")
 	fmt.Fprintf(w, "# TYPE gpucmpd_cache_corruptions_total counter\n")
 	fmt.Fprintf(w, "gpucmpd_cache_corruptions_total %d\n", snap.CacheCorruptions)
+	fmt.Fprintf(w, "# HELP gpucmpd_warp_instrs_total Simulated warp instructions executed by completed jobs.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_warp_instrs_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_warp_instrs_total %d\n", snap.WarpInstrs)
+	fmt.Fprintf(w, "# HELP gpucmpd_lane_instrs_total Simulated lane (thread) instructions executed by completed jobs.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_lane_instrs_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_lane_instrs_total %d\n", snap.LaneInstrs)
 	fmt.Fprintf(w, "# HELP gpucmpd_degraded_total Requests served degraded, by fallback mode.\n")
 	fmt.Fprintf(w, "# TYPE gpucmpd_degraded_total counter\n")
 	fmt.Fprintf(w, "gpucmpd_degraded_total{mode=\"estimate\"} %d\n", s.degradedEstimates.Load())

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -242,10 +243,17 @@ func TestMetricsExposition(t *testing.T) {
 		"gpucmpd_cache_misses_total 1",
 		"gpucmpd_compile_cache_",
 		`gpucmpd_job_seconds_count{benchmark="Reduce"} 1`,
+		"gpucmpd_warp_instrs_total",
+		"gpucmpd_lane_instrs_total",
 	} {
 		if !strings.Contains(string(text), want) {
 			t.Errorf("/metrics missing %q\n%s", want, text)
 		}
+	}
+	// The executed Reduce job must have accounted real simulated work, and
+	// lane instructions weight warp instructions by active lanes.
+	if m := regexp.MustCompile(`gpucmpd_warp_instrs_total (\d+)`).FindStringSubmatch(string(text)); m == nil || m[1] == "0" {
+		t.Errorf("gpucmpd_warp_instrs_total not positive:\n%s", text)
 	}
 
 	resp, jsonText := get(t, ts.URL+"/metrics?format=json")

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gpucmp/internal/arch"
 	"gpucmp/internal/mem"
@@ -32,6 +33,11 @@ var (
 // Device.Cancel. Errors returned from Launch wrap this sentinel, so
 // callers can errors.Is against it.
 var ErrWatchdog = errors.New("watchdog killed the kernel")
+
+// errAborted is the internal sentinel a compute unit returns when it stops
+// because a sibling unit already failed the launch. It never escapes
+// Launch: the sibling's real error is what the caller sees.
+var errAborted = errors.New("sim: launch aborted after sibling failure")
 
 // DefaultStepBudget is the per-work-group warp-instruction budget NewDevice
 // installs. It is orders of magnitude above what any modelled benchmark
@@ -72,10 +78,33 @@ type Device struct {
 	// and of how blocks are scheduled across compute units.
 	StepBudget uint64
 
+	// Reference selects the pre-optimization interpreter (warp.go) instead
+	// of the predecoded fast engine (fast.go). Both produce bit-identical
+	// results and traces; the reference engine exists as the equivalence
+	// oracle and the speedup baseline for simbench.
+	Reference bool
+
 	// cancelled is the host-side kill switch, set by Cancel and polled at
 	// watchdog checkpoints inside the warp interpreter loop.
 	cancelled atomic.Bool
+
+	// dec caches predecoded programs per kernel; arenas hold each compute
+	// unit's reusable block-execution state and cus the reusable per-unit
+	// cache/counter shards (fast engine only — the reference engine builds
+	// fresh state per launch, as the pre-optimization code did).
+	dec    decodeCache
+	arenas []*cuArena
+	cus    []*cuState
+
+	// execNanos accumulates wall-clock time spent executing launches — the
+	// interpreter's own cost, excluding host-side compile and staging. It
+	// is what cmd/simbench compares across engines.
+	execNanos atomic.Int64
 }
+
+// ExecNanos returns the cumulative wall-clock nanoseconds this device has
+// spent inside Launch.
+func (d *Device) ExecNanos() int64 { return d.execNanos.Load() }
 
 // Cancel asynchronously kills any in-flight or future launch on the device:
 // the warp loops observe the flag at their next checkpoint (every
@@ -222,18 +251,55 @@ func (d *Device) Launch(k *ptx.Kernel, grid, block Dim3, args []uint32) (*Trace,
 	// Mirror arguments into the param area of the constant segment.
 	copy(d.constSeg[:len(args)], args)
 
+	start := time.Now()
+	defer func() { d.execNanos.Add(time.Since(start).Nanoseconds()) }()
+
 	numCU := d.Arch.ComputeUnits
+	useFast := !d.Reference
+	var dk *decodedKernel
+	if useFast {
+		dk = d.dec.get(k)
+		for len(d.arenas) < numCU {
+			d.arenas = append(d.arenas, &cuArena{})
+		}
+		for len(d.cus) < numCU {
+			d.cus = append(d.cus, newCUState(d, len(d.cus)))
+		}
+	}
+	// abort is the per-launch kill switch: the first compute unit to fail
+	// trips it, and sibling units observe it between blocks and at watchdog
+	// checkpoints instead of running the rest of the grid to completion.
+	abort := new(atomic.Bool)
 	cus := make([]*cuState, numCU)
 	for i := range cus {
-		cus[i] = newCUState(d, i)
+		if useFast {
+			cus[i] = d.cus[i]
+			cus[i].reset()
+			ar := d.arenas[i]
+			ar.ensure(k, block, d.Arch.SIMDWidth)
+			cus[i].arena = ar
+		} else {
+			cus[i] = newCUState(d, i)
+		}
+		cus[i].abort = abort
 	}
 	totalBlocks := grid.Count()
 
 	runCU := func(cu *cuState) error {
 		for b := cu.index; b < totalBlocks; b += numCU {
+			if abort.Load() {
+				return errAborted
+			}
 			bx := b % grid.X
 			by := b / grid.X
-			if err := cu.runBlock(k, grid, block, bx, by, args); err != nil {
+			var err error
+			if useFast {
+				err = cu.runBlockFast(dk, k, grid, block, bx, by)
+			} else {
+				err = cu.runBlock(k, grid, block, bx, by, args)
+			}
+			if err != nil {
+				abort.Store(true)
 				return err
 			}
 		}
@@ -251,6 +317,11 @@ func (d *Device) Launch(k *ptx.Kernel, grid, block Dim3, args []uint32) (*Trace,
 			}(i)
 		}
 		wg.Wait()
+		for _, err := range errs {
+			if err != nil && !errors.Is(err, errAborted) {
+				return nil, err
+			}
+		}
 		for _, err := range errs {
 			if err != nil {
 				return nil, err

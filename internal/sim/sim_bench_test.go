@@ -24,7 +24,7 @@ func simBenchKernel() *kir.Kernel {
 	return b.MustBuild()
 }
 
-func benchInterp(b *testing.B, parallel bool) {
+func benchInterp(b *testing.B, parallel, reference bool) {
 	pk, err := compiler.Compile(simBenchKernel(), compiler.CUDA())
 	if err != nil {
 		b.Fatal(err)
@@ -34,8 +34,10 @@ func benchInterp(b *testing.B, parallel bool) {
 		b.Fatal(err)
 	}
 	dev.Parallel = parallel
+	dev.Reference = reference
 	const threads = 64 * 1024
 	addr, _ := dev.Global.Alloc(4 * threads)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var warpInstrs int64
 	for i := 0; i < b.N; i++ {
@@ -49,8 +51,62 @@ func benchInterp(b *testing.B, parallel bool) {
 	b.ReportMetric(float64(warpInstrs), "warpinstrs")
 }
 
-func BenchmarkInterpreterSequential(b *testing.B) { benchInterp(b, false) }
-func BenchmarkInterpreterParallel(b *testing.B)   { benchInterp(b, true) }
+func BenchmarkInterpreterSequential(b *testing.B) { benchInterp(b, false, false) }
+func BenchmarkInterpreterParallel(b *testing.B)   { benchInterp(b, true, false) }
+
+// The Reference variants run the retained pre-optimization engine on the
+// same workload, so `go test -bench Interpreter` prints the speedup of the
+// predecoded engine directly.
+func BenchmarkInterpreterReferenceSequential(b *testing.B) { benchInterp(b, false, true) }
+func BenchmarkInterpreterReferenceParallel(b *testing.B)   { benchInterp(b, true, true) }
+
+// benchDivergent measures the engines on a branch-divergent, shared-memory
+// workload where the uniform fast path cannot trigger for the divergent
+// region — the worst case for the new engine.
+func benchDivergent(b *testing.B, reference bool) {
+	bb := kir.NewKernel("div")
+	in := bb.GlobalBuffer("in", kir.U32)
+	out := bb.GlobalBuffer("out", kir.U32)
+	tile := bb.SharedArray("tile", kir.U32, 128)
+	gid := bb.Declare("gid", bb.GlobalIDX())
+	tid := bb.Declare("tid", kir.Bi(kir.TidX))
+	v := bb.Declare("v", bb.Load(in, gid))
+	bb.For("i", kir.U(0), kir.U(64), kir.U(1), func(i kir.Expr) {
+		bb.IfElse(kir.Eq(kir.Rem(kir.Add(tid, i), kir.U(2)), kir.U(0)), func() {
+			bb.Assign(v, kir.Add(v, kir.U(3)))
+		}, func() {
+			bb.Assign(v, kir.Mul(v, kir.U(5)))
+		})
+		bb.Store(tile, tid, v)
+		bb.Barrier()
+		bb.Assign(v, kir.Add(v, bb.Load(tile, kir.Rem(kir.Add(tid, kir.U(1)), kir.U(128)))))
+		bb.Barrier()
+	})
+	bb.Store(out, gid, v)
+	pk, err := compiler.Compile(bb.MustBuild(), compiler.OpenCL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := NewDevice(arch.GTX480())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev.Parallel = false
+	dev.Reference = reference
+	const threads = 16 * 1024
+	inAddr, _ := dev.Global.Alloc(4 * threads)
+	outAddr, _ := dev.Global.Alloc(4 * threads)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Launch(pk, Dim3{X: threads / 128, Y: 1}, Dim3{X: 128, Y: 1}, []uint32{inAddr, outAddr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDivergentFast(b *testing.B)      { benchDivergent(b, false) }
+func BenchmarkDivergentReference(b *testing.B) { benchDivergent(b, true) }
 
 // BenchmarkLaunchOverhead measures the fixed per-launch cost of the
 // simulator (setup, scheduling, trace merge) with a trivial kernel.

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"gpucmp/internal/mem"
 	"gpucmp/internal/ptx"
@@ -102,14 +103,12 @@ func newTrace(k *ptx.Kernel, d *Device, grid, block Dim3) *Trace {
 }
 
 func (t *Trace) merge(cu *cuState) {
-	for op, bySpace := range cu.dynOps {
-		for sp, n := range bySpace {
-			if n == 0 {
-				continue
-			}
-			in := ptx.Instruction{Op: ptx.Opcode(op), Space: ptx.Space(sp)}
-			t.Dyn.Count(&in, n)
+	for i, n := range cu.dynOps {
+		if n == 0 {
+			continue
 		}
+		in := ptx.Instruction{Op: ptx.Opcode(i >> 3), Space: ptx.Space(i & 7)}
+		t.Dyn.Count(&in, n)
 	}
 	t.LaneInstrs += cu.laneInstrs
 	t.Barriers += cu.barriers
@@ -147,12 +146,17 @@ type cuState struct {
 	dev   *Device
 	index int
 
+	// abort is the shared per-launch kill switch (see Launch); arena is
+	// this unit's reusable block-execution state (fast engine only).
+	abort *atomic.Bool
+	arena *cuArena
+
 	tex    *mem.Cache
 	l1     *mem.Cache
 	l2     *mem.Cache // this unit's slice of the shared L2
 	constc *mem.Cache
 
-	dynOps     [][]int64 // [opcode][space]
+	dynOps     [512]int64 // flat [opcode << 3 | space]
 	laneInstrs int64
 	barriers   int64
 	branches   int64
@@ -181,14 +185,26 @@ func newCUState(d *Device, idx int) *cuState {
 	if a.HasConstantCache {
 		cu.constc = mem.NewCache(8*1024, seg)
 	}
-	cu.dynOps = make([][]int64, 64)
-	for i := range cu.dynOps {
-		cu.dynOps[i] = make([]int64, 8)
-	}
 	return cu
 }
 
+// reset returns a compute unit to the state a freshly-built one starts in
+// — zero counters, cold caches — so the fast engine can reuse units (and
+// their cache backing arrays) across launches without changing anything
+// observable.
+func (cu *cuState) reset() {
+	cu.dynOps = [512]int64{}
+	cu.laneInstrs, cu.barriers, cu.branches, cu.divergent = 0, 0, 0, 0
+	cu.mem = MemCounters{}
+	for _, c := range []*mem.Cache{cu.tex, cu.l1, cu.l2, cu.constc} {
+		if c != nil {
+			c.Invalidate()
+			c.Hits, c.Misses = 0, 0
+		}
+	}
+}
+
 func (cu *cuState) countOp(op ptx.Opcode, space ptx.Space, lanes int) {
-	cu.dynOps[int(op)][int(space)]++
+	cu.dynOps[int(op)<<3|int(space)]++
 	cu.laneInstrs += int64(lanes)
 }

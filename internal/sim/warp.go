@@ -230,8 +230,13 @@ func (w *warpCtx) run() error {
 			return fmt.Errorf("sim: %s: block (%d,%d) exceeded the %d warp-instruction step budget: %w",
 				b.k.Name, b.ctaidX, b.ctaidY, b.budget, ErrWatchdog)
 		}
-		if b.steps%CheckpointInterval == 0 && cu.dev.cancelled.Load() {
-			return fmt.Errorf("sim: %s: cancelled at step %d: %w", b.k.Name, b.steps, ErrWatchdog)
+		if b.steps%CheckpointInterval == 0 {
+			if cu.dev.cancelled.Load() {
+				return fmt.Errorf("sim: %s: cancelled at step %d: %w", b.k.Name, b.steps, ErrWatchdog)
+			}
+			if cu.abort != nil && cu.abort.Load() {
+				return errAborted
+			}
 		}
 
 		in := &instrs[f.pc]
