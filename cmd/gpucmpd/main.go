@@ -38,6 +38,7 @@ import (
 	"gpucmp/internal/fault"
 	"gpucmp/internal/sched"
 	"gpucmp/internal/server"
+	"gpucmp/internal/submit"
 )
 
 func main() {
@@ -49,6 +50,10 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the one-shot chaos smoke test and exit instead of serving")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "fault-injection seed for -chaos")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	quotaRate := flag.Float64("quota-rate", 0, "POST /kernels: accepted submissions per second per tenant (0 = unlimited)")
+	quotaBurst := flag.Float64("quota-burst", 0, "POST /kernels: per-tenant burst capacity (0 = max(rate, 1))")
+	tenantCache := flag.Int("tenant-cache-size", 64, "POST /kernels: per-tenant result-cache entries (negative disables)")
+	stepBudget := flag.Uint64("submit-step-budget", 0, "POST /kernels: watchdog warp-instruction budget per work group (0 = default)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -68,9 +73,11 @@ func main() {
 	}
 
 	s := sched.New(sched.Options{
-		Workers:    *workers,
-		CacheSize:  *cacheSize,
-		JobTimeout: *jobTimeout,
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		JobTimeout:      *jobTimeout,
+		Quota:           sched.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst},
+		TenantCacheSize: *tenantCache,
 	})
 	defer s.Close()
 
@@ -81,7 +88,11 @@ func main() {
 	if *jobTimeout > 0 {
 		writeTimeout = *jobTimeout + time.Minute
 	}
-	srv := server.New(s, server.WithFigureScale(*figureScale))
+	limits := submit.DefaultLimits()
+	if *stepBudget > 0 {
+		limits.StepBudget = *stepBudget
+	}
+	srv := server.New(s, server.WithFigureScale(*figureScale), server.WithSubmitLimits(limits))
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -13,8 +13,18 @@
 //	kfuzz -seed 3 -bisect           # name the compiler pass/feature at fault
 //	kfuzz -seed 3 -dump corpus/     # write the program as corpus JSON
 //
-// Exit status is 0 when every execution agreed with the reference and
-// nonzero otherwise.
+// Attack mode targets a running gpucmpd instead of the in-process oracle:
+//
+//	kfuzz -attack http://localhost:8080 -n 500
+//
+// generates programs, mutates a fraction into hostile submissions
+// (malformed encodings, oversized shapes, unbounded loops, divergent
+// barriers, watchdog bait, unknown devices) and POSTs them to /kernels,
+// asserting every response is classified (ok / gauntlet-reject /
+// watchdog / quota) and no request crashes or hangs the server.
+//
+// Exit status is 0 when every execution agreed with the reference (or,
+// in attack mode, every response was classified) and nonzero otherwise.
 package main
 
 import (
@@ -40,8 +50,17 @@ func main() {
 		maxTime  = flag.Duration("max-time", 0, "stop starting new seeds after this long (0 = no limit)")
 		dump     = flag.String("dump", "", "write each generated program as JSON into this directory")
 		verbose  = flag.Bool("v", false, "print each kernel before running it")
+
+		attack  = flag.String("attack", "", "adversarial HTTP campaign against this gpucmpd base URL (e.g. http://localhost:8080)")
+		tenants = flag.String("tenants", "attacker", "comma-separated tenant names rotated across attack requests")
+		conc    = flag.Int("concurrency", 8, "parallel submitters in attack mode")
 	)
 	flag.Parse()
+
+	if *attack != "" {
+		runAttack(*attack, *seed, *n, *tenants, *conc, *verbose)
+		return
+	}
 
 	devices, err := pickDevices(*device)
 	if err != nil {
@@ -91,6 +110,29 @@ func main() {
 		*seed, *seed+uint64(*n)-1, ran, time.Since(start).Seconds())
 	fmt.Print(camp.Summary())
 	if failed {
+		os.Exit(1)
+	}
+}
+
+// runAttack drives the adversarial HTTP campaign and exits with the
+// campaign's verdict.
+func runAttack(baseURL string, seed uint64, n int, tenants string, conc int, verbose bool) {
+	opts := fuzz.AttackOptions{
+		Tenants:     strings.Split(tenants, ","),
+		Concurrency: conc,
+	}
+	if verbose {
+		opts.Verbose = os.Stdout
+	}
+	start := time.Now()
+	rep, err := fuzz.Attack(baseURL, seed, n, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("kfuzz -attack %s: %d request(s) in %.1fs\n", baseURL, rep.Requests, time.Since(start).Seconds())
+	fmt.Print(rep.Summary())
+	if rep.Failed() {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,375 @@
+package fuzz
+
+// Adversarial HTTP campaign against a running gpucmpd's POST /kernels
+// endpoint (cmd/kfuzz -attack). The attacker generates valid programs
+// with the fuzzer, then mutates a fraction of them into hostile
+// submissions — oversized shapes, unbounded loops, divergent barriers,
+// malformed encodings, truncated bodies, unknown devices, watchdog bait —
+// and asserts one property about every response: it is *classified*. The
+// server must answer each request with a JSON body whose
+// "classification" field is one of ok / gauntlet-reject / watchdog /
+// quota and a non-5xx status. A 5xx, a missing classification, or a
+// transport-level connection death counts as unclassified — a campaign
+// failure.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// AttackOptions configures a campaign.
+type AttackOptions struct {
+	// Tenants are rotated across requests (default: one tenant,
+	// "attacker"). Listing several exercises per-tenant quota and cache
+	// isolation under concurrency.
+	Tenants []string
+	// Concurrency is the number of parallel submitters (default 8).
+	Concurrency int
+	// Client is the HTTP client (default: 30s timeout).
+	Client *http.Client
+	// Verbose, when non-nil, receives a line per request.
+	Verbose io.Writer
+}
+
+// AttackReport aggregates a campaign.
+type AttackReport struct {
+	Requests  int
+	ByClass   map[string]int // classification → count
+	ByCode    map[string]int // machine code → count (rejections only)
+	ByMutator map[string]int // mutator → count
+	CacheHits int
+	// Unclassified describes every response that violated the campaign
+	// property. A passing campaign has none.
+	Unclassified []string
+}
+
+// Failed reports whether the campaign property was violated.
+func (r *AttackReport) Failed() bool { return len(r.Unclassified) > 0 }
+
+// Summary renders the campaign outcome.
+func (r *AttackReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "attack: %d requests, %d cache hits\n", r.Requests, r.CacheHits)
+	for _, m := range sortedKeys(r.ByClass) {
+		fmt.Fprintf(&b, "  class %-16s %d\n", m, r.ByClass[m])
+	}
+	for _, m := range sortedKeys(r.ByCode) {
+		fmt.Fprintf(&b, "  code  %-16s %d\n", m, r.ByCode[m])
+	}
+	for _, m := range sortedKeys(r.ByMutator) {
+		fmt.Fprintf(&b, "  sent  %-16s %d\n", m, r.ByMutator[m])
+	}
+	if r.Failed() {
+		fmt.Fprintf(&b, "UNCLASSIFIED RESPONSES (%d):\n", len(r.Unclassified))
+		for _, u := range r.Unclassified {
+			fmt.Fprintf(&b, "  %s\n", u)
+		}
+	} else {
+		fmt.Fprintf(&b, "every response classified; no crashes\n")
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mutator turns a valid generated program into one request body. Several
+// are hostile; "valid" and "watchdog-bait" are well-formed.
+type mutator struct {
+	name  string
+	build func(p *Program, rng *rand.Rand) []byte
+}
+
+// mutators is the campaign's attack surface, applied round-robin.
+var mutators = []mutator{
+	{"valid", func(p *Program, rng *rand.Rand) []byte {
+		return mustEncode(p)
+	}},
+	{"oversized-grid", func(p *Program, rng *rand.Rand) []byte {
+		return patch(p, func(m map[string]any) { m["grid"] = 1 << 20 })
+	}},
+	{"negative-dims", func(p *Program, rng *rand.Rand) []byte {
+		return patch(p, func(m map[string]any) { m["grid"] = -1; m["block"] = -64 })
+	}},
+	{"zero-block", func(p *Program, rng *rand.Rand) []byte {
+		return patch(p, func(m map[string]any) { m["block"] = 0 })
+	}},
+	{"zero-step-loop", func(p *Program, rng *rand.Rand) []byte {
+		return patch(p, func(m map[string]any) {
+			kernelBody(m, func(body []any) []any {
+				return append(body, map[string]any{
+					"kind": "for", "name": "zz",
+					"init":  map[string]any{"kind": "int", "type": "u32"},
+					"limit": map[string]any{"kind": "int", "type": "u32", "int": 10},
+					"step":  map[string]any{"kind": "int", "type": "u32"},
+					"body":  []any{},
+				})
+			})
+		})
+	}},
+	{"divergent-barrier", func(p *Program, rng *rand.Rand) []byte {
+		return patch(p, func(m map[string]any) {
+			kernelBody(m, func(body []any) []any {
+				return append(body, map[string]any{
+					"kind": "if",
+					"cond": map[string]any{
+						"kind": "bin", "op": "<",
+						"l": map[string]any{"kind": "builtin", "name": "threadIdx.x"},
+						"r": map[string]any{"kind": "int", "type": "u32", "int": 3},
+					},
+					"then": []any{map[string]any{"kind": "barrier"}},
+				})
+			})
+		})
+	}},
+	{"unknown-stmt-kind", func(p *Program, rng *rand.Rand) []byte {
+		return patch(p, func(m map[string]any) {
+			kernelBody(m, func(body []any) []any {
+				return append(body, map[string]any{"kind": "goto", "name": "loop"})
+			})
+		})
+	}},
+	{"unknown-op", func(p *Program, rng *rand.Rand) []byte {
+		return bytes.Replace(mustEncode(p), []byte(`"op": "+"`), []byte(`"op": "**"`), 1)
+	}},
+	{"truncated-json", func(p *Program, rng *rand.Rand) []byte {
+		b := mustEncode(p)
+		return b[:len(b)/2]
+	}},
+	{"empty-object", func(p *Program, rng *rand.Rand) []byte {
+		return []byte("{}")
+	}},
+	{"not-json", func(p *Program, rng *rand.Rand) []byte {
+		return []byte("<submit><kernel/></submit>")
+	}},
+	{"unknown-device", func(p *Program, rng *rand.Rand) []byte {
+		return patch(p, func(m map[string]any) { m["devices"] = []any{"GeForce 9999"} })
+	}},
+	{"missing-out", func(p *Program, rng *rand.Rand) []byte {
+		return patch(p, func(m map[string]any) { m["out"] = "nosuch" })
+	}},
+	{"missing-buffer-data", func(p *Program, rng *rand.Rand) []byte {
+		return patch(p, func(m map[string]any) {
+			m["buffers"] = map[string]any{}
+		})
+	}},
+	{"oversized-buffer", func(p *Program, rng *rand.Rand) []byte {
+		return patch(p, func(m map[string]any) {
+			big := make([]any, 1<<15)
+			for i := range big {
+				big[i] = 0
+			}
+			m["buffers"].(map[string]any)[p.Out] = big
+		})
+	}},
+	{"deep-nesting", func(p *Program, rng *rand.Rand) []byte {
+		// A 6000-deep unary chain: either the JSON decoder's depth limit
+		// or the node-count limit must refuse it; the stack must survive.
+		depth := 6000
+		var b strings.Builder
+		b.WriteString(`{"grid":1,"block":1,"out":"out",` +
+			`"buffers":{"out":[0]},` +
+			`"kernel":{"name":"deep","params":[{"name":"out","type":"u32","buffer":true,"space":"global"}],` +
+			`"body":[{"kind":"store","buf":"out","index":{"kind":"int","type":"u32"},"value":`)
+		for i := 0; i < depth; i++ {
+			b.WriteString(`{"kind":"un","type":"u32","op":"-","x":`)
+		}
+		b.WriteString(`{"kind":"int","type":"u32"}`)
+		b.WriteString(strings.Repeat("}", depth))
+		b.WriteString(`}]}}`)
+		return []byte(b.String())
+	}},
+	{"watchdog-bait", func(p *Program, rng *rand.Rand) []byte {
+		// Data-dependent infinite loop: passes the whole static gauntlet,
+		// must die by step budget and come back typed, never hang.
+		return []byte(`{"grid":1,"block":4,"out":"out",` +
+			`"buffers":{"out":[0,0,0,0]},` +
+			`"kernel":{"name":"bait","params":[{"name":"out","type":"u32","buffer":true,"space":"global"}],` +
+			`"body":[{"kind":"for","name":"i",` +
+			`"init":{"kind":"int","type":"u32"},` +
+			`"limit":{"kind":"int","type":"u32","int":10},` +
+			`"step":{"kind":"load","type":"u32","name":"out","index":{"kind":"int","type":"u32"}},` +
+			`"body":[]}]}}`)
+	}},
+	{"huge-body", func(p *Program, rng *rand.Rand) []byte {
+		// Over the MaxBody cap: the server must cut the read off.
+		return bytes.Repeat([]byte(" "), 2<<20)
+	}},
+}
+
+func mustEncode(p *Program) []byte {
+	b, err := Encode(p)
+	if err != nil {
+		panic(err) // generated programs always encode
+	}
+	return b
+}
+
+// patch round-trips the program through a generic JSON map, applies fn,
+// and re-marshals — the easiest way to produce "almost valid" bodies.
+func patch(p *Program, fn func(m map[string]any)) []byte {
+	var m map[string]any
+	if err := json.Unmarshal(mustEncode(p), &m); err != nil {
+		panic(err)
+	}
+	fn(m)
+	b, err := json.Marshal(m)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// kernelBody rewrites the kernel's statement list in the generic map.
+func kernelBody(m map[string]any, fn func([]any) []any) {
+	k, _ := m["kernel"].(map[string]any)
+	if k == nil {
+		return
+	}
+	body, _ := k["body"].([]any)
+	k["body"] = fn(body)
+}
+
+// attackResponse is the part of the server reply the campaign inspects.
+type attackResponse struct {
+	Classification string `json:"classification"`
+	Code           string `json:"code"`
+	Served         string `json:"served"`
+	Cached         bool   `json:"cached"`
+}
+
+// Attack runs n submissions against baseURL (e.g. "http://host:port"),
+// generating program seeds start..start+n-1 and applying the mutator set
+// round-robin. It returns the aggregated report; err is non-nil only for
+// setup-level failures (campaign-property violations are reported via
+// AttackReport.Unclassified, not the error).
+func Attack(baseURL string, start uint64, n int, opts AttackOptions) (*AttackReport, error) {
+	if len(opts.Tenants) == 0 {
+		opts.Tenants = []string{"attacker"}
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	url := strings.TrimRight(baseURL, "/") + "/kernels"
+
+	rep := &AttackReport{
+		ByClass:   map[string]int{},
+		ByCode:    map[string]int{},
+		ByMutator: map[string]int{},
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				seed := start + uint64(i)
+				mut := mutators[i%len(mutators)]
+				p := Generate(seed, DefaultConfig())
+				rng := rand.New(rand.NewSource(int64(seed)))
+				body := mut.build(p, rng)
+				tenant := opts.Tenants[i%len(opts.Tenants)]
+				verdict := post(client, url, tenant, body)
+
+				mu.Lock()
+				rep.Requests++
+				rep.ByMutator[mut.name]++
+				if verdict.problem != "" {
+					rep.Unclassified = append(rep.Unclassified,
+						fmt.Sprintf("seed %d mutator %s tenant %s: %s", seed, mut.name, tenant, verdict.problem))
+				} else {
+					rep.ByClass[verdict.class]++
+					if verdict.code != "" {
+						rep.ByCode[verdict.code]++
+					}
+					if verdict.cached {
+						rep.CacheHits++
+					}
+				}
+				mu.Unlock()
+				if opts.Verbose != nil {
+					fmt.Fprintf(opts.Verbose, "seed %d %-18s -> %s %s\n", seed, mut.name, verdict.class, verdict.code)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return rep, nil
+}
+
+type verdict struct {
+	class   string
+	code    string
+	cached  bool
+	problem string // non-empty = unclassified (campaign failure)
+}
+
+// post sends one submission and applies the campaign property to the
+// response.
+func post(client *http.Client, url, tenant string, body []byte) verdict {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return verdict{problem: "building request: " + err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		// A transport error means the server died or hung — exactly what
+		// the campaign exists to catch.
+		return verdict{problem: "transport: " + err.Error()}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return verdict{problem: "reading response: " + err.Error()}
+	}
+	if resp.StatusCode >= 500 {
+		return verdict{problem: fmt.Sprintf("status %d: %.200s", resp.StatusCode, raw)}
+	}
+	var ar attackResponse
+	if err := json.Unmarshal(raw, &ar); err != nil {
+		return verdict{problem: fmt.Sprintf("unparseable body (status %d): %.200s", resp.StatusCode, raw)}
+	}
+	switch ar.Classification {
+	case "ok", "gauntlet-reject", "watchdog", "quota":
+	case "":
+		// Non-/kernels error shapes (405, bad tenant, oversized body) carry
+		// only {error, code}; fold them into the rejection class as long as
+		// they are well-formed 4xx with a machine code.
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && ar.Code != "" {
+			return verdict{class: "gauntlet-reject", code: ar.Code}
+		}
+		return verdict{problem: fmt.Sprintf("unclassified response (status %d): %.200s", resp.StatusCode, raw)}
+	default:
+		return verdict{problem: fmt.Sprintf("unknown classification %q", ar.Classification)}
+	}
+	if ar.Classification == "quota" && resp.Header.Get("Retry-After") == "" {
+		return verdict{problem: "quota response without Retry-After header"}
+	}
+	return verdict{class: ar.Classification, code: ar.Code, cached: ar.Cached}
+}

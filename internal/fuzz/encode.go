@@ -6,6 +6,11 @@ package fuzz
 // a tagged union, plus the input data and launch shape. A formatted
 // rendering of the kernel is embedded for human triage; it is ignored on
 // decode and regenerated on encode.
+//
+// The kernel-tree codec itself lives in internal/kir (kir.KernelJSON):
+// it is shared with the untrusted-submission API, whose request body is a
+// superset of this corpus format — any corpus file can be POSTed to
+// /kernels unchanged.
 
 import (
 	"encoding/json"
@@ -16,137 +21,22 @@ import (
 )
 
 type progJSON struct {
-	Seed    uint64            `json:"seed"`
-	Grid    int               `json:"grid"`
-	Block   int               `json:"block"`
-	Out     string            `json:"out"`
-	Scalars map[string]uint32 `json:"scalars,omitempty"`
+	Seed    uint64              `json:"seed"`
+	Grid    int                 `json:"grid"`
+	Block   int                 `json:"block"`
+	Out     string              `json:"out"`
+	Scalars map[string]uint32   `json:"scalars,omitempty"`
 	Buffers map[string][]uint32 `json:"buffers"`
-	Kernel  kernelJSON        `json:"kernel"`
-	Source  []string          `json:"source,omitempty"` // informational only
+	Kernel  kir.KernelJSON      `json:"kernel"`
+	Source  []string            `json:"source,omitempty"` // informational only
 }
-
-type kernelJSON struct {
-	Name   string      `json:"name"`
-	Params []paramJSON `json:"params"`
-	Shared []arrayJSON `json:"shared,omitempty"`
-	Local  []arrayJSON `json:"local,omitempty"`
-	Warp   int         `json:"warpAssumption,omitempty"`
-	Body   []stmtJSON  `json:"body"`
-}
-
-type paramJSON struct {
-	Name   string `json:"name"`
-	Type   string `json:"type"`
-	Buffer bool   `json:"buffer,omitempty"`
-	Space  string `json:"space,omitempty"`
-}
-
-type arrayJSON struct {
-	Name  string `json:"name"`
-	Type  string `json:"type"`
-	Count int    `json:"count"`
-}
-
-type stmtJSON struct {
-	Kind   string     `json:"kind"`
-	Name   string     `json:"name,omitempty"`
-	Buf    string     `json:"buf,omitempty"`
-	Op     string     `json:"op,omitempty"`
-	Cond   *exprJSON  `json:"cond,omitempty"`
-	Index  *exprJSON  `json:"index,omitempty"`
-	Value  *exprJSON  `json:"value,omitempty"`
-	Init   *exprJSON  `json:"init,omitempty"`
-	Limit  *exprJSON  `json:"limit,omitempty"`
-	Step   *exprJSON  `json:"step,omitempty"`
-	Unroll int        `json:"unroll,omitempty"`
-	Then   []stmtJSON `json:"then,omitempty"`
-	Else   []stmtJSON `json:"else,omitempty"`
-	Body   []stmtJSON `json:"body,omitempty"`
-}
-
-type exprJSON struct {
-	Kind  string    `json:"kind"`
-	Type  string    `json:"type,omitempty"`
-	Int   int64     `json:"int,omitempty"`
-	Float float64   `json:"float,omitempty"`
-	Name  string    `json:"name,omitempty"`
-	Op    string    `json:"op,omitempty"`
-	L     *exprJSON `json:"l,omitempty"`
-	R     *exprJSON `json:"r,omitempty"`
-	X     *exprJSON `json:"x,omitempty"`
-	Cond  *exprJSON `json:"cond,omitempty"`
-	A     *exprJSON `json:"a,omitempty"`
-	B     *exprJSON `json:"b,omitempty"`
-	Index *exprJSON `json:"index,omitempty"`
-}
-
-// ---- enum <-> string tables, keyed by the kir String() forms ----
-
-var typeNames = map[kir.Type]string{
-	kir.U32: kir.U32.String(), kir.I32: kir.I32.String(),
-	kir.F32: kir.F32.String(), kir.Bool: kir.Bool.String(),
-}
-
-var spaceNames = map[kir.MemSpace]string{
-	kir.Global: kir.Global.String(), kir.Const: kir.Const.String(),
-	kir.Texture: kir.Texture.String(), kir.Shared: kir.Shared.String(),
-	kir.Local: kir.Local.String(),
-}
-
-var binOps = []kir.BinOp{
-	kir.OpAdd, kir.OpSub, kir.OpMul, kir.OpDiv, kir.OpRem, kir.OpMin,
-	kir.OpMax, kir.OpAnd, kir.OpOr, kir.OpXor, kir.OpShl, kir.OpShr,
-	kir.OpEq, kir.OpNe, kir.OpLt, kir.OpLe, kir.OpGt, kir.OpGe,
-	kir.OpLAnd, kir.OpLOr,
-}
-
-var unOps = []kir.UnOp{
-	kir.OpNeg, kir.OpNot, kir.OpAbs, kir.OpSqrt, kir.OpRsqrt, kir.OpSin,
-	kir.OpCos, kir.OpExp2, kir.OpLog2,
-}
-
-var builtins = []kir.BuiltinKind{
-	kir.TidX, kir.TidY, kir.NtidX, kir.NtidY, kir.CtaidX, kir.CtaidY,
-	kir.NctaidX, kir.NctaidY, kir.WarpSize,
-}
-
-var atomicNames = map[kir.AtomicOp]string{
-	kir.AtomicAdd: "add", kir.AtomicOr: "or",
-	kir.AtomicMax: "max", kir.AtomicExch: "exch",
-}
-
-func reverse[K comparable](m map[K]string) map[string]K {
-	r := make(map[string]K, len(m))
-	for k, v := range m {
-		r[v] = k
-	}
-	return r
-}
-
-func stringerMap[T fmt.Stringer](vals []T) map[string]T {
-	r := make(map[string]T, len(vals))
-	for _, v := range vals {
-		r[v.String()] = v
-	}
-	return r
-}
-
-var (
-	typeByName    = reverse(typeNames)
-	spaceByName   = reverse(spaceNames)
-	binOpByName   = stringerMap(binOps)
-	unOpByName    = stringerMap(unOps)
-	builtinByName = stringerMap(builtins)
-	atomicByName  = reverse(atomicNames)
-)
 
 // Encode renders the program as indented JSON.
 func Encode(p *Program) ([]byte, error) {
 	pj := progJSON{
 		Seed: p.Seed, Grid: p.Grid, Block: p.Block, Out: p.Out,
 		Scalars: p.Scalars, Buffers: p.Buffers,
-		Kernel: encodeKernel(p.Kernel),
+		Kernel: kir.EncodeKernelJSON(p.Kernel),
 		Source: strings.Split(strings.TrimRight(kir.Format(p.Kernel), "\n"), "\n"),
 	}
 	return json.MarshalIndent(&pj, "", " ")
@@ -158,7 +48,7 @@ func Decode(data []byte) (*Program, error) {
 	if err := json.Unmarshal(data, &pj); err != nil {
 		return nil, fmt.Errorf("fuzz: corpus decode: %w", err)
 	}
-	k, err := decodeKernel(&pj.Kernel)
+	k, err := kir.DecodeKernelJSON(&pj.Kernel)
 	if err != nil {
 		return nil, err
 	}
@@ -179,308 +69,4 @@ func Decode(data []byte) (*Program, error) {
 		return nil, fmt.Errorf("fuzz: corpus program output buffer %q missing", p.Out)
 	}
 	return p, nil
-}
-
-func encodeKernel(k *kir.Kernel) kernelJSON {
-	kj := kernelJSON{Name: k.Name, Warp: k.WarpWidthAssumption}
-	for _, p := range k.Params {
-		pj := paramJSON{Name: p.Name, Type: typeNames[p.T], Buffer: p.Buffer}
-		if p.Buffer {
-			pj.Space = spaceNames[p.Space]
-		}
-		kj.Params = append(kj.Params, pj)
-	}
-	for _, a := range k.SharedArrays {
-		kj.Shared = append(kj.Shared, arrayJSON{Name: a.Name, Type: typeNames[a.T], Count: a.Count})
-	}
-	for _, a := range k.LocalArrays {
-		kj.Local = append(kj.Local, arrayJSON{Name: a.Name, Type: typeNames[a.T], Count: a.Count})
-	}
-	kj.Body = encodeStmts(k.Body)
-	return kj
-}
-
-func decodeKernel(kj *kernelJSON) (*kir.Kernel, error) {
-	k := &kir.Kernel{Name: kj.Name, WarpWidthAssumption: kj.Warp}
-	for _, pj := range kj.Params {
-		t, ok := typeByName[pj.Type]
-		if !ok {
-			return nil, fmt.Errorf("fuzz: param %s: unknown type %q", pj.Name, pj.Type)
-		}
-		p := kir.Param{Name: pj.Name, T: t, Buffer: pj.Buffer}
-		if pj.Buffer {
-			sp, ok := spaceByName[pj.Space]
-			if !ok {
-				return nil, fmt.Errorf("fuzz: param %s: unknown space %q", pj.Name, pj.Space)
-			}
-			p.Space = sp
-		}
-		k.Params = append(k.Params, p)
-	}
-	var err error
-	if k.SharedArrays, err = decodeArrays(kj.Shared); err != nil {
-		return nil, err
-	}
-	if k.LocalArrays, err = decodeArrays(kj.Local); err != nil {
-		return nil, err
-	}
-	if k.Body, err = decodeStmts(kj.Body); err != nil {
-		return nil, err
-	}
-	return k, nil
-}
-
-func decodeArrays(ajs []arrayJSON) ([]kir.Array, error) {
-	var out []kir.Array
-	for _, aj := range ajs {
-		t, ok := typeByName[aj.Type]
-		if !ok {
-			return nil, fmt.Errorf("fuzz: array %s: unknown type %q", aj.Name, aj.Type)
-		}
-		out = append(out, kir.Array{Name: aj.Name, T: t, Count: aj.Count})
-	}
-	return out, nil
-}
-
-func encodeStmts(stmts []kir.Stmt) []stmtJSON {
-	var out []stmtJSON
-	for _, s := range stmts {
-		out = append(out, encodeStmt(s))
-	}
-	return out
-}
-
-func encodeStmt(s kir.Stmt) stmtJSON {
-	switch s := s.(type) {
-	case *kir.DeclStmt:
-		return stmtJSON{Kind: "decl", Name: s.Name, Value: encodeExpr(s.Init)}
-	case *kir.AssignStmt:
-		return stmtJSON{Kind: "assign", Name: s.Name, Value: encodeExpr(s.Value)}
-	case *kir.StoreStmt:
-		return stmtJSON{Kind: "store", Buf: s.Buf, Index: encodeExpr(s.Index), Value: encodeExpr(s.Value)}
-	case *kir.AtomicStmt:
-		return stmtJSON{Kind: "atomic", Buf: s.Buf, Op: atomicNames[s.Op],
-			Index: encodeExpr(s.Index), Value: encodeExpr(s.Value), Name: s.Result}
-	case *kir.IfStmt:
-		return stmtJSON{Kind: "if", Cond: encodeExpr(s.Cond),
-			Then: encodeStmts(s.Then), Else: encodeStmts(s.Else)}
-	case *kir.ForStmt:
-		return stmtJSON{Kind: "for", Name: s.Var,
-			Init: encodeExpr(s.Init), Limit: encodeExpr(s.Limit), Step: encodeExpr(s.Step),
-			Unroll: s.Unroll, Body: encodeStmts(s.Body)}
-	case *kir.BarrierStmt:
-		return stmtJSON{Kind: "barrier"}
-	default:
-		panic(fmt.Sprintf("fuzz: encode: unknown statement %T", s))
-	}
-}
-
-func decodeStmts(sjs []stmtJSON) ([]kir.Stmt, error) {
-	var out []kir.Stmt
-	for i := range sjs {
-		s, err := decodeStmt(&sjs[i])
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, s)
-	}
-	return out, nil
-}
-
-func decodeStmt(sj *stmtJSON) (kir.Stmt, error) {
-	switch sj.Kind {
-	case "decl":
-		init, err := decodeExpr(sj.Value)
-		if err != nil {
-			return nil, err
-		}
-		return &kir.DeclStmt{Name: sj.Name, T: init.Type(), Init: init}, nil
-	case "assign":
-		v, err := decodeExpr(sj.Value)
-		if err != nil {
-			return nil, err
-		}
-		return &kir.AssignStmt{Name: sj.Name, Value: v}, nil
-	case "store":
-		idx, err := decodeExpr(sj.Index)
-		if err != nil {
-			return nil, err
-		}
-		v, err := decodeExpr(sj.Value)
-		if err != nil {
-			return nil, err
-		}
-		return &kir.StoreStmt{Buf: sj.Buf, Index: idx, Value: v}, nil
-	case "atomic":
-		op, ok := atomicByName[sj.Op]
-		if !ok {
-			return nil, fmt.Errorf("fuzz: unknown atomic op %q", sj.Op)
-		}
-		idx, err := decodeExpr(sj.Index)
-		if err != nil {
-			return nil, err
-		}
-		v, err := decodeExpr(sj.Value)
-		if err != nil {
-			return nil, err
-		}
-		return &kir.AtomicStmt{Buf: sj.Buf, Op: op, Index: idx, Value: v, Result: sj.Name}, nil
-	case "if":
-		cond, err := decodeExpr(sj.Cond)
-		if err != nil {
-			return nil, err
-		}
-		then, err := decodeStmts(sj.Then)
-		if err != nil {
-			return nil, err
-		}
-		els, err := decodeStmts(sj.Else)
-		if err != nil {
-			return nil, err
-		}
-		return &kir.IfStmt{Cond: cond, Then: then, Else: els}, nil
-	case "for":
-		init, err := decodeExpr(sj.Init)
-		if err != nil {
-			return nil, err
-		}
-		limit, err := decodeExpr(sj.Limit)
-		if err != nil {
-			return nil, err
-		}
-		step, err := decodeExpr(sj.Step)
-		if err != nil {
-			return nil, err
-		}
-		body, err := decodeStmts(sj.Body)
-		if err != nil {
-			return nil, err
-		}
-		return &kir.ForStmt{Var: sj.Name, T: init.Type(), Init: init, Limit: limit,
-			Step: step, Body: body, Unroll: sj.Unroll}, nil
-	case "barrier":
-		return &kir.BarrierStmt{}, nil
-	default:
-		return nil, fmt.Errorf("fuzz: unknown statement kind %q", sj.Kind)
-	}
-}
-
-func encodeExpr(e kir.Expr) *exprJSON {
-	if e == nil {
-		return nil
-	}
-	switch e := e.(type) {
-	case *kir.ConstInt:
-		return &exprJSON{Kind: "int", Type: typeNames[e.T], Int: e.V}
-	case *kir.ConstFloat:
-		return &exprJSON{Kind: "float", Float: float64(e.V)}
-	case *kir.ParamRef:
-		return &exprJSON{Kind: "param", Name: e.Name, Type: typeNames[e.T]}
-	case *kir.VarRef:
-		return &exprJSON{Kind: "var", Name: e.Name, Type: typeNames[e.T]}
-	case *kir.Builtin:
-		return &exprJSON{Kind: "builtin", Name: e.Kind.String()}
-	case *kir.Bin:
-		return &exprJSON{Kind: "bin", Op: e.Op.String(), L: encodeExpr(e.L), R: encodeExpr(e.R)}
-	case *kir.Un:
-		return &exprJSON{Kind: "un", Op: e.Op.String(), X: encodeExpr(e.X)}
-	case *kir.Sel:
-		return &exprJSON{Kind: "sel", Cond: encodeExpr(e.Cond), A: encodeExpr(e.A), B: encodeExpr(e.B)}
-	case *kir.Cast:
-		return &exprJSON{Kind: "cast", Type: typeNames[e.To], X: encodeExpr(e.X)}
-	case *kir.Load:
-		return &exprJSON{Kind: "load", Name: e.Buf, Type: typeNames[e.T], Index: encodeExpr(e.Index)}
-	default:
-		panic(fmt.Sprintf("fuzz: encode: unknown expression %T", e))
-	}
-}
-
-func decodeExpr(ej *exprJSON) (kir.Expr, error) {
-	if ej == nil {
-		return nil, fmt.Errorf("fuzz: missing expression")
-	}
-	t, typeOK := typeByName[ej.Type]
-	switch ej.Kind {
-	case "int":
-		if !typeOK {
-			return nil, fmt.Errorf("fuzz: int literal with type %q", ej.Type)
-		}
-		return &kir.ConstInt{T: t, V: ej.Int}, nil
-	case "float":
-		return &kir.ConstFloat{V: float32(ej.Float)}, nil
-	case "param":
-		if !typeOK {
-			return nil, fmt.Errorf("fuzz: param %s with type %q", ej.Name, ej.Type)
-		}
-		return &kir.ParamRef{Name: ej.Name, T: t}, nil
-	case "var":
-		if !typeOK {
-			return nil, fmt.Errorf("fuzz: var %s with type %q", ej.Name, ej.Type)
-		}
-		return &kir.VarRef{Name: ej.Name, T: t}, nil
-	case "builtin":
-		b, ok := builtinByName[ej.Name]
-		if !ok {
-			return nil, fmt.Errorf("fuzz: unknown builtin %q", ej.Name)
-		}
-		return &kir.Builtin{Kind: b}, nil
-	case "bin":
-		op, ok := binOpByName[ej.Op]
-		if !ok {
-			return nil, fmt.Errorf("fuzz: unknown binary op %q", ej.Op)
-		}
-		l, err := decodeExpr(ej.L)
-		if err != nil {
-			return nil, err
-		}
-		r, err := decodeExpr(ej.R)
-		if err != nil {
-			return nil, err
-		}
-		return &kir.Bin{Op: op, L: l, R: r}, nil
-	case "un":
-		op, ok := unOpByName[ej.Op]
-		if !ok {
-			return nil, fmt.Errorf("fuzz: unknown unary op %q", ej.Op)
-		}
-		x, err := decodeExpr(ej.X)
-		if err != nil {
-			return nil, err
-		}
-		return &kir.Un{Op: op, X: x}, nil
-	case "sel":
-		cond, err := decodeExpr(ej.Cond)
-		if err != nil {
-			return nil, err
-		}
-		a, err := decodeExpr(ej.A)
-		if err != nil {
-			return nil, err
-		}
-		b, err := decodeExpr(ej.B)
-		if err != nil {
-			return nil, err
-		}
-		return &kir.Sel{Cond: cond, A: a, B: b}, nil
-	case "cast":
-		if !typeOK {
-			return nil, fmt.Errorf("fuzz: cast to unknown type %q", ej.Type)
-		}
-		x, err := decodeExpr(ej.X)
-		if err != nil {
-			return nil, err
-		}
-		return &kir.Cast{To: t, X: x}, nil
-	case "load":
-		if !typeOK {
-			return nil, fmt.Errorf("fuzz: load from %s with type %q", ej.Name, ej.Type)
-		}
-		idx, err := decodeExpr(ej.Index)
-		if err != nil {
-			return nil, err
-		}
-		return &kir.Load{Buf: ej.Name, Index: idx, T: t}, nil
-	default:
-		return nil, fmt.Errorf("fuzz: unknown expression kind %q", ej.Kind)
-	}
 }

@@ -2,45 +2,23 @@ package fuzz
 
 // Termination guard for generated kernels. The generator only ever emits
 // counted loops with a constant positive step, but that invariant lives in
-// one easily-edited function (forStmt); this walker re-checks the whole
-// tree so a future feature (data-dependent steps, while-shaped loops)
-// cannot silently start emitting kernels that spin forever. Hand-written
-// corpus programs are exempt — corpus/hangs/ deliberately stores
-// non-terminating kernels to pin the watchdog behaviour.
+// one easily-edited function (forStmt); this guard re-checks the whole tree
+// so a future feature (data-dependent steps, while-shaped loops) cannot
+// silently start emitting kernels that spin forever. Hand-written corpus
+// programs are exempt — corpus/hangs/ deliberately stores non-terminating
+// kernels to pin the watchdog behaviour.
+//
+// The walker itself was promoted to kir.CheckBoundedLoops (PR 6) so the
+// kernel-submission API can run it without importing the fuzzer; this
+// wrapper remains the fuzzer-facing name.
 
 import (
-	"fmt"
-
 	"gpucmp/internal/kir"
 )
 
 // CheckBoundedLoops rejects kernels containing a loop that provably never
-// terminates: a counted loop whose step is the constant 0. (Loops with a
-// nonzero constant step always terminate under the pipelines' wraparound
-// semantics; data-dependent steps are not provably bad and are left to the
-// watchdog.)
+// terminates. It is kir.CheckBoundedLoops; the returned error wraps
+// kir.ErrUnboundedLoop.
 func CheckBoundedLoops(k *kir.Kernel) error {
-	return walkStmts(k.Body)
-}
-
-func walkStmts(stmts []kir.Stmt) error {
-	for _, s := range stmts {
-		switch s := s.(type) {
-		case *kir.ForStmt:
-			if c, ok := s.Step.(*kir.ConstInt); ok && c.V == 0 {
-				return fmt.Errorf("fuzz: loop %q has constant step 0 and never terminates", s.Var)
-			}
-			if err := walkStmts(s.Body); err != nil {
-				return err
-			}
-		case *kir.IfStmt:
-			if err := walkStmts(s.Then); err != nil {
-				return err
-			}
-			if err := walkStmts(s.Else); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return kir.CheckBoundedLoops(k)
 }

@@ -1,0 +1,40 @@
+package kir
+
+// CheckBoundedLoops is the static loop-termination guard, the third rung of
+// the gauntlet untrusted kernels pass through (after Check and
+// CheckUniformBarriers). Promoted here from the fuzzer so the submission
+// API can reject provably non-terminating kernels without importing
+// internal/fuzz; what the guard cannot prove is left to the step-budget
+// watchdog at execution time.
+
+// CheckBoundedLoops rejects kernels containing a loop that provably never
+// terminates: a counted loop whose step is the constant 0. (Loops with a
+// nonzero constant step always terminate under the pipelines' wraparound
+// semantics; data-dependent steps are not provably bad and are left to the
+// watchdog.) The returned error wraps ErrUnboundedLoop.
+func CheckBoundedLoops(k *Kernel) error {
+	return boundsWalk(k, k.Body)
+}
+
+func boundsWalk(k *Kernel, stmts []Stmt) error {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ForStmt:
+			if c, ok := s.Step.(*ConstInt); ok && c.V == 0 {
+				return checkErrf(k, ErrUnboundedLoop,
+					"loop %q has constant step 0 and never terminates", s.Var)
+			}
+			if err := boundsWalk(k, s.Body); err != nil {
+				return err
+			}
+		case *IfStmt:
+			if err := boundsWalk(k, s.Then); err != nil {
+				return err
+			}
+			if err := boundsWalk(k, s.Else); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,9 +1,10 @@
 package kir
 
-import "fmt"
-
 // Check type-checks and scope-checks a kernel. The compiler front-ends rely
-// on Check having passed: they do not re-validate.
+// on Check having passed: they do not re-validate. Every rejection is a
+// *CheckError classified under one of the typed sentinels in
+// check_errors.go (ErrBadOperand, ErrUndeclared, ...), so callers can map
+// failures to stable machine-readable codes with errors.Is / ErrCode.
 func Check(k *Kernel) error {
 	c := &checker{k: k, env: make(map[string]Type)}
 	for _, p := range k.Params {
@@ -19,8 +20,8 @@ type checker struct {
 	env map[string]Type // declared scalar variables
 }
 
-func (c *checker) errf(format string, args ...any) error {
-	return fmt.Errorf("kir: kernel %s: "+format, append([]any{c.k.Name}, args...)...)
+func (c *checker) errf(sentinel error, format string, args ...any) error {
+	return checkErrf(c.k, sentinel, format, args...)
 }
 
 func isInt(t Type) bool { return t == U32 || t == I32 }
@@ -45,28 +46,28 @@ func (c *checker) block(stmts []Stmt) error {
 		switch s := s.(type) {
 		case *DeclStmt:
 			if _, ok := c.env[s.Name]; ok {
-				return c.errf("redeclaration of %q", s.Name)
+				return c.errf(ErrRedeclared, "redeclaration of %q", s.Name)
 			}
 			t, err := c.expr(s.Init)
 			if err != nil {
 				return err
 			}
 			if t != s.T {
-				return c.errf("declaration of %q: init type %v != declared %v", s.Name, t, s.T)
+				return c.errf(ErrBadOperand, "declaration of %q: init type %v != declared %v", s.Name, t, s.T)
 			}
 			c.env[s.Name] = s.T
 			declared = append(declared, s.Name)
 		case *AssignStmt:
 			vt, ok := c.env[s.Name]
 			if !ok {
-				return c.errf("assignment to undeclared variable %q", s.Name)
+				return c.errf(ErrUndeclared, "assignment to undeclared variable %q", s.Name)
 			}
 			t, err := c.expr(s.Value)
 			if err != nil {
 				return err
 			}
 			if !compatible(vt, t) {
-				return c.errf("assignment to %q: %v value into %v variable", s.Name, t, vt)
+				return c.errf(ErrBadOperand, "assignment to %q: %v value into %v variable", s.Name, t, vt)
 			}
 		case *StoreStmt:
 			if err := c.checkAccess(s.Buf, s.Index, true); err != nil {
@@ -78,7 +79,7 @@ func (c *checker) block(stmts []Stmt) error {
 				return err
 			}
 			if !compatible(et, vt) {
-				return c.errf("store to %q: %v value into %v buffer", s.Buf, vt, et)
+				return c.errf(ErrBadOperand, "store to %q: %v value into %v buffer", s.Buf, vt, et)
 			}
 		case *AtomicStmt:
 			if err := c.checkAccess(s.Buf, s.Index, true); err != nil {
@@ -86,18 +87,18 @@ func (c *checker) block(stmts []Stmt) error {
 			}
 			et, _ := c.k.ElemType(s.Buf)
 			if !isInt(et) {
-				return c.errf("atomic on %q: element type %v is not integer", s.Buf, et)
+				return c.errf(ErrBadOperand, "atomic on %q: element type %v is not integer", s.Buf, et)
 			}
 			vt, err := c.expr(s.Value)
 			if err != nil {
 				return err
 			}
 			if !isInt(vt) {
-				return c.errf("atomic on %q: operand type %v is not integer", s.Buf, vt)
+				return c.errf(ErrBadOperand, "atomic on %q: operand type %v is not integer", s.Buf, vt)
 			}
 			if s.Result != "" {
 				if _, ok := c.env[s.Result]; !ok {
-					return c.errf("atomic result variable %q undeclared", s.Result)
+					return c.errf(ErrUndeclared, "atomic result variable %q undeclared", s.Result)
 				}
 			}
 		case *IfStmt:
@@ -106,7 +107,7 @@ func (c *checker) block(stmts []Stmt) error {
 				return err
 			}
 			if t != Bool {
-				return c.errf("if condition has type %v, want bool", t)
+				return c.errf(ErrBadOperand, "if condition has type %v, want bool", t)
 			}
 			if err := c.block(s.Then); err != nil {
 				return err
@@ -121,11 +122,11 @@ func (c *checker) block(stmts []Stmt) error {
 					return err
 				}
 				if !isInt(t) {
-					return c.errf("for %q: %s has type %v, want integer", s.Var, what, t)
+					return c.errf(ErrBadOperand, "for %q: %s has type %v, want integer", s.Var, what, t)
 				}
 			}
 			if _, ok := c.env[s.Var]; ok {
-				return c.errf("for variable %q shadows an existing variable", s.Var)
+				return c.errf(ErrRedeclared, "for variable %q shadows an existing variable", s.Var)
 			}
 			c.env[s.Var] = s.T
 			err := c.block(s.Body)
@@ -135,7 +136,7 @@ func (c *checker) block(stmts []Stmt) error {
 			}
 		case *BarrierStmt:
 		default:
-			return c.errf("unknown statement %T", s)
+			return c.errf(ErrBadNode, "unknown statement %T", s)
 		}
 	}
 	return nil
@@ -144,17 +145,17 @@ func (c *checker) block(stmts []Stmt) error {
 func (c *checker) checkAccess(buf string, idx Expr, write bool) error {
 	space, err := c.k.SpaceOf(buf)
 	if err != nil {
-		return err
+		return checkWrap(c.k, ErrUndeclared, err)
 	}
 	if write && (space == Const || space == Texture) {
-		return c.errf("store to read-only %v buffer %q", space, buf)
+		return c.errf(ErrReadOnlyStore, "store to read-only %v buffer %q", space, buf)
 	}
 	t, err := c.expr(idx)
 	if err != nil {
 		return err
 	}
 	if !isInt(t) {
-		return c.errf("index into %q has type %v, want integer", buf, t)
+		return c.errf(ErrBadOperand, "index into %q has type %v, want integer", buf, t)
 	}
 	return nil
 }
@@ -162,10 +163,10 @@ func (c *checker) checkAccess(buf string, idx Expr, write bool) error {
 func (c *checker) expr(e Expr) (Type, error) {
 	switch e := e.(type) {
 	case nil:
-		return 0, c.errf("nil expression")
+		return 0, c.errf(ErrBadNode, "nil expression")
 	case *ConstInt:
 		if !isInt(e.T) {
-			return 0, c.errf("integer literal with type %v", e.T)
+			return 0, c.errf(ErrBadOperand, "integer literal with type %v", e.T)
 		}
 		return e.T, nil
 	case *ConstFloat:
@@ -173,16 +174,16 @@ func (c *checker) expr(e Expr) (Type, error) {
 	case *ParamRef:
 		p := c.k.Param(e.Name)
 		if p == nil {
-			return 0, c.errf("reference to unknown parameter %q", e.Name)
+			return 0, c.errf(ErrUndeclared, "reference to unknown parameter %q", e.Name)
 		}
 		if p.Buffer {
-			return 0, c.errf("buffer parameter %q used as a scalar", e.Name)
+			return 0, c.errf(ErrBadOperand, "buffer parameter %q used as a scalar", e.Name)
 		}
 		return p.T, nil
 	case *VarRef:
 		t, ok := c.env[e.Name]
 		if !ok {
-			return 0, c.errf("use of undeclared variable %q", e.Name)
+			return 0, c.errf(ErrUndeclared, "use of undeclared variable %q", e.Name)
 		}
 		return t, nil
 	case *Builtin:
@@ -199,26 +200,26 @@ func (c *checker) expr(e Expr) (Type, error) {
 		switch {
 		case e.Op.IsLogical():
 			if lt != Bool || rt != Bool {
-				return 0, c.errf("%v applied to %v, %v", e.Op, lt, rt)
+				return 0, c.errf(ErrBadOperand, "%v applied to %v, %v", e.Op, lt, rt)
 			}
 			return Bool, nil
 		case e.Op.IsCompare():
 			if !compatible(lt, rt) {
-				return 0, c.errf("%v compares %v with %v", e.Op, lt, rt)
+				return 0, c.errf(ErrBadOperand, "%v compares %v with %v", e.Op, lt, rt)
 			}
 			return Bool, nil
 		case e.Op == OpShl || e.Op == OpShr || e.Op == OpAnd || e.Op == OpOr ||
 			e.Op == OpXor || e.Op == OpRem:
 			if !isInt(lt) || !isInt(rt) {
-				return 0, c.errf("%v needs integer operands, got %v, %v", e.Op, lt, rt)
+				return 0, c.errf(ErrBadOperand, "%v needs integer operands, got %v, %v", e.Op, lt, rt)
 			}
 			return lt, nil
 		default:
 			if !compatible(lt, rt) {
-				return 0, c.errf("%v mixes %v with %v", e.Op, lt, rt)
+				return 0, c.errf(ErrBadOperand, "%v mixes %v with %v", e.Op, lt, rt)
 			}
 			if lt == Bool {
-				return 0, c.errf("%v applied to bool", e.Op)
+				return 0, c.errf(ErrBadOperand, "%v applied to bool", e.Op)
 			}
 			return lt, nil
 		}
@@ -230,15 +231,15 @@ func (c *checker) expr(e Expr) (Type, error) {
 		switch e.Op {
 		case OpSqrt, OpRsqrt, OpSin, OpCos, OpExp2, OpLog2:
 			if t != F32 {
-				return 0, c.errf("%v needs f32, got %v", e.Op, t)
+				return 0, c.errf(ErrBadOperand, "%v needs f32, got %v", e.Op, t)
 			}
 		case OpNot:
 			if t == F32 {
-				return 0, c.errf("not applied to f32")
+				return 0, c.errf(ErrBadOperand, "not applied to f32")
 			}
 		case OpNeg, OpAbs:
 			if t == Bool {
-				return 0, c.errf("%v applied to bool", e.Op)
+				return 0, c.errf(ErrBadOperand, "%v applied to bool", e.Op)
 			}
 		}
 		return t, nil
@@ -248,7 +249,7 @@ func (c *checker) expr(e Expr) (Type, error) {
 			return 0, err
 		}
 		if ct != Bool {
-			return 0, c.errf("select condition has type %v", ct)
+			return 0, c.errf(ErrBadOperand, "select condition has type %v", ct)
 		}
 		at, err := c.expr(e.A)
 		if err != nil {
@@ -259,7 +260,7 @@ func (c *checker) expr(e Expr) (Type, error) {
 			return 0, err
 		}
 		if !compatible(at, bt) {
-			return 0, c.errf("select arms have types %v, %v", at, bt)
+			return 0, c.errf(ErrBadOperand, "select arms have types %v, %v", at, bt)
 		}
 		return at, nil
 	case *Cast:
@@ -270,7 +271,7 @@ func (c *checker) expr(e Expr) (Type, error) {
 	case *Load:
 		space, err := c.k.SpaceOf(e.Buf)
 		if err != nil {
-			return 0, err
+			return 0, checkWrap(c.k, ErrUndeclared, err)
 		}
 		_ = space
 		t, err := c.expr(e.Index)
@@ -278,17 +279,17 @@ func (c *checker) expr(e Expr) (Type, error) {
 			return 0, err
 		}
 		if !isInt(t) {
-			return 0, c.errf("index into %q has type %v, want integer", e.Buf, t)
+			return 0, c.errf(ErrBadOperand, "index into %q has type %v, want integer", e.Buf, t)
 		}
 		et, err := c.k.ElemType(e.Buf)
 		if err != nil {
-			return 0, err
+			return 0, checkWrap(c.k, ErrUndeclared, err)
 		}
 		if e.T != et {
-			return 0, c.errf("load from %q typed %v, buffer elements are %v", e.Buf, e.T, et)
+			return 0, c.errf(ErrBadOperand, "load from %q typed %v, buffer elements are %v", e.Buf, e.T, et)
 		}
 		return et, nil
 	default:
-		return 0, c.errf("unknown expression %T", e)
+		return 0, c.errf(ErrBadNode, "unknown expression %T", e)
 	}
 }

@@ -1,0 +1,96 @@
+package kir
+
+// Typed gauntlet errors. Every rejection the static gauntlet (Check,
+// CheckUniformBarriers, CheckBoundedLoops) or the JSON decoder can produce
+// matches exactly one of these sentinels under errors.Is, so API layers can
+// map a failure to a stable machine-readable code without parsing message
+// text. The human-readable message is unchanged — the sentinel rides along
+// the chain.
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrBadOperand: an operand or operator was applied at the wrong type
+	// (the checker's type errors).
+	ErrBadOperand = errors.New("kir: bad operand")
+	// ErrUndeclared: a variable, parameter or buffer name is not in scope.
+	ErrUndeclared = errors.New("kir: undeclared name")
+	// ErrRedeclared: a declaration shadows an existing name.
+	ErrRedeclared = errors.New("kir: redeclaration")
+	// ErrReadOnlyStore: a store or atomic targets a const/texture buffer.
+	ErrReadOnlyStore = errors.New("kir: store to read-only space")
+	// ErrBadNode: the AST contains a node kind the checker does not know —
+	// a malformed tree, not a type error.
+	ErrBadNode = errors.New("kir: malformed AST node")
+	// ErrNonUniformBarrier: a barrier sits under thread-divergent control
+	// flow (CheckUniformBarriers).
+	ErrNonUniformBarrier = errors.New("kir: barrier under non-uniform control flow")
+	// ErrUnboundedLoop: a loop provably never terminates
+	// (CheckBoundedLoops).
+	ErrUnboundedLoop = errors.New("kir: provably unbounded loop")
+)
+
+// CheckError is a gauntlet rejection: it renders the detailed message and
+// matches its sentinel (and only its sentinel) under errors.Is.
+type CheckError struct {
+	Kernel   string // kernel name, best effort
+	sentinel error
+	msg      string
+	cause    error // optional underlying error (e.g. from SpaceOf)
+}
+
+func (e *CheckError) Error() string { return e.msg }
+
+// Is matches the sentinel the error was classified under.
+func (e *CheckError) Is(target error) bool { return target == e.sentinel }
+
+// Unwrap exposes the underlying cause, when there is one.
+func (e *CheckError) Unwrap() error { return e.cause }
+
+// checkErrf builds a CheckError with the standard "kir: kernel <name>:"
+// message prefix.
+func checkErrf(k *Kernel, sentinel error, format string, args ...any) error {
+	return &CheckError{
+		Kernel:   k.Name,
+		sentinel: sentinel,
+		msg:      fmt.Sprintf("kir: kernel %s: "+format, append([]any{k.Name}, args...)...),
+	}
+}
+
+// checkWrap classifies an existing error under a sentinel, keeping its
+// message and chain.
+func checkWrap(k *Kernel, sentinel error, err error) error {
+	return &CheckError{Kernel: k.Name, sentinel: sentinel, msg: err.Error(), cause: err}
+}
+
+// ErrCode returns the stable machine-readable code for a gauntlet or
+// decode failure, or "" when the error carries none. These strings are
+// API-visible (the "code" field of kernel-submission rejections): never
+// change one, only add.
+func ErrCode(err error) string {
+	switch {
+	case errors.Is(err, ErrBadEncoding):
+		return "bad-encoding"
+	case errors.Is(err, ErrBadOperand):
+		return "bad-operand"
+	case errors.Is(err, ErrUndeclared):
+		return "undeclared"
+	case errors.Is(err, ErrRedeclared):
+		return "redeclared"
+	case errors.Is(err, ErrReadOnlyStore):
+		return "read-only-store"
+	case errors.Is(err, ErrBadNode):
+		return "bad-node"
+	case errors.Is(err, ErrNonUniformBarrier):
+		return "nonuniform-barrier"
+	case errors.Is(err, ErrUnboundedLoop):
+		return "unbounded-loop"
+	case errors.Is(err, ErrWatchdog):
+		return "watchdog"
+	default:
+		return ""
+	}
+}

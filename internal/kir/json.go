@@ -1,0 +1,458 @@
+package kir
+
+// JSON serialisation of kernel ASTs as a tagged union. This is the wire
+// format shared by the fuzz corpus (internal/fuzz), the kernel-submission
+// API (POST /kernels via internal/submit) and any external tool that wants
+// to hand the service a kernel. It lives here, next to the AST it encodes,
+// so consumers of untrusted kernels (the HTTP server in particular) do not
+// have to import the fuzzer to parse one.
+//
+// Decoding is defensive: every name (types, spaces, ops, builtins,
+// statement and expression kinds) is looked up in a closed table and
+// anything unknown is rejected with an error wrapping ErrBadEncoding —
+// never a panic. Structural sanity (declared names, operand types, loop
+// bounds, barrier uniformity) is NOT checked here; that is the static
+// gauntlet's job (Check, CheckUniformBarriers, CheckBoundedLoops).
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadEncoding is the errors.Is sentinel for every malformed-kernel
+// decode failure: unknown kinds, ops, types, spaces or missing subtrees.
+var ErrBadEncoding = errors.New("kir: bad kernel encoding")
+
+// jerrf builds a decode error that wraps ErrBadEncoding.
+func jerrf(format string, args ...any) error {
+	return fmt.Errorf("kir: json: "+format+": %w", append(args, ErrBadEncoding)...)
+}
+
+// KernelJSON is the serialised form of one kernel.
+type KernelJSON struct {
+	Name   string      `json:"name"`
+	Params []ParamJSON `json:"params"`
+	Shared []ArrayJSON `json:"shared,omitempty"`
+	Local  []ArrayJSON `json:"local,omitempty"`
+	Warp   int         `json:"warpAssumption,omitempty"`
+	Body   []StmtJSON  `json:"body"`
+}
+
+// ParamJSON is one kernel parameter.
+type ParamJSON struct {
+	Name   string `json:"name"`
+	Type   string `json:"type"`
+	Buffer bool   `json:"buffer,omitempty"`
+	Space  string `json:"space,omitempty"`
+}
+
+// ArrayJSON is one shared or local array declaration.
+type ArrayJSON struct {
+	Name  string `json:"name"`
+	Type  string `json:"type"`
+	Count int    `json:"count"`
+}
+
+// StmtJSON is the tagged union over statements.
+type StmtJSON struct {
+	Kind   string     `json:"kind"`
+	Name   string     `json:"name,omitempty"`
+	Buf    string     `json:"buf,omitempty"`
+	Op     string     `json:"op,omitempty"`
+	Cond   *ExprJSON  `json:"cond,omitempty"`
+	Index  *ExprJSON  `json:"index,omitempty"`
+	Value  *ExprJSON  `json:"value,omitempty"`
+	Init   *ExprJSON  `json:"init,omitempty"`
+	Limit  *ExprJSON  `json:"limit,omitempty"`
+	Step   *ExprJSON  `json:"step,omitempty"`
+	Unroll int        `json:"unroll,omitempty"`
+	Then   []StmtJSON `json:"then,omitempty"`
+	Else   []StmtJSON `json:"else,omitempty"`
+	Body   []StmtJSON `json:"body,omitempty"`
+}
+
+// ExprJSON is the tagged union over expressions.
+type ExprJSON struct {
+	Kind  string    `json:"kind"`
+	Type  string    `json:"type,omitempty"`
+	Int   int64     `json:"int,omitempty"`
+	Float float64   `json:"float,omitempty"`
+	Name  string    `json:"name,omitempty"`
+	Op    string    `json:"op,omitempty"`
+	L     *ExprJSON `json:"l,omitempty"`
+	R     *ExprJSON `json:"r,omitempty"`
+	X     *ExprJSON `json:"x,omitempty"`
+	Cond  *ExprJSON `json:"cond,omitempty"`
+	A     *ExprJSON `json:"a,omitempty"`
+	B     *ExprJSON `json:"b,omitempty"`
+	Index *ExprJSON `json:"index,omitempty"`
+}
+
+// ---- enum <-> string tables, keyed by the kir String() forms ----
+
+var typeNames = map[Type]string{
+	U32: U32.String(), I32: I32.String(),
+	F32: F32.String(), Bool: Bool.String(),
+}
+
+var spaceNames = map[MemSpace]string{
+	Global: Global.String(), Const: Const.String(),
+	Texture: Texture.String(), Shared: Shared.String(),
+	Local: Local.String(),
+}
+
+var jsonBinOps = []BinOp{
+	OpAdd, OpSub, OpMul, OpDiv, OpRem, OpMin,
+	OpMax, OpAnd, OpOr, OpXor, OpShl, OpShr,
+	OpEq, OpNe, OpLt, OpLe, OpGt, OpGe,
+	OpLAnd, OpLOr,
+}
+
+var jsonUnOps = []UnOp{
+	OpNeg, OpNot, OpAbs, OpSqrt, OpRsqrt, OpSin,
+	OpCos, OpExp2, OpLog2,
+}
+
+var jsonBuiltins = []BuiltinKind{
+	TidX, TidY, NtidX, NtidY, CtaidX, CtaidY,
+	NctaidX, NctaidY, WarpSize,
+}
+
+var atomicNames = map[AtomicOp]string{
+	AtomicAdd: "add", AtomicOr: "or",
+	AtomicMax: "max", AtomicExch: "exch",
+}
+
+func reverseNames[K comparable](m map[K]string) map[string]K {
+	r := make(map[string]K, len(m))
+	for k, v := range m {
+		r[v] = k
+	}
+	return r
+}
+
+func stringerMap[T fmt.Stringer](vals []T) map[string]T {
+	r := make(map[string]T, len(vals))
+	for _, v := range vals {
+		r[v.String()] = v
+	}
+	return r
+}
+
+var (
+	typeByName    = reverseNames(typeNames)
+	spaceByName   = reverseNames(spaceNames)
+	binOpByName   = stringerMap(jsonBinOps)
+	unOpByName    = stringerMap(jsonUnOps)
+	builtinByName = stringerMap(jsonBuiltins)
+	atomicByName  = reverseNames(atomicNames)
+)
+
+// EncodeKernelJSON renders a kernel into its serialised form.
+func EncodeKernelJSON(k *Kernel) KernelJSON {
+	kj := KernelJSON{Name: k.Name, Warp: k.WarpWidthAssumption}
+	for _, p := range k.Params {
+		pj := ParamJSON{Name: p.Name, Type: typeNames[p.T], Buffer: p.Buffer}
+		if p.Buffer {
+			pj.Space = spaceNames[p.Space]
+		}
+		kj.Params = append(kj.Params, pj)
+	}
+	for _, a := range k.SharedArrays {
+		kj.Shared = append(kj.Shared, ArrayJSON{Name: a.Name, Type: typeNames[a.T], Count: a.Count})
+	}
+	for _, a := range k.LocalArrays {
+		kj.Local = append(kj.Local, ArrayJSON{Name: a.Name, Type: typeNames[a.T], Count: a.Count})
+	}
+	kj.Body = encodeStmts(k.Body)
+	return kj
+}
+
+// DecodeKernelJSON rebuilds the kernel AST from its serialised form. Any
+// malformed node fails with an error wrapping ErrBadEncoding; the result is
+// structurally well-formed but NOT yet checked — run the static gauntlet
+// before trusting it.
+func DecodeKernelJSON(kj *KernelJSON) (*Kernel, error) {
+	k := &Kernel{Name: kj.Name, WarpWidthAssumption: kj.Warp}
+	for _, pj := range kj.Params {
+		t, ok := typeByName[pj.Type]
+		if !ok {
+			return nil, jerrf("param %s: unknown type %q", pj.Name, pj.Type)
+		}
+		p := Param{Name: pj.Name, T: t, Buffer: pj.Buffer}
+		if pj.Buffer {
+			sp, ok := spaceByName[pj.Space]
+			if !ok {
+				return nil, jerrf("param %s: unknown space %q", pj.Name, pj.Space)
+			}
+			p.Space = sp
+		}
+		k.Params = append(k.Params, p)
+	}
+	var err error
+	if k.SharedArrays, err = decodeArrays(kj.Shared); err != nil {
+		return nil, err
+	}
+	if k.LocalArrays, err = decodeArrays(kj.Local); err != nil {
+		return nil, err
+	}
+	if k.Body, err = decodeStmts(kj.Body); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+func decodeArrays(ajs []ArrayJSON) ([]Array, error) {
+	var out []Array
+	for _, aj := range ajs {
+		t, ok := typeByName[aj.Type]
+		if !ok {
+			return nil, jerrf("array %s: unknown type %q", aj.Name, aj.Type)
+		}
+		out = append(out, Array{Name: aj.Name, T: t, Count: aj.Count})
+	}
+	return out, nil
+}
+
+func encodeStmts(stmts []Stmt) []StmtJSON {
+	var out []StmtJSON
+	for _, s := range stmts {
+		out = append(out, encodeStmt(s))
+	}
+	return out
+}
+
+func encodeStmt(s Stmt) StmtJSON {
+	switch s := s.(type) {
+	case *DeclStmt:
+		return StmtJSON{Kind: "decl", Name: s.Name, Value: encodeExpr(s.Init)}
+	case *AssignStmt:
+		return StmtJSON{Kind: "assign", Name: s.Name, Value: encodeExpr(s.Value)}
+	case *StoreStmt:
+		return StmtJSON{Kind: "store", Buf: s.Buf, Index: encodeExpr(s.Index), Value: encodeExpr(s.Value)}
+	case *AtomicStmt:
+		return StmtJSON{Kind: "atomic", Buf: s.Buf, Op: atomicNames[s.Op],
+			Index: encodeExpr(s.Index), Value: encodeExpr(s.Value), Name: s.Result}
+	case *IfStmt:
+		return StmtJSON{Kind: "if", Cond: encodeExpr(s.Cond),
+			Then: encodeStmts(s.Then), Else: encodeStmts(s.Else)}
+	case *ForStmt:
+		return StmtJSON{Kind: "for", Name: s.Var,
+			Init: encodeExpr(s.Init), Limit: encodeExpr(s.Limit), Step: encodeExpr(s.Step),
+			Unroll: s.Unroll, Body: encodeStmts(s.Body)}
+	case *BarrierStmt:
+		return StmtJSON{Kind: "barrier"}
+	default:
+		panic(fmt.Sprintf("kir: json: encode: unknown statement %T", s))
+	}
+}
+
+func decodeStmts(sjs []StmtJSON) ([]Stmt, error) {
+	var out []Stmt
+	for i := range sjs {
+		s, err := decodeStmt(&sjs[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func decodeStmt(sj *StmtJSON) (Stmt, error) {
+	switch sj.Kind {
+	case "decl":
+		init, err := decodeExpr(sj.Value)
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Name: sj.Name, T: init.Type(), Init: init}, nil
+	case "assign":
+		v, err := decodeExpr(sj.Value)
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: sj.Name, Value: v}, nil
+	case "store":
+		idx, err := decodeExpr(sj.Index)
+		if err != nil {
+			return nil, err
+		}
+		v, err := decodeExpr(sj.Value)
+		if err != nil {
+			return nil, err
+		}
+		return &StoreStmt{Buf: sj.Buf, Index: idx, Value: v}, nil
+	case "atomic":
+		op, ok := atomicByName[sj.Op]
+		if !ok {
+			return nil, jerrf("unknown atomic op %q", sj.Op)
+		}
+		idx, err := decodeExpr(sj.Index)
+		if err != nil {
+			return nil, err
+		}
+		v, err := decodeExpr(sj.Value)
+		if err != nil {
+			return nil, err
+		}
+		return &AtomicStmt{Buf: sj.Buf, Op: op, Index: idx, Value: v, Result: sj.Name}, nil
+	case "if":
+		cond, err := decodeExpr(sj.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := decodeStmts(sj.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := decodeStmts(sj.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+	case "for":
+		init, err := decodeExpr(sj.Init)
+		if err != nil {
+			return nil, err
+		}
+		limit, err := decodeExpr(sj.Limit)
+		if err != nil {
+			return nil, err
+		}
+		step, err := decodeExpr(sj.Step)
+		if err != nil {
+			return nil, err
+		}
+		body, err := decodeStmts(sj.Body)
+		if err != nil {
+			return nil, err
+		}
+		return &ForStmt{Var: sj.Name, T: init.Type(), Init: init, Limit: limit,
+			Step: step, Body: body, Unroll: sj.Unroll}, nil
+	case "barrier":
+		return &BarrierStmt{}, nil
+	default:
+		return nil, jerrf("unknown statement kind %q", sj.Kind)
+	}
+}
+
+func encodeExpr(e Expr) *ExprJSON {
+	if e == nil {
+		return nil
+	}
+	switch e := e.(type) {
+	case *ConstInt:
+		return &ExprJSON{Kind: "int", Type: typeNames[e.T], Int: e.V}
+	case *ConstFloat:
+		return &ExprJSON{Kind: "float", Float: float64(e.V)}
+	case *ParamRef:
+		return &ExprJSON{Kind: "param", Name: e.Name, Type: typeNames[e.T]}
+	case *VarRef:
+		return &ExprJSON{Kind: "var", Name: e.Name, Type: typeNames[e.T]}
+	case *Builtin:
+		return &ExprJSON{Kind: "builtin", Name: e.Kind.String()}
+	case *Bin:
+		return &ExprJSON{Kind: "bin", Op: e.Op.String(), L: encodeExpr(e.L), R: encodeExpr(e.R)}
+	case *Un:
+		return &ExprJSON{Kind: "un", Op: e.Op.String(), X: encodeExpr(e.X)}
+	case *Sel:
+		return &ExprJSON{Kind: "sel", Cond: encodeExpr(e.Cond), A: encodeExpr(e.A), B: encodeExpr(e.B)}
+	case *Cast:
+		return &ExprJSON{Kind: "cast", Type: typeNames[e.To], X: encodeExpr(e.X)}
+	case *Load:
+		return &ExprJSON{Kind: "load", Name: e.Buf, Type: typeNames[e.T], Index: encodeExpr(e.Index)}
+	default:
+		panic(fmt.Sprintf("kir: json: encode: unknown expression %T", e))
+	}
+}
+
+func decodeExpr(ej *ExprJSON) (Expr, error) {
+	if ej == nil {
+		return nil, jerrf("missing expression")
+	}
+	t, typeOK := typeByName[ej.Type]
+	switch ej.Kind {
+	case "int":
+		if !typeOK {
+			return nil, jerrf("int literal with type %q", ej.Type)
+		}
+		return &ConstInt{T: t, V: ej.Int}, nil
+	case "float":
+		return &ConstFloat{V: float32(ej.Float)}, nil
+	case "param":
+		if !typeOK {
+			return nil, jerrf("param %s with type %q", ej.Name, ej.Type)
+		}
+		return &ParamRef{Name: ej.Name, T: t}, nil
+	case "var":
+		if !typeOK {
+			return nil, jerrf("var %s with type %q", ej.Name, ej.Type)
+		}
+		return &VarRef{Name: ej.Name, T: t}, nil
+	case "builtin":
+		b, ok := builtinByName[ej.Name]
+		if !ok {
+			return nil, jerrf("unknown builtin %q", ej.Name)
+		}
+		return &Builtin{Kind: b}, nil
+	case "bin":
+		op, ok := binOpByName[ej.Op]
+		if !ok {
+			return nil, jerrf("unknown binary op %q", ej.Op)
+		}
+		l, err := decodeExpr(ej.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := decodeExpr(ej.R)
+		if err != nil {
+			return nil, err
+		}
+		return &Bin{Op: op, L: l, R: r}, nil
+	case "un":
+		op, ok := unOpByName[ej.Op]
+		if !ok {
+			return nil, jerrf("unknown unary op %q", ej.Op)
+		}
+		x, err := decodeExpr(ej.X)
+		if err != nil {
+			return nil, err
+		}
+		return &Un{Op: op, X: x}, nil
+	case "sel":
+		cond, err := decodeExpr(ej.Cond)
+		if err != nil {
+			return nil, err
+		}
+		a, err := decodeExpr(ej.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := decodeExpr(ej.B)
+		if err != nil {
+			return nil, err
+		}
+		return &Sel{Cond: cond, A: a, B: b}, nil
+	case "cast":
+		if !typeOK {
+			return nil, jerrf("cast to unknown type %q", ej.Type)
+		}
+		x, err := decodeExpr(ej.X)
+		if err != nil {
+			return nil, err
+		}
+		return &Cast{To: t, X: x}, nil
+	case "load":
+		if !typeOK {
+			return nil, jerrf("load from %s with type %q", ej.Name, ej.Type)
+		}
+		idx, err := decodeExpr(ej.Index)
+		if err != nil {
+			return nil, err
+		}
+		return &Load{Buf: ej.Name, Index: idx, T: t}, nil
+	default:
+		return nil, jerrf("unknown expression kind %q", ej.Kind)
+	}
+}

@@ -1,7 +1,5 @@
 package kir
 
-import "fmt"
-
 // CheckUniformBarriers verifies, conservatively, that every barrier in the
 // kernel is reached by all threads of a work group: barriers may not appear
 // under control flow whose condition or trip count can differ between
@@ -66,8 +64,8 @@ func (u *uniformChecker) block(stmts []Stmt, divergedBy string) error {
 			delete(u.uniform, s.Var)
 		case *BarrierStmt:
 			if divergedBy != "" {
-				return fmt.Errorf("kir: kernel %s: barrier under non-uniform control flow (%s)",
-					u.k.Name, divergedBy)
+				return checkErrf(u.k, ErrNonUniformBarrier,
+					"barrier under non-uniform control flow (%s)", divergedBy)
 			}
 		}
 	}

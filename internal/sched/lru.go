@@ -4,14 +4,13 @@ import (
 	"container/list"
 	"encoding/json"
 	"hash/fnv"
-
-	"gpucmp/internal/bench"
 )
 
 // lruCache is a plain LRU over completed results, guarded by the
 // scheduler's mutex (it has no locking of its own). Values are shared
-// pointers: callers must treat a cached *bench.Result as immutable. Each
-// entry carries a checksum of its result so readers can detect a
+// pointers (*bench.Result for benchmark jobs, the task's return value for
+// generic DoTask work): callers must treat a cached value as immutable.
+// Each entry carries a checksum of its result so readers can detect a
 // corrupted entry and evict it instead of serving it.
 type lruCache struct {
 	cap   int
@@ -21,7 +20,7 @@ type lruCache struct {
 
 type lruEntry struct {
 	key string
-	res *bench.Result
+	res any
 	sum uint64 // resultChecksum at store time; 0 = unverifiable
 }
 
@@ -29,7 +28,7 @@ func newLRU(capacity int) *lruCache {
 	return &lruCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
 }
 
-func (c *lruCache) get(key string) (*bench.Result, uint64, bool) {
+func (c *lruCache) get(key string) (any, uint64, bool) {
 	el, ok := c.byKey[key]
 	if !ok {
 		return nil, 0, false
@@ -39,7 +38,7 @@ func (c *lruCache) get(key string) (*bench.Result, uint64, bool) {
 	return e.res, e.sum, true
 }
 
-func (c *lruCache) add(key string, res *bench.Result, sum uint64) {
+func (c *lruCache) add(key string, res any, sum uint64) {
 	if el, ok := c.byKey[key]; ok {
 		e := el.Value.(*lruEntry)
 		e.res, e.sum = res, sum
@@ -70,7 +69,7 @@ const corruptFlip = 0xdeadbeefdeadbeef
 // resultChecksum fingerprints a result via its canonical JSON encoding
 // (results are served as JSON, so the encoding covers every field that
 // reaches a client). Returns 0 — "unverifiable" — if encoding fails.
-func resultChecksum(res *bench.Result) uint64 {
+func resultChecksum(res any) uint64 {
 	b, err := json.Marshal(res)
 	if err != nil {
 		return 0

@@ -115,12 +115,56 @@ type Metrics struct {
 	warpInstrs atomic.Int64
 	laneInstrs atomic.Int64
 
-	mu      sync.Mutex
-	perName map[string]*Histogram
+	// Generic tenant tasks (the kernel-submission path).
+	tasksRun atomic.Uint64
+
+	mu        sync.Mutex
+	perName   map[string]*Histogram
+	perTenant map[string]*tenantCounters
+}
+
+// tenantCounters is one tenant's DoTask accounting (guarded by Metrics.mu).
+type tenantCounters struct {
+	tasks     uint64 // executions submitted on this tenant's behalf
+	cacheHits uint64 // served from the tenant's private cache
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{perName: make(map[string]*Histogram)}
+	return &Metrics{
+		perName:   make(map[string]*Histogram),
+		perTenant: make(map[string]*tenantCounters),
+	}
+}
+
+// maxTenantCounters bounds the accounting map against tenant-name
+// flooding; past it, new tenants are folded into an "other" row.
+const maxTenantCounters = 1024
+
+func (m *Metrics) tenantCountersLocked(tenant string) *tenantCounters {
+	c, ok := m.perTenant[tenant]
+	if !ok {
+		if len(m.perTenant) >= maxTenantCounters {
+			tenant = "other"
+			if c, ok = m.perTenant[tenant]; ok {
+				return c
+			}
+		}
+		c = &tenantCounters{}
+		m.perTenant[tenant] = c
+	}
+	return c
+}
+
+func (m *Metrics) tenantTask(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenantCountersLocked(tenant).tasks++
+}
+
+func (m *Metrics) tenantHit(tenant string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tenantCountersLocked(tenant).cacheHits++
 }
 
 func (m *Metrics) observe(benchmark string, d time.Duration) {
@@ -164,7 +208,17 @@ type Snapshot struct {
 	WarpInstrs int64 `json:"warp_instrs"`
 	LaneInstrs int64 `json:"lane_instrs"`
 
+	TasksRun uint64           `json:"tasks_run"`
+	Tenants  []TenantActivity `json:"tenants,omitempty"`
+
 	Latency []BenchmarkLatency `json:"latency"`
+}
+
+// TenantActivity is one tenant's DoTask accounting in a Snapshot.
+type TenantActivity struct {
+	Tenant    string `json:"tenant"`
+	Tasks     uint64 `json:"tasks"`
+	CacheHits uint64 `json:"cache_hits"`
 }
 
 // Snapshot copies the counters and summarises the per-benchmark
@@ -189,9 +243,22 @@ func (m *Metrics) Snapshot() Snapshot {
 
 		WarpInstrs: m.warpInstrs.Load(),
 		LaneInstrs: m.laneInstrs.Load(),
+
+		TasksRun: m.tasksRun.Load(),
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	tenants := make([]string, 0, len(m.perTenant))
+	for name := range m.perTenant {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		c := m.perTenant[name]
+		s.Tenants = append(s.Tenants, TenantActivity{
+			Tenant: name, Tasks: c.tasks, CacheHits: c.cacheHits,
+		})
+	}
 	names := make([]string, 0, len(m.perName))
 	for name := range m.perName {
 		names = append(names, name)

@@ -117,15 +117,31 @@ type Options struct {
 	// Injector, when non-nil, injects deterministic faults at the device
 	// seam (chaos testing).
 	Injector *fault.Injector
+
+	// Quota throttles untrusted per-tenant work submitted through DoTask.
+	// The zero value disables throttling.
+	Quota QuotaConfig
+	// TenantCacheSize caps each tenant's private result cache (default 64;
+	// negative disables tenant caching).
+	TenantCacheSize int
+	// MaxTenantCaches caps how many tenant caches exist at once (default
+	// 1024); beyond it an arbitrary tenant's cache is dropped, bounding
+	// memory against tenant-name flooding.
+	MaxTenantCaches int
 }
 
 // task is one in-flight execution that any number of callers wait on.
+// Benchmark jobs carry job and produce res; generic tenant tasks carry fn
+// and produce val.
 type task struct {
-	job  Job
-	key  string
-	done chan struct{} // closed when res/err are final
-	res  *bench.Result
-	err  error
+	job    Job
+	key    string
+	tenant string              // generic tasks only
+	fn     func() (any, error) // non-nil marks a generic task
+	done   chan struct{}       // closed when res/err (or val/err) are final
+	res    *bench.Result
+	val    any
+	err    error
 }
 
 // Scheduler runs jobs on a fixed worker pool with caching and dedup.
@@ -138,11 +154,13 @@ type Scheduler struct {
 	metrics *Metrics
 	now     func() time.Time // injectable clock for breaker tests
 
-	mu     sync.Mutex
-	closed bool
-	flight map[string]*task
-	cache  *lruCache
-	stale  *lruCache // last known good result per key, for degraded serving
+	mu      sync.Mutex
+	closed  bool
+	flight  map[string]*task
+	cache   *lruCache
+	stale   *lruCache            // last known good result per key, for degraded serving
+	tenants map[string]*lruCache // per-tenant result caches for DoTask
+	quotas  *TenantQuotas
 
 	brkMu    sync.Mutex
 	breakers map[string]*breaker
@@ -159,6 +177,12 @@ func New(opts Options) *Scheduler {
 	if opts.ReclaimGrace <= 0 {
 		opts.ReclaimGrace = 2 * time.Second
 	}
+	if opts.TenantCacheSize == 0 {
+		opts.TenantCacheSize = 64
+	}
+	if opts.MaxTenantCaches <= 0 {
+		opts.MaxTenantCaches = 1024
+	}
 	opts.Breaker = opts.Breaker.withDefaults()
 	s := &Scheduler{
 		opts:     opts,
@@ -167,8 +191,11 @@ func New(opts Options) *Scheduler {
 		metrics:  newMetrics(),
 		now:      time.Now,
 		flight:   make(map[string]*task),
+		tenants:  make(map[string]*lruCache),
+		quotas:   NewTenantQuotas(opts.Quota),
 		breakers: make(map[string]*breaker),
 	}
+	s.quotas.now = func() time.Time { return s.now() }
 	if opts.CacheSize > 0 {
 		s.cache = newLRU(opts.CacheSize)
 	}
@@ -218,7 +245,8 @@ func (s *Scheduler) Do(ctx context.Context, j Job) (*bench.Result, Outcome, erro
 		return nil, Miss, fmt.Errorf("sched: scheduler is closed")
 	}
 	if s.cache != nil {
-		if res, sum, ok := s.cache.get(key); ok {
+		if v, sum, ok := s.cache.get(key); ok {
+			res := v.(*bench.Result)
 			if sum == 0 || sum == resultChecksum(res) {
 				s.mu.Unlock()
 				s.metrics.cacheHits.Add(1)
@@ -289,11 +317,108 @@ func (s *Scheduler) RunAll(ctx context.Context, jobs []Job) ([]*bench.Result, er
 func (s *Scheduler) Stale(key string) (*bench.Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	res, sum, ok := s.stale.get(key)
-	if !ok || (sum != 0 && sum != resultChecksum(res)) {
+	v, sum, ok := s.stale.get(key)
+	if !ok {
+		return nil, false
+	}
+	res := v.(*bench.Result)
+	if sum != 0 && sum != resultChecksum(res) {
 		return nil, false
 	}
 	return res, true
+}
+
+// DoTask runs an arbitrary deterministic function on the worker pool with
+// the same singleflight deduplication and caching the benchmark path gets,
+// namespaced per tenant: two tenants submitting identical work get
+// separate cache entries and separate executions, so neither can observe
+// (via hit/shared outcomes or timing) what the other submitted. fn runs
+// with panic isolation; its return value is cached only on success.
+// metric labels the latency histogram bucket the execution lands in.
+//
+// The cached value is shared between callers: treat it as immutable.
+func (s *Scheduler) DoTask(ctx context.Context, tenant, metric, key string, fn func() (any, error)) (any, Outcome, error) {
+	full := "tenant/" + tenant + "|" + key
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, Miss, fmt.Errorf("sched: scheduler is closed")
+	}
+	if c := s.tenants[tenant]; c != nil {
+		if v, sum, ok := c.get(full); ok {
+			if sum == 0 || sum == resultChecksum(v) {
+				s.mu.Unlock()
+				s.metrics.cacheHits.Add(1)
+				s.metrics.tenantHit(tenant)
+				return v, Hit, nil
+			}
+			c.remove(full)
+			s.metrics.cacheCorruptions.Add(1)
+		}
+	}
+	if t, ok := s.flight[full]; ok {
+		s.mu.Unlock()
+		s.metrics.dedupShared.Add(1)
+		return s.waitTask(ctx, t, Shared)
+	}
+	t := &task{key: full, tenant: tenant, job: Job{Benchmark: metric}, fn: fn, done: make(chan struct{})}
+	s.flight[full] = t
+	s.subs.Add(1)
+	s.mu.Unlock()
+
+	s.metrics.cacheMisses.Add(1)
+	s.metrics.tenantTask(tenant)
+	s.metrics.queueDepth.Add(1)
+	s.queue <- t
+	s.subs.Done()
+	return s.waitTask(ctx, t, Miss)
+}
+
+func (s *Scheduler) waitTask(ctx context.Context, t *task, o Outcome) (any, Outcome, error) {
+	select {
+	case <-t.done:
+		return t.val, o, t.err
+	case <-ctx.Done():
+		return nil, o, ctx.Err()
+	}
+}
+
+// tenantCacheLocked returns (creating on demand) the tenant's cache.
+// Caller holds s.mu.
+func (s *Scheduler) tenantCacheLocked(tenant string) *lruCache {
+	if s.opts.TenantCacheSize < 0 {
+		return nil
+	}
+	c, ok := s.tenants[tenant]
+	if !ok {
+		if len(s.tenants) >= s.opts.MaxTenantCaches {
+			// Bound memory against tenant-name flooding: drop an arbitrary
+			// tenant's cache (map iteration order). Correctness is
+			// unaffected — caches only save recomputation.
+			for name := range s.tenants {
+				delete(s.tenants, name)
+				break
+			}
+		}
+		c = newLRU(s.opts.TenantCacheSize)
+		s.tenants[tenant] = c
+	}
+	return c
+}
+
+// Quotas returns the per-tenant submission quota table (never nil; with
+// no Options.Quota configured it always allows).
+func (s *Scheduler) Quotas() *TenantQuotas { return s.quotas }
+
+// TenantCacheLen returns the number of results cached for one tenant.
+func (s *Scheduler) TenantCacheLen(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.tenants[tenant]; ok {
+		return c.len()
+	}
+	return 0
 }
 
 // Metrics exposes the scheduler's counters.
@@ -314,6 +439,11 @@ func (s *Scheduler) worker() {
 	for t := range s.queue {
 		s.metrics.queueDepth.Add(-1)
 		s.metrics.inFlight.Add(1)
+		if t.fn != nil {
+			s.runTenantTask(t)
+			s.metrics.inFlight.Add(-1)
+			continue
+		}
 		start := time.Now()
 		t.res, t.err = s.execute(t.job, t.key)
 		s.metrics.observe(t.job.Benchmark, time.Since(start))
@@ -353,6 +483,37 @@ func (s *Scheduler) worker() {
 		s.mu.Unlock()
 		close(t.done)
 	}
+}
+
+// runTenantTask executes one generic DoTask submission with panic
+// isolation and caches its value — on success only — under the tenant's
+// namespace. Errors are never cached: a failed submission is re-evaluated
+// if resubmitted.
+func (s *Scheduler) runTenantTask(t *task) {
+	start := time.Now()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.metrics.panics.Add(1)
+				buf := make([]byte, 4096)
+				buf = buf[:runtime.Stack(buf, false)]
+				t.val, t.err = nil, fmt.Errorf("sched: task %s panicked: %v\n%s", t.key, r, buf)
+			}
+		}()
+		t.val, t.err = t.fn()
+	}()
+	s.metrics.observe(t.job.Benchmark, time.Since(start))
+	s.metrics.tasksRun.Add(1)
+
+	s.mu.Lock()
+	delete(s.flight, t.key)
+	if t.err == nil {
+		if c := s.tenantCacheLocked(t.tenant); c != nil {
+			c.add(t.key, t.val, resultChecksum(t.val))
+		}
+	}
+	s.mu.Unlock()
+	close(t.done)
 }
 
 // execute resolves and runs one job through the resilience ladder: per-

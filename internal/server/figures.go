@@ -31,12 +31,12 @@ type figure struct {
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(r.URL.Path, "/figures/")
 	if id == "" || strings.Contains(id, "/") {
-		writeError(w, http.StatusNotFound, fmt.Errorf("want /figures/{%s}", strings.Join(FigureIDs(), ",")))
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("want /figures/{%s}", strings.Join(FigureIDs(), ",")))
 		return
 	}
 	scale, err := s.scaleOf(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	run := s.runner(r)
@@ -57,7 +57,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		for _, a := range figureDevices() {
 			p, err := study(run, a, scale)
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, err)
+				writeError(w, http.StatusInternalServerError, codeInternal, err)
 				return
 			}
 			out = append(out, p)
@@ -69,7 +69,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		for _, a := range figureDevices() {
 			series, err := core.NativePRSeriesWith(run, a, scale)
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, err)
+				writeError(w, http.StatusInternalServerError, codeInternal, err)
 				return
 			}
 			out[a.Name] = series
@@ -81,7 +81,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		for _, a := range figureDevices() {
 			impacts, err := core.TextureStudyWith(run, a, scale)
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, err)
+				writeError(w, http.StatusInternalServerError, codeInternal, err)
 				return
 			}
 			out = append(out, impacts...)
@@ -93,7 +93,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		for _, a := range figureDevices() {
 			series, err := core.TexturePRStudyWith(run, a, scale)
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, err)
+				writeError(w, http.StatusInternalServerError, codeInternal, err)
 				return
 			}
 			out[a.Name] = series
@@ -105,7 +105,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		for _, a := range figureDevices() {
 			u, err := core.UnrollStudyCUDAWith(run, a, scale)
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, err)
+				writeError(w, http.StatusInternalServerError, codeInternal, err)
 				return
 			}
 			out = append(out, u)
@@ -117,7 +117,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		for _, a := range figureDevices() {
 			combos, err := core.UnrollCombosWith(run, a, scale)
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, err)
+				writeError(w, http.StatusInternalServerError, codeInternal, err)
 				return
 			}
 			out[a.Name] = combos
@@ -129,7 +129,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		for _, a := range figureDevices() {
 			c, err := core.ConstantStudyWith(run, a, scale)
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, err)
+				writeError(w, http.StatusInternalServerError, codeInternal, err)
 				return
 			}
 			out = append(out, c)
@@ -140,7 +140,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		scale = 0 // static compile study; problem size does not apply
 		cu, cl, report, err := core.PTXStudy()
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
 		data = map[string]any{
@@ -152,12 +152,12 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		title = "Table VI: OpenCL portability across the non-NVIDIA devices"
 		cells, err := core.PortabilityStudyWith(run, scale)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
 		data = cells
 	default:
-		writeError(w, http.StatusNotFound,
+		writeError(w, http.StatusNotFound, codeNotFound,
 			fmt.Errorf("unknown figure %q; known figures: %s", id, strings.Join(FigureIDs(), ", ")))
 		return
 	}

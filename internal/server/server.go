@@ -21,12 +21,17 @@ import (
 	"gpucmp/internal/core"
 	"gpucmp/internal/perfmodel"
 	"gpucmp/internal/sched"
+	"gpucmp/internal/submit"
 )
+
+// maxRunBody caps POST /run bodies; a sched.Job is a few hundred bytes.
+const maxRunBody = 1 << 16
 
 // Server holds the service's dependencies.
 type Server struct {
-	sched *sched.Scheduler
-	start time.Time
+	sched  *sched.Scheduler
+	start  time.Time
+	limits submit.Limits // POST /kernels resource bounds
 
 	// figureScale is the default problem-size divisor for /figures/*
 	// (overridable per request with ?scale=N). The default keeps an
@@ -38,6 +43,10 @@ type Server struct {
 	degradedEstimates atomic.Uint64 // perfmodel analytical estimates served
 	degradedStale     atomic.Uint64 // stale last-known-good results served
 	unavailable       atomic.Uint64 // 503s: nothing could be served
+
+	// /kernels counters.
+	gauntletRejects atomic.Uint64 // submissions refused before execution
+	quotaDenials    atomic.Uint64 // submissions refused by tenant quota
 }
 
 // Option customises a Server.
@@ -52,9 +61,14 @@ func WithFigureScale(scale int) Option {
 	}
 }
 
+// WithSubmitLimits overrides the POST /kernels resource bounds.
+func WithSubmitLimits(lim submit.Limits) Option {
+	return func(s *Server) { s.limits = lim }
+}
+
 // New wraps a scheduler in the HTTP service.
 func New(s *sched.Scheduler, opts ...Option) *Server {
-	srv := &Server{sched: s, start: time.Now(), figureScale: 4}
+	srv := &Server{sched: s, start: time.Now(), figureScale: 4, limits: submit.DefaultLimits()}
 	for _, o := range opts {
 		o(srv)
 	}
@@ -68,6 +82,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/devices", s.handleDevices)
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/kernels", s.handleKernels)
 	mux.HandleFunc("/figures/", s.handleFigure)
 	mux.HandleFunc("/compiler/passes", s.handleCompilerPasses)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -83,13 +98,34 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // client went away; nothing to do
 }
 
+// errorBody is the uniform error shape of every endpoint: a human
+// message plus a stable machine code ("bad-json", "unknown-device",
+// "unbounded-loop", ...). Codes are API contract: never change one, only
+// add.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorBody{Error: err.Error()})
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
 }
+
+// Machine codes for errors that originate in the server itself (domain
+// layers carry their own: submit.Code, kir.ErrCode).
+const (
+	codeBadJSON          = "bad-json"
+	codeBadRequest       = "bad-request"
+	codeUnknownDevice    = "unknown-device"
+	codeUnknownBenchmark = "unknown-benchmark"
+	codeNotFound         = "not-found"
+	codeMethodNotAllowed = "method-not-allowed"
+	codeTooLarge         = "too-large"
+	codeBadTenant        = "bad-tenant"
+	codeQuota            = "quota-exceeded"
+	codeInternal         = "internal"
+	codeUnavailable      = "unavailable"
+)
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// /healthz reflects the per-device circuit breakers: the service is
@@ -207,31 +243,43 @@ type runResponse struct {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST a sched.Job body to /run"))
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed,
+			fmt.Errorf("POST a sched.Job body to /run"))
 		return
 	}
 	var job sched.Job
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRunBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&job); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad /run body: %w", err))
+		status, code := http.StatusBadRequest, codeBadJSON
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status, code = http.StatusRequestEntityTooLarge, codeTooLarge
+		}
+		writeError(w, status, code, fmt.Errorf("bad /run body: %w", err))
 		return
 	}
 	if err := job.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		code := codeBadRequest
+		if _, serr := bench.SpecByName(job.Benchmark); serr != nil {
+			code = codeUnknownBenchmark
+		} else if _, aerr := arch.Resolve(job.Device); aerr != nil {
+			code = codeUnknownDevice
+		}
+		writeError(w, http.StatusBadRequest, code, err)
 		return
 	}
 	res, outcome, err := s.sched.Do(r.Context(), job)
 	if err != nil {
 		if r.Context().Err() != nil {
 			// The client went away; nothing sensible to serve.
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
 		switch sched.ClassOf(err) {
 		case sched.Permanent:
 			// Deterministic failure: degrading would mask a real answer.
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, http.StatusInternalServerError, codeInternal, err)
 		default:
 			// Transient, watchdog or breaker-open: walk the degradation
 			// ladder instead of failing the request.
@@ -291,7 +339,7 @@ func (s *Server) serveDegraded(w http.ResponseWriter, job sched.Job, cause error
 		retryAfter = boe.RetryAfter.Seconds()
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter))))
-	writeError(w, http.StatusServiceUnavailable, cause)
+	writeError(w, http.StatusServiceUnavailable, codeUnavailable, cause)
 }
 
 // runner adapts the scheduler to the core.Runner the study functions take.
@@ -393,6 +441,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			v = 2
 		}
 		fmt.Fprintf(w, "gpucmpd_breaker_state{device=%q} %d\n", b.Device, v)
+	}
+	fmt.Fprintf(w, "# HELP gpucmpd_tasks_total Generic tenant tasks (kernel submissions) executed.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_tasks_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_tasks_total %d\n", snap.TasksRun)
+	fmt.Fprintf(w, "# HELP gpucmpd_gauntlet_rejects_total Kernel submissions refused before execution.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_gauntlet_rejects_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_gauntlet_rejects_total %d\n", s.gauntletRejects.Load())
+	fmt.Fprintf(w, "# HELP gpucmpd_quota_denials_total Kernel submissions refused by tenant quota.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_quota_denials_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_quota_denials_total %d\n", s.quotaDenials.Load())
+	if len(snap.Tenants) > 0 {
+		fmt.Fprintf(w, "# HELP gpucmpd_tenant_tasks_total Executions submitted per tenant.\n")
+		fmt.Fprintf(w, "# TYPE gpucmpd_tenant_tasks_total counter\n")
+		for _, t := range snap.Tenants {
+			fmt.Fprintf(w, "gpucmpd_tenant_tasks_total{tenant=%q} %d\n", t.Tenant, t.Tasks)
+		}
+		fmt.Fprintf(w, "# HELP gpucmpd_tenant_cache_hits_total Tenant-cache hits per tenant.\n")
+		fmt.Fprintf(w, "# TYPE gpucmpd_tenant_cache_hits_total counter\n")
+		for _, t := range snap.Tenants {
+			fmt.Fprintf(w, "gpucmpd_tenant_cache_hits_total{tenant=%q} %d\n", t.Tenant, t.CacheHits)
+		}
+	}
+	if quotas := s.sched.Quotas().Snapshot(); len(quotas) > 0 {
+		fmt.Fprintf(w, "# HELP gpucmpd_tenant_quota_allowed_total Submissions admitted by the tenant quota.\n")
+		fmt.Fprintf(w, "# TYPE gpucmpd_tenant_quota_allowed_total counter\n")
+		for _, q := range quotas {
+			fmt.Fprintf(w, "gpucmpd_tenant_quota_allowed_total{tenant=%q} %d\n", q.Tenant, q.Allowed)
+		}
+		fmt.Fprintf(w, "# HELP gpucmpd_tenant_quota_denied_total Submissions rejected by the tenant quota.\n")
+		fmt.Fprintf(w, "# TYPE gpucmpd_tenant_quota_denied_total counter\n")
+		for _, q := range quotas {
+			fmt.Fprintf(w, "gpucmpd_tenant_quota_denied_total{tenant=%q} %d\n", q.Tenant, q.Denied)
+		}
 	}
 	hits, misses := compiler.CompileCacheStats()
 	fmt.Fprintf(w, "# HELP gpucmpd_compile_cache_hits_total Compiled-kernel cache hits.\n")

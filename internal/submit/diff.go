@@ -1,0 +1,82 @@
+package submit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// diffLines computes a unified-style line diff of two disassemblies
+// ("-" lines only in a, "+" only in b, " " common), capped at maxLines of
+// output. Inputs are capped too: LCS is quadratic, and a hostile kernel
+// controls the disassembly length, so each side is truncated to
+// maxDiffInput lines before the DP table is built — worst case the table
+// is ~5 MB of uint16s, freed on return.
+func diffLines(a, b string, maxLines int) []string {
+	if a == b {
+		return nil // identical disassemblies: nothing worth echoing
+	}
+	const maxDiffInput = 1600
+	al := splitCap(a, maxDiffInput)
+	bl := splitCap(b, maxDiffInput)
+	// lcs[i][j] = LCS length of al[i:], bl[j:].
+	w := len(bl) + 1
+	lcs := make([]uint16, (len(al)+1)*w)
+	for i := len(al) - 1; i >= 0; i-- {
+		for j := len(bl) - 1; j >= 0; j-- {
+			if al[i] == bl[j] {
+				lcs[i*w+j] = lcs[(i+1)*w+j+1] + 1
+			} else {
+				lcs[i*w+j] = max16(lcs[(i+1)*w+j], lcs[i*w+j+1])
+			}
+		}
+	}
+	var out []string
+	dropped := 0
+	emit := func(line string) {
+		if len(out) < maxLines {
+			out = append(out, line)
+		} else {
+			dropped++
+		}
+	}
+	i, j := 0, 0
+	for i < len(al) && j < len(bl) {
+		switch {
+		case al[i] == bl[j]:
+			emit(" " + al[i])
+			i++
+			j++
+		case lcs[(i+1)*w+j] >= lcs[i*w+j+1]:
+			emit("-" + al[i])
+			i++
+		default:
+			emit("+" + bl[j])
+			j++
+		}
+	}
+	for ; i < len(al); i++ {
+		emit("-" + al[i])
+	}
+	for ; j < len(bl); j++ {
+		emit("+" + bl[j])
+	}
+	if dropped > 0 {
+		out = append(out, fmt.Sprintf("... (%d more lines)", dropped))
+	}
+	return out
+}
+
+func splitCap(s string, n int) []string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return lines
+}
+
+func max16(a, b uint16) uint16 {
+	if a > b {
+		return a
+	}
+	return b
+}
