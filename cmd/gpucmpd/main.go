@@ -31,10 +31,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"gpucmp/internal/cluster"
 	"gpucmp/internal/fault"
 	"gpucmp/internal/sched"
 	"gpucmp/internal/server"
@@ -54,6 +56,19 @@ func main() {
 	quotaBurst := flag.Float64("quota-burst", 0, "POST /kernels: per-tenant burst capacity (0 = max(rate, 1))")
 	tenantCache := flag.Int("tenant-cache-size", 64, "POST /kernels: per-tenant result-cache entries (negative disables)")
 	stepBudget := flag.Uint64("submit-step-budget", 0, "POST /kernels: watchdog warp-instruction budget per work group (0 = default)")
+	coordinator := flag.Bool("coordinator", false, "run as fleet coordinator: admit and route requests to -shards instead of executing locally")
+	shards := flag.String("shards", "", "coordinator mode: comma-separated worker base URLs (e.g. http://127.0.0.1:8481,http://127.0.0.1:8482)")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0.95, "coordinator mode: latency quantile that arms the hedge timer")
+	hedgeMin := flag.Duration("hedge-min", 20*time.Millisecond, "coordinator mode: hedge-delay floor")
+	hedgeMax := flag.Duration("hedge-max", 2*time.Second, "coordinator mode: hedge-delay cap")
+	noHedge := flag.Bool("no-hedge", false, "coordinator mode: disable request hedging (failover still applies)")
+	maxInFlight := flag.Int("max-inflight", 512, "coordinator mode: shed with 503 above this many in-flight requests (negative disables)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "coordinator mode: worker readiness-probe period (negative disables)")
+	vnodes := flag.Int("ring-vnodes", cluster.DefaultVirtualNodes, "coordinator mode: virtual nodes per ring member")
+	injectSeed := flag.Uint64("inject-seed", 1, "serving mode: fault-injection seed (with -inject-slow-rate)")
+	injectSlowRate := flag.Float64("inject-slow-rate", 0, "serving mode: fraction of kernel launches stalled by an injected straggler delay (0 disables)")
+	injectSlowDelay := flag.Duration("inject-slow-delay", 300*time.Millisecond, "serving mode: straggler delay for -inject-slow-rate")
+	drainNotice := flag.Duration("drain-notice", 0, "on SIGINT/SIGTERM, hold readiness down this long before closing listeners (lets coordinator probes evict us first)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -72,12 +87,38 @@ func main() {
 		os.Exit(runChaos(*chaosSeed, *workers))
 	}
 
+	if *coordinator {
+		os.Exit(runCoordinator(*addr, *shards, cluster.Config{
+			VirtualNodes:  *vnodes,
+			HedgeQuantile: *hedgeQuantile,
+			HedgeMinDelay: *hedgeMin,
+			HedgeMaxDelay: *hedgeMax,
+			HedgeDisabled: *noHedge,
+			MaxInFlight:   *maxInFlight,
+			Quota:         sched.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst},
+			ProbeInterval: *probeInterval,
+		}, *drainNotice))
+	}
+
+	var inj *fault.Injector
+	if *injectSlowRate > 0 {
+		// A straggler-only schedule: launches stall but still succeed, which
+		// is exactly the slow-shard shape request hedging is built to beat.
+		inj = fault.New(*injectSeed, fault.Schedule{
+			SlowRate:  *injectSlowRate,
+			SlowDelay: *injectSlowDelay,
+		})
+		log.Printf("gpucmpd: injecting %.0f%% slow launches (+%v, seed %d)",
+			*injectSlowRate*100, *injectSlowDelay, *injectSeed)
+	}
+
 	s := sched.New(sched.Options{
 		Workers:         *workers,
 		CacheSize:       *cacheSize,
 		JobTimeout:      *jobTimeout,
 		Quota:           sched.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst},
 		TenantCacheSize: *tenantCache,
+		Injector:        inj,
 	})
 	defer s.Close()
 
@@ -110,6 +151,13 @@ func main() {
 		sig := <-stop
 		log.Printf("gpucmpd: %v received, draining in-flight requests", sig)
 		signal.Stop(stop) // a second signal kills the process immediately
+		// Fail readiness first so load balancers and the fleet
+		// coordinator's probes stop sending new work, optionally holding
+		// that state before closing listeners.
+		srv.SetReady(false)
+		if *drainNotice > 0 {
+			time.Sleep(*drainNotice)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
@@ -124,6 +172,60 @@ func main() {
 		log.Fatal(err)
 	}
 	<-done
+}
+
+// runCoordinator serves the fleet-coordinator role: no local execution,
+// just admission control and routing over the worker shards. Returns the
+// process exit code.
+func runCoordinator(addr, shards string, cfg cluster.Config, drainNotice time.Duration) int {
+	for _, s := range strings.Split(shards, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			cfg.Workers = append(cfg.Workers, strings.TrimRight(s, "/"))
+		}
+	}
+	if len(cfg.Workers) == 0 {
+		log.Print("gpucmpd: -coordinator requires -shards with at least one worker URL")
+		return 2
+	}
+	coord := cluster.New(cfg)
+	coord.Start()
+	defer coord.Close()
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      16 * time.Minute, // must outlast the slowest worker response
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-stop
+		log.Printf("gpucmpd: %v received, draining coordinator", sig)
+		signal.Stop(stop)
+		coord.SetReady(false)
+		if drainNotice > 0 {
+			time.Sleep(drainNotice)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("gpucmpd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("gpucmpd: coordinating %d workers on %s", len(cfg.Workers), addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Print(err)
+		return 1
+	}
+	<-done
+	return 0
 }
 
 // runChaos executes the chaos smoke: the cheap cross-toolchain benchmark

@@ -1,0 +1,371 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpucmp/internal/fault"
+	"gpucmp/internal/sched"
+	"gpucmp/internal/server"
+)
+
+// startWorker spins up a real gpucmpd worker (scheduler + HTTP server)
+// with an optional fault injector.
+func startWorker(t *testing.T, inj *fault.Injector) (*httptest.Server, *server.Server) {
+	t.Helper()
+	s := sched.New(sched.Options{Workers: 4, Injector: inj})
+	t.Cleanup(s.Close)
+	srv := server.New(s, server.WithFigureScale(64))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func startCoordinator(t *testing.T, cfg Config) (*httptest.Server, *Coordinator) {
+	t.Helper()
+	c := New(cfg)
+	c.Start()
+	t.Cleanup(c.Close)
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+	return ts, c
+}
+
+func runBody(benchmark string, scale int) string {
+	return fmt.Sprintf(`{"benchmark":%q,"device":"GeForce GTX480","toolchain":"opencl","config":{"scale":%d}}`, benchmark, scale)
+}
+
+// post fires one request and returns status, body, and the X-Shard
+// header.
+func post(t *testing.T, url, body string) (int, []byte, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b, resp.Header.Get("X-Shard")
+}
+
+// typedRefusal reports whether a non-2xx response carries a machine code
+// — the fleet contract that no refusal is ever an untyped 5xx.
+func typedRefusal(body []byte) bool {
+	var e struct {
+		Code string `json:"code"`
+	}
+	return json.Unmarshal(body, &e) == nil && e.Code != ""
+}
+
+// TestClusterFaultTolerance is the headline chaos test (run under
+// -race): a 3-worker fleet with one pathologically slow shard and one
+// worker killed mid-run must serve every request without a single
+// untyped 5xx — hedging beats the slow shard, failover absorbs the dead
+// one, and the probe loop evicts it from the ring.
+func TestClusterFaultTolerance(t *testing.T) {
+	// Worker 0 stalls every kernel launch 400ms; hedging (capped at
+	// 60ms) must beat it by racing the next shard on the ring.
+	slowInj := fault.New(7, fault.Schedule{SlowRate: 1.0, SlowDelay: 400 * time.Millisecond})
+	slow, _ := startWorker(t, slowInj)
+	ok1, _ := startWorker(t, nil)
+	ok2, _ := startWorker(t, nil)
+
+	cts, coord := startCoordinator(t, Config{
+		Workers:       []string{slow.URL, ok1.URL, ok2.URL},
+		HedgeMinDelay: 20 * time.Millisecond,
+		HedgeMaxDelay: 60 * time.Millisecond,
+		ProbeInterval: 50 * time.Millisecond,
+	})
+
+	barrage := func(phase string, n, scaleBase int) {
+		t.Helper()
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				bench := []string{"Reduce", "Scan", "Sobel", "TranP"}[i%4]
+				status, body, _ := post(t, cts.URL+"/run", runBody(bench, scaleBase+8*(i%6)))
+				if status != http.StatusOK {
+					if status >= 500 && !typedRefusal(body) {
+						t.Errorf("%s: untyped %d: %s", phase, status, body)
+					} else {
+						t.Errorf("%s: status %d (want 200 with 2 healthy shards): %s", phase, status, body)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	barrage("slow-shard phase", 40, 16)
+	snap := coord.Metrics()
+	if snap.Hedges == 0 {
+		t.Error("no hedges fired against a shard stalling every launch 400ms")
+	}
+	if snap.HedgeWins == 0 {
+		t.Error("no hedge ever won against a 400ms-stalled shard")
+	}
+
+	// Kill a healthy worker with zero notice: in-flight routing must fail
+	// over on the transport error, and the probe loop must evict it.
+	ok1.Close()
+	barrage("dead-worker phase", 40, 64)
+	if snap = coord.Metrics(); snap.Failovers == 0 {
+		t.Error("no failovers after killing a worker")
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for coord.Ring().Len() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("probe loop never evicted the dead worker: ring = %v", coord.Ring().Members())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	barrage("post-eviction phase", 20, 128)
+}
+
+// TestClusterRoutingIsSticky: the same content key always lands on the
+// same shard (so worker caches stay hot), and the repeat is served from
+// that shard's cache.
+func TestClusterRoutingIsSticky(t *testing.T) {
+	w1, _ := startWorker(t, nil)
+	w2, _ := startWorker(t, nil)
+	w3, _ := startWorker(t, nil)
+	cts, _ := startCoordinator(t, Config{
+		Workers:       []string{w1.URL, w2.URL, w3.URL},
+		ProbeInterval: -1, // static membership: this test is about routing
+		HedgeDisabled: true,
+	})
+
+	body := runBody("Reduce", 32)
+	_, _, firstShard := post(t, cts.URL+"/run", body)
+	if firstShard == "" {
+		t.Fatal("response missing X-Shard")
+	}
+	for i := 0; i < 5; i++ {
+		status, respBody, shard := post(t, cts.URL+"/run", body)
+		if status != http.StatusOK {
+			t.Fatalf("repeat %d: status %d: %s", i, status, respBody)
+		}
+		if shard != firstShard {
+			t.Fatalf("repeat %d routed to %s, first went to %s", i, shard, firstShard)
+		}
+		var out struct {
+			Served string `json:"served"`
+		}
+		if err := json.Unmarshal(respBody, &out); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && out.Served != "hit" {
+			t.Errorf("repeat %d served=%q, want cache hit on the owning shard", i, out.Served)
+		}
+	}
+}
+
+// TestClusterDedupJoinsConcurrentIdentical: identical concurrent
+// requests share one upstream call (coordinator singleflight) on top of
+// the owning worker's own dedup.
+func TestClusterDedupJoinsConcurrentIdentical(t *testing.T) {
+	// Stall launches so the identical requests genuinely overlap.
+	inj := fault.New(3, fault.Schedule{SlowRate: 1.0, SlowDelay: 150 * time.Millisecond})
+	w, _ := startWorker(t, inj)
+	cts, coord := startCoordinator(t, Config{
+		Workers:       []string{w.URL},
+		ProbeInterval: -1,
+		HedgeDisabled: true,
+	})
+
+	body := runBody("Scan", 48)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if status, b, _ := post(t, cts.URL+"/run", body); status != http.StatusOK {
+				t.Errorf("status %d: %s", status, b)
+			}
+		}()
+	}
+	wg.Wait()
+	if snap := coord.Metrics(); snap.DedupJoined == 0 {
+		t.Error("8 identical concurrent requests never joined an in-flight proxy call")
+	}
+}
+
+// TestClusterShedsTyped: above MaxInFlight the coordinator refuses with
+// 503 + Retry-After and a machine-readable code — never a hang, never an
+// untyped error.
+func TestClusterShedsTyped(t *testing.T) {
+	inj := fault.New(5, fault.Schedule{SlowRate: 1.0, SlowDelay: 300 * time.Millisecond})
+	w, _ := startWorker(t, inj)
+	cts, coord := startCoordinator(t, Config{
+		Workers:       []string{w.URL},
+		MaxInFlight:   1,
+		ProbeInterval: -1,
+		HedgeDisabled: true,
+	})
+
+	var mu sync.Mutex
+	var shed, served int
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(cts.URL+"/run", "application/json",
+				strings.NewReader(runBody("Sobel", 32+i))) // distinct keys: no dedup escape hatch
+			if err != nil {
+				t.Errorf("transport error: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				served++
+			case resp.StatusCode == http.StatusServiceUnavailable && typedRefusal(b):
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("shed response missing Retry-After")
+				}
+				shed++
+			default:
+				t.Errorf("status %d body %s, want 200 or typed 503", resp.StatusCode, b)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if shed == 0 {
+		t.Errorf("10 concurrent requests against MaxInFlight=1 shed none (served %d)", served)
+	}
+	if served == 0 {
+		t.Error("shedding refused everything; at least one request must be admitted")
+	}
+	if snap := coord.Metrics(); snap.Shed == 0 {
+		t.Error("shed counter not incremented")
+	}
+}
+
+// TestClusterTenantQuota: the admission quota refuses over-rate tenants
+// with 429 + Retry-After while other tenants keep flowing.
+func TestClusterTenantQuota(t *testing.T) {
+	w, _ := startWorker(t, nil)
+	cts, coord := startCoordinator(t, Config{
+		Workers:       []string{w.URL},
+		Quota:         sched.QuotaConfig{Rate: 0.001, Burst: 1},
+		ProbeInterval: -1,
+		HedgeDisabled: true,
+	})
+
+	do := func(tenant string) (int, []byte) {
+		req, _ := http.NewRequest(http.MethodPost, cts.URL+"/run", strings.NewReader(runBody("Reduce", 32)))
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+			t.Error("429 missing Retry-After")
+		}
+		return resp.StatusCode, b
+	}
+
+	if status, b := do("alice"); status != http.StatusOK {
+		t.Fatalf("first request: %d %s", status, b)
+	}
+	if status, b := do("alice"); status != http.StatusTooManyRequests || !typedRefusal(b) {
+		t.Fatalf("second request: %d %s, want typed 429", status, b)
+	}
+	if status, b := do("bob"); status != http.StatusOK {
+		t.Fatalf("other tenant collateral damage: %d %s", status, b)
+	}
+	if snap := coord.Metrics(); snap.QuotaDenied == 0 {
+		t.Error("quota_denied counter not incremented")
+	}
+}
+
+// TestCoordinatorDrain: SetReady flips /healthz/ready and new requests
+// are refused typed while draining.
+func TestCoordinatorDrain(t *testing.T) {
+	w, _ := startWorker(t, nil)
+	cts, coord := startCoordinator(t, Config{Workers: []string{w.URL}, ProbeInterval: -1})
+
+	resp, err := http.Get(cts.URL + "/healthz/ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ready before drain = %d", resp.StatusCode)
+	}
+
+	coord.SetReady(false)
+	resp, err = http.Get(cts.URL + "/healthz/ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("ready during drain = %d, want 503", resp.StatusCode)
+	}
+
+	status, b, _ := post(t, cts.URL+"/run", runBody("Reduce", 32))
+	if status != http.StatusServiceUnavailable || !typedRefusal(b) {
+		t.Fatalf("draining coordinator answered %d %s, want typed 503", status, b)
+	}
+}
+
+// TestCoordinatorMetricsEndpoint: both exposition formats serve the
+// fleet counters.
+func TestCoordinatorMetricsEndpoint(t *testing.T) {
+	w, _ := startWorker(t, nil)
+	cts, _ := startCoordinator(t, Config{Workers: []string{w.URL}, ProbeInterval: -1})
+
+	if status, _, _ := post(t, cts.URL+"/run", runBody("Reduce", 32)); status != http.StatusOK {
+		t.Fatalf("seed request failed: %d", status)
+	}
+
+	resp, err := http.Get(cts.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Routed == 0 || snap.RingMembers != 1 || len(snap.Shards) != 1 {
+		t.Errorf("snapshot = routed %d, members %d, shards %d", snap.Routed, snap.RingMembers, len(snap.Shards))
+	}
+
+	resp2, err := http.Get(cts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	prom, _ := io.ReadAll(resp2.Body)
+	for _, metric := range []string{
+		"gpucmpd_coord_routed_total",
+		"gpucmpd_coord_ring_members 1",
+		"gpucmpd_coord_shard_requests_total",
+		"gpucmpd_coord_queue_depth_bucket",
+	} {
+		if !strings.Contains(string(prom), metric) {
+			t.Errorf("prometheus output missing %q", metric)
+		}
+	}
+}

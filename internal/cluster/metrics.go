@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"gpucmp/internal/sched"
+)
+
+// shardCounters is one worker's routing accounting.
+type shardCounters struct {
+	requests  atomic.Uint64 // attempts sent to this shard
+	errors    atomic.Uint64 // failed attempts (transport error or failover-class status)
+	hedges    atomic.Uint64 // hedge attempts fired at this shard
+	hedgeWins atomic.Uint64 // hedge attempts that beat the primary
+}
+
+// Metrics is the coordinator's observability surface: per-shard routing
+// counters, fleet-level admission counters, a ring-membership gauge, and
+// a queue-depth histogram (the number of proxied requests already in
+// flight, observed at each admission).
+type Metrics struct {
+	routed      atomic.Uint64 // requests admitted and routed
+	shed        atomic.Uint64 // requests refused with 503 (overload)
+	quotaDenied atomic.Uint64 // requests refused with 429 (tenant quota)
+	failovers   atomic.Uint64 // attempts moved to the next shard
+	hedges      atomic.Uint64 // hedge attempts fired
+	hedgeWins   atomic.Uint64 // hedges whose response won
+	dedupJoined atomic.Uint64 // requests served by an identical in-flight proxy call
+	noShard     atomic.Uint64 // requests that found an empty ring
+
+	mu     sync.Mutex
+	shards map[string]*shardCounters
+	depth  sched.Histogram // in-flight depth at admission, in "seconds" units (count)
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{shards: make(map[string]*shardCounters)}
+}
+
+func (m *Metrics) shard(name string) *shardCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.shards[name]
+	if !ok {
+		c = &shardCounters{}
+		m.shards[name] = c
+	}
+	return c
+}
+
+// observeDepth records the coordinator's in-flight request count at one
+// admission into the queue-depth histogram.
+func (m *Metrics) observeDepth(depth int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.depth.Observe(float64(depth))
+}
+
+// ShardSnapshot is one shard's counters at snapshot time.
+type ShardSnapshot struct {
+	Shard     string `json:"shard"`
+	Requests  uint64 `json:"requests"`
+	Errors    uint64 `json:"errors"`
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	InRing    bool   `json:"in_ring"`
+	Breaker   string `json:"breaker"`
+}
+
+// Snapshot is a point-in-time copy of the coordinator's metrics.
+type Snapshot struct {
+	Routed      uint64 `json:"routed"`
+	Shed        uint64 `json:"shed"`
+	QuotaDenied uint64 `json:"quota_denied"`
+	Failovers   uint64 `json:"failovers"`
+	Hedges      uint64 `json:"hedges"`
+	HedgeWins   uint64 `json:"hedge_wins"`
+	DedupJoined uint64 `json:"dedup_joined"`
+	NoShard     uint64 `json:"no_shard"`
+	RingMembers int    `json:"ring_members"`
+
+	QueueDepthCount uint64  `json:"queue_depth_count"`
+	QueueDepthP50   float64 `json:"queue_depth_p50"`
+	QueueDepthP99   float64 `json:"queue_depth_p99"`
+
+	Shards []ShardSnapshot             `json:"shards"`
+	Quotas []sched.TenantQuotaSnapshot `json:"quotas,omitempty"`
+}
+
+// snapshotLocked assembles the fleet snapshot; the coordinator fills in
+// ring membership and breaker state per shard.
+func (c *Coordinator) snapshot() Snapshot {
+	m := c.metrics
+	s := Snapshot{
+		Routed:      m.routed.Load(),
+		Shed:        m.shed.Load(),
+		QuotaDenied: m.quotaDenied.Load(),
+		Failovers:   m.failovers.Load(),
+		Hedges:      m.hedges.Load(),
+		HedgeWins:   m.hedgeWins.Load(),
+		DedupJoined: m.dedupJoined.Load(),
+		NoShard:     m.noShard.Load(),
+		RingMembers: c.ring.Len(),
+		Quotas:      c.quotas.Snapshot(),
+	}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.shards))
+	for name := range m.shards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s.QueueDepthCount = m.depth.Count()
+	if s.QueueDepthCount > 0 {
+		s.QueueDepthP50 = m.depth.Quantile(0.50)
+		s.QueueDepthP99 = m.depth.Quantile(0.99)
+	}
+	counters := make([]*shardCounters, len(names))
+	for i, name := range names {
+		counters[i] = m.shards[name]
+	}
+	m.mu.Unlock()
+	for i, name := range names {
+		sc := counters[i]
+		s.Shards = append(s.Shards, ShardSnapshot{
+			Shard:     name,
+			Requests:  sc.requests.Load(),
+			Errors:    sc.errors.Load(),
+			Hedges:    sc.hedges.Load(),
+			HedgeWins: sc.hedgeWins.Load(),
+			InRing:    c.ring.Contains(name),
+			Breaker:   c.breakerFor(name).State().String(),
+		})
+	}
+	return s
+}
+
+// writeProm renders the fleet metrics in Prometheus exposition format,
+// matching the gpucmpd_* metric style of internal/server.
+func (c *Coordinator) writeProm(w io.Writer) {
+	s := c.snapshot()
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_routed_total Requests admitted and routed to a shard.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_routed_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_coord_routed_total %d\n", s.Routed)
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_shed_total Requests refused with 503: coordinator overloaded.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_shed_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_coord_shed_total %d\n", s.Shed)
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_quota_denied_total Requests refused with 429 by tenant quota.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_quota_denied_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_coord_quota_denied_total %d\n", s.QuotaDenied)
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_failovers_total Attempts moved to the next shard after a shard failure.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_failovers_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_coord_failovers_total %d\n", s.Failovers)
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_hedges_total Hedge attempts fired against slow shards.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_hedges_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_coord_hedges_total %d\n", s.Hedges)
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_hedge_wins_total Hedge attempts whose response won the race.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_hedge_wins_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_coord_hedge_wins_total %d\n", s.HedgeWins)
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_dedup_joined_total Requests served by an identical in-flight proxy call.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_dedup_joined_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_coord_dedup_joined_total %d\n", s.DedupJoined)
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_no_shard_total Requests that found an empty ring.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_no_shard_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_coord_no_shard_total %d\n", s.NoShard)
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_ring_members Workers currently on the routing ring.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_ring_members gauge\n")
+	fmt.Fprintf(w, "gpucmpd_coord_ring_members %d\n", s.RingMembers)
+
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_shard_requests_total Attempts sent per shard.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_shard_requests_total counter\n")
+	for _, sh := range s.Shards {
+		fmt.Fprintf(w, "gpucmpd_coord_shard_requests_total{shard=%q} %d\n", sh.Shard, sh.Requests)
+	}
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_shard_errors_total Failed attempts per shard.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_shard_errors_total counter\n")
+	for _, sh := range s.Shards {
+		fmt.Fprintf(w, "gpucmpd_coord_shard_errors_total{shard=%q} %d\n", sh.Shard, sh.Errors)
+	}
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_shard_hedges_total Hedge attempts per shard.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_shard_hedges_total counter\n")
+	for _, sh := range s.Shards {
+		fmt.Fprintf(w, "gpucmpd_coord_shard_hedges_total{shard=%q} %d\n", sh.Shard, sh.Hedges)
+	}
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_shard_in_ring Shard ring membership (1 = routing to it).\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_shard_in_ring gauge\n")
+	for _, sh := range s.Shards {
+		v := 0
+		if sh.InRing {
+			v = 1
+		}
+		fmt.Fprintf(w, "gpucmpd_coord_shard_in_ring{shard=%q} %d\n", sh.Shard, v)
+	}
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_breaker_state Per-shard breaker state (0=closed, 1=half-open, 2=open).\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_breaker_state gauge\n")
+	for _, sh := range s.Shards {
+		v := 0
+		switch sh.Breaker {
+		case "half-open":
+			v = 1
+		case "open":
+			v = 2
+		}
+		fmt.Fprintf(w, "gpucmpd_coord_breaker_state{shard=%q} %d\n", sh.Shard, v)
+	}
+
+	// Queue-depth histogram: in-flight proxied requests observed at each
+	// admission, bucketed on the shared latency-bucket scale (the bounds
+	// read as request counts here, not seconds).
+	c.metrics.mu.Lock()
+	bounds, cum := c.metrics.depth.Buckets()
+	sum, count := c.metrics.depth.Sum(), c.metrics.depth.Count()
+	c.metrics.mu.Unlock()
+	fmt.Fprintf(w, "# HELP gpucmpd_coord_queue_depth In-flight proxied requests observed at admission.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_coord_queue_depth histogram\n")
+	for i := range bounds {
+		le := "+Inf"
+		if i < len(bounds)-1 {
+			le = strconv.FormatFloat(bounds[i], 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "gpucmpd_coord_queue_depth_bucket{le=%q} %d\n", le, cum[i])
+	}
+	fmt.Fprintf(w, "gpucmpd_coord_queue_depth_sum %g\n", sum)
+	fmt.Fprintf(w, "gpucmpd_coord_queue_depth_count %d\n", count)
+
+	if len(s.Quotas) > 0 {
+		fmt.Fprintf(w, "# HELP gpucmpd_coord_quota_allowed_total Requests admitted by the tenant quota.\n")
+		fmt.Fprintf(w, "# TYPE gpucmpd_coord_quota_allowed_total counter\n")
+		for _, q := range s.Quotas {
+			fmt.Fprintf(w, "gpucmpd_coord_quota_allowed_total{tenant=%q} %d\n", q.Tenant, q.Allowed)
+		}
+		fmt.Fprintf(w, "# HELP gpucmpd_coord_quota_denied_tenant_total Requests rejected by the tenant quota.\n")
+		fmt.Fprintf(w, "# TYPE gpucmpd_coord_quota_denied_tenant_total counter\n")
+		for _, q := range s.Quotas {
+			fmt.Fprintf(w, "gpucmpd_coord_quota_denied_tenant_total{tenant=%q} %d\n", q.Tenant, q.Denied)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kind enumerates the modelled failure modes.
@@ -37,6 +38,11 @@ const (
 	// KindCorruptCache flips the checksum of a stored cache entry, so the
 	// next read detects the corruption and must re-execute.
 	KindCorruptCache
+	// KindSlowLaunch is a launch that completes correctly but only after
+	// an injected delay — the straggler-shard failure mode request
+	// hedging exists for. The scheduler sleeps Fault.Delay (interruptibly)
+	// before running the attempt for real.
+	KindSlowLaunch
 
 	numKinds
 )
@@ -52,6 +58,8 @@ func (k Kind) String() string {
 		return "hang"
 	case KindCorruptCache:
 		return "corrupt_cache"
+	case KindSlowLaunch:
+		return "slow_launch"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -79,6 +87,13 @@ type Schedule struct {
 	HangRate float64
 	// CorruptRate is the probability a cache store is corrupted.
 	CorruptRate float64
+	// SlowRate is the probability a launch attempt is delayed by
+	// SlowDelay before executing normally — a straggler, not a failure.
+	// It rides the same probability ladder as the launch faults.
+	SlowRate float64
+	// SlowDelay is how long a slow launch stalls (default 100ms when
+	// SlowRate > 0 and SlowDelay is zero).
+	SlowDelay time.Duration
 	// MaxPerKey caps how many launch faults are injected for one job key
 	// (0 = unlimited). Setting it below the scheduler's retry budget
 	// guarantees every job eventually succeeds, which is what the
@@ -88,13 +103,16 @@ type Schedule struct {
 
 // Validate reports whether the rates form a probability ladder.
 func (s Schedule) Validate() error {
-	for _, r := range []float64{s.TransientRate, s.OORRate, s.HangRate, s.CorruptRate} {
+	for _, r := range []float64{s.TransientRate, s.OORRate, s.HangRate, s.CorruptRate, s.SlowRate} {
 		if r < 0 || r > 1 {
 			return fmt.Errorf("fault: rate %v out of [0,1]", r)
 		}
 	}
-	if sum := s.TransientRate + s.OORRate + s.HangRate; sum > 1 {
+	if sum := s.TransientRate + s.OORRate + s.HangRate + s.SlowRate; sum > 1 {
 		return fmt.Errorf("fault: launch-fault rates sum to %v > 1", sum)
+	}
+	if s.SlowDelay < 0 {
+		return fmt.Errorf("fault: negative SlowDelay %v", s.SlowDelay)
 	}
 	if s.MaxPerKey < 0 {
 		return fmt.Errorf("fault: negative MaxPerKey %d", s.MaxPerKey)
@@ -106,8 +124,11 @@ func (s Schedule) Validate() error {
 type Fault struct {
 	Kind Kind
 	// Err is the typed error for TransientLaunch / OutOfResources faults;
-	// nil for Hang (the caller owns the blocking-until-cancelled part).
+	// nil for Hang (the caller owns the blocking-until-cancelled part)
+	// and for SlowLaunch (the attempt still runs, after Delay).
 	Err error
+	// Delay is how long a SlowLaunch fault stalls the attempt.
+	Delay time.Duration
 }
 
 // Injector decides, deterministically, which attempts fail. A nil
@@ -174,9 +195,20 @@ func (in *Injector) Launch(key string) *Fault {
 				Err: fmt.Errorf("fault: %s attempt %d: %w", key, n, ErrOutOfResources)}
 		case u < in.sch.TransientRate+in.sch.OORRate+in.sch.HangRate:
 			f = &Fault{Kind: KindHang}
+		case u < in.sch.TransientRate+in.sch.OORRate+in.sch.HangRate+in.sch.SlowRate:
+			delay := in.sch.SlowDelay
+			if delay <= 0 {
+				delay = 100 * time.Millisecond
+			}
+			f = &Fault{Kind: KindSlowLaunch, Delay: delay}
 		}
 		if f != nil {
-			in.faults[key]++
+			if f.Kind != KindSlowLaunch {
+				// Slow launches still succeed, so they don't count against
+				// MaxPerKey — the cap exists to guarantee retried jobs
+				// eventually get a clean attempt.
+				in.faults[key]++
+			}
 			in.mu.Unlock()
 			in.counts[f.Kind].Add(1)
 			return f

@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gpucmp/internal/fault"
+)
+
+// TestAbandonedJobReclaimsWorker: when every waiter's context is
+// cancelled mid-execution, the scheduler must (a) return the context
+// error promptly, (b) cancel the in-flight execution so the worker is
+// reclaimed instead of riding out the stall, and (c) count the
+// abandonment without tripping the breaker.
+func TestAbandonedJobReclaimsWorker(t *testing.T) {
+	// Every launch stalls 10s: without abandonment cancellation this test
+	// cannot finish in time.
+	inj := fault.New(1, fault.Schedule{SlowRate: 1.0, SlowDelay: 10 * time.Second})
+	s := New(Options{Workers: 1, Injector: inj})
+	defer s.Close()
+
+	job := Job{Benchmark: "Reduce", Device: "GeForce GTX480", Toolchain: "opencl"}
+	job.Config.Scale = 64
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := s.Do(ctx, job)
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the job enter its injected stall
+	cancel()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoned Do returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do did not return after all waiters left")
+	}
+
+	// The execution itself is cancelled asynchronously; the worker must
+	// come back well before the 10s stall would end.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		snap := s.Metrics().Snapshot()
+		if snap.Abandons >= 1 && snap.WatchdogReclaims >= 1 {
+			if snap.WatchdogLeaks != 0 {
+				t.Fatalf("abandonment leaked %d workers", snap.WatchdogLeaks)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker not reclaimed: abandons=%d reclaims=%d leaks=%d",
+				snap.Abandons, snap.WatchdogReclaims, snap.WatchdogLeaks)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Abandonment says nothing about device health: the breaker must not
+	// have accumulated failures.
+	for _, b := range s.Breakers() {
+		if b.State != "closed" || b.ConsecutiveFails != 0 {
+			t.Errorf("breaker %s = %s with %d consecutive fails after abandonment, want closed/0",
+				b.Device, b.State, b.ConsecutiveFails)
+		}
+	}
+}
+
+// TestAbandonBeforeExecutionFastDrops: a job whose every waiter leaves
+// while it is still queued must be dropped by the worker without
+// executing (no stall, no breaker effect).
+func TestAbandonBeforeExecutionFastDrops(t *testing.T) {
+	inj := fault.New(1, fault.Schedule{SlowRate: 1.0, SlowDelay: 10 * time.Second})
+	s := New(Options{Workers: 1, Injector: inj})
+	defer s.Close()
+
+	// Occupy the only worker (abandoned at test end so Close need not
+	// ride out the 10s stall).
+	blocker := Job{Benchmark: "Scan", Device: "GeForce GTX480", Toolchain: "opencl"}
+	blocker.Config.Scale = 64
+	bctx, bcancel := context.WithCancel(context.Background())
+	defer bcancel()
+	go s.Do(bctx, blocker) //nolint:errcheck // released via abandonment
+
+	time.Sleep(50 * time.Millisecond)
+
+	// Queue a second job and abandon it before a worker picks it up.
+	queued := Job{Benchmark: "Sobel", Device: "GeForce GTX480", Toolchain: "opencl"}
+	queued.Config.Scale = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := s.Do(ctx, queued)
+		errCh <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued abandoned Do returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued Do did not return after cancellation")
+	}
+	if snap := s.Metrics().Snapshot(); snap.Abandons < 1 {
+		t.Errorf("abandons = %d, want >= 1", snap.Abandons)
+	}
+}
+
+// TestAbandonedResultNotCached: a fresh waiter arriving after an
+// abandonment must trigger a fresh execution, not observe a cached
+// abandoned error.
+func TestAbandonedResultNotCached(t *testing.T) {
+	s := New(Options{Workers: 2})
+	defer s.Close()
+
+	job := Job{Benchmark: "Reduce", Device: "GeForce GTX480", Toolchain: "opencl"}
+	job.Config.Scale = 64
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead: the wait abandons immediately
+	if _, _, err := s.Do(ctx, job); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do with dead context = %v, want context.Canceled", err)
+	}
+
+	res, _, err := s.Do(context.Background(), job)
+	if err != nil {
+		t.Fatalf("fresh Do after abandonment failed: %v", err)
+	}
+	if res == nil {
+		t.Fatal("fresh Do returned nil result")
+	}
+}

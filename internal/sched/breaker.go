@@ -202,6 +202,42 @@ func (b *breaker) snapshot(device string) BreakerSnapshot {
 	return s
 }
 
+// Breaker is the exported face of the per-device circuit breaker, for
+// reuse outside the scheduler (internal/cluster runs one per shard with
+// the same closed → open → half-open contract and the same error
+// taxonomy). The zero value is not usable; construct with NewBreaker.
+type Breaker struct {
+	b *breaker
+}
+
+// NewBreaker builds a standalone circuit breaker with the given config
+// (zero fields take the scheduler defaults).
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{b: &breaker{cfg: cfg.withDefaults(), now: time.Now}}
+}
+
+// Allow reports whether a request may proceed; when false, the duration
+// is how long until the next half-open probe.
+func (x *Breaker) Allow() (bool, time.Duration) { return x.b.allow() }
+
+// Success records a completed request (closes a half-open breaker).
+func (x *Breaker) Success() { x.b.success() }
+
+// Failure records a breaker-relevant failure; true means this call
+// tripped the breaker open.
+func (x *Breaker) Failure() bool { return x.b.failure() }
+
+// State returns the breaker's current position.
+func (x *Breaker) State() BreakerState {
+	x.b.mu.Lock()
+	defer x.b.mu.Unlock()
+	return x.b.state
+}
+
+// Snapshot reports the breaker's state for health/metrics endpoints,
+// labelled with the given name.
+func (x *Breaker) Snapshot(name string) BreakerSnapshot { return x.b.snapshot(name) }
+
 // breakerFor returns (creating if needed) the breaker for a device, or nil
 // when breakers are disabled.
 func (s *Scheduler) breakerFor(device string) *breaker {

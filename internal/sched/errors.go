@@ -131,3 +131,9 @@ func (e *BreakerOpenError) Is(target error) bool {
 
 // ErrBreakerOpen is the errors.Is sentinel for breaker denials.
 var ErrBreakerOpen = errors.New("sched: circuit breaker open")
+
+// ErrAbandoned is the errors.Is sentinel for executions cancelled because
+// every waiter went away (client disconnect, hedge-loser cancellation)
+// before the job completed. Abandoned results are never cached and never
+// count toward circuit breakers — they say nothing about device health.
+var ErrAbandoned = errors.New("sched: abandoned by all waiters")

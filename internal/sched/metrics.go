@@ -33,6 +33,11 @@ func (h *Histogram) observe(seconds float64) {
 	h.n++
 }
 
+// Observe records one latency in seconds. Histogram is not safe for
+// concurrent use on its own: the scheduler guards it with Metrics.mu, and
+// external users (internal/cluster) wrap it in their own lock.
+func (h *Histogram) Observe(seconds float64) { h.observe(seconds) }
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.n }
 
@@ -105,6 +110,7 @@ type Metrics struct {
 	watchdogReclaims atomic.Uint64 // cancelled attempts that acknowledged
 	watchdogLeaks    atomic.Uint64 // cancelled attempts abandoned after grace
 	cacheCorruptions atomic.Uint64 // corrupted cache entries detected+evicted
+	abandons         atomic.Uint64 // tasks whose waiters all left mid-flight
 
 	// Throughput counters: simulated work completed, summed from the launch
 	// traces of every successfully executed job (cache hits don't count —
@@ -204,6 +210,7 @@ type Snapshot struct {
 	WatchdogReclaims uint64 `json:"watchdog_reclaims"`
 	WatchdogLeaks    uint64 `json:"watchdog_leaks"`
 	CacheCorruptions uint64 `json:"cache_corruptions"`
+	Abandons         uint64 `json:"abandons"`
 
 	WarpInstrs int64 `json:"warp_instrs"`
 	LaneInstrs int64 `json:"lane_instrs"`
@@ -240,6 +247,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		WatchdogReclaims: m.watchdogReclaims.Load(),
 		WatchdogLeaks:    m.watchdogLeaks.Load(),
 		CacheCorruptions: m.cacheCorruptions.Load(),
+		Abandons:         m.abandons.Load(),
 
 		WarpInstrs: m.warpInstrs.Load(),
 		LaneInstrs: m.laneInstrs.Load(),

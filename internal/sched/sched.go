@@ -136,12 +136,22 @@ type Options struct {
 type task struct {
 	job    Job
 	key    string
-	tenant string              // generic tasks only
-	fn     func() (any, error) // non-nil marks a generic task
-	done   chan struct{}       // closed when res/err (or val/err) are final
+	tenant string                             // generic tasks only
+	fn     func(context.Context) (any, error) // non-nil marks a generic task
+	done   chan struct{}                      // closed when res/err (or val/err) are final
 	res    *bench.Result
 	val    any
 	err    error
+
+	// Waiter accounting (guarded by Scheduler.mu): every Do/DoTask caller
+	// attached to this task holds one reference. When the last waiter's
+	// context is cancelled before the task completes, the task is
+	// abandoned — abandon is closed, the in-flight execution's simulated
+	// device is cancelled, and the worker is reclaimed instead of
+	// computing a result nobody will read.
+	waiters   int
+	abandoned bool
+	abandon   chan struct{}
 }
 
 // Scheduler runs jobs on a fixed worker pool with caching and dedup.
@@ -258,11 +268,12 @@ func (s *Scheduler) Do(ctx context.Context, j Job) (*bench.Result, Outcome, erro
 		}
 	}
 	if t, ok := s.flight[key]; ok {
+		t.waiters++
 		s.mu.Unlock()
 		s.metrics.dedupShared.Add(1)
 		return s.wait(ctx, t, Shared)
 	}
-	t := &task{job: j, key: key, done: make(chan struct{})}
+	t := &task{job: j, key: key, done: make(chan struct{}), waiters: 1, abandon: make(chan struct{})}
 	s.flight[key] = t
 	// Register the submission before releasing the lock so Close cannot
 	// close the queue between our closed-check and the send below.
@@ -281,7 +292,39 @@ func (s *Scheduler) wait(ctx context.Context, t *task, o Outcome) (*bench.Result
 	case <-t.done:
 		return t.res, o, t.err
 	case <-ctx.Done():
+		s.leave(t)
 		return nil, o, ctx.Err()
+	}
+}
+
+// leave drops one waiter reference from a task whose caller's context was
+// cancelled. When the last waiter leaves before the task completes, the
+// task is abandoned: it is removed from the flight map (so a later
+// identical request starts fresh instead of attaching to a doomed
+// execution) and abandon is closed, which cancels the in-flight attempt's
+// simulated device. This is how client disconnects and hedge-loser
+// cancellation propagate end-to-end into sim cancellation.
+func (s *Scheduler) leave(t *task) {
+	s.mu.Lock()
+	t.waiters--
+	select {
+	case <-t.done:
+		// Completed concurrently with the cancellation; nothing to cancel.
+		s.mu.Unlock()
+		return
+	default:
+	}
+	last := t.waiters <= 0 && !t.abandoned
+	if last {
+		t.abandoned = true
+		if s.flight[t.key] == t {
+			delete(s.flight, t.key)
+		}
+	}
+	s.mu.Unlock()
+	if last {
+		s.metrics.abandons.Add(1)
+		close(t.abandon)
 	}
 }
 
@@ -336,8 +379,13 @@ func (s *Scheduler) Stale(key string) (*bench.Result, bool) {
 // with panic isolation; its return value is cached only on success.
 // metric labels the latency histogram bucket the execution lands in.
 //
+// fn receives a context that is cancelled when every caller waiting on
+// this execution has gone away (client disconnect, hedge-loser
+// cancellation): fn should honour it so the worker is reclaimed instead
+// of computing an abandoned result.
+//
 // The cached value is shared between callers: treat it as immutable.
-func (s *Scheduler) DoTask(ctx context.Context, tenant, metric, key string, fn func() (any, error)) (any, Outcome, error) {
+func (s *Scheduler) DoTask(ctx context.Context, tenant, metric, key string, fn func(context.Context) (any, error)) (any, Outcome, error) {
 	full := "tenant/" + tenant + "|" + key
 
 	s.mu.Lock()
@@ -358,11 +406,13 @@ func (s *Scheduler) DoTask(ctx context.Context, tenant, metric, key string, fn f
 		}
 	}
 	if t, ok := s.flight[full]; ok {
+		t.waiters++
 		s.mu.Unlock()
 		s.metrics.dedupShared.Add(1)
 		return s.waitTask(ctx, t, Shared)
 	}
-	t := &task{key: full, tenant: tenant, job: Job{Benchmark: metric}, fn: fn, done: make(chan struct{})}
+	t := &task{key: full, tenant: tenant, job: Job{Benchmark: metric}, fn: fn,
+		done: make(chan struct{}), waiters: 1, abandon: make(chan struct{})}
 	s.flight[full] = t
 	s.subs.Add(1)
 	s.mu.Unlock()
@@ -380,6 +430,7 @@ func (s *Scheduler) waitTask(ctx context.Context, t *task, o Outcome) (any, Outc
 	case <-t.done:
 		return t.val, o, t.err
 	case <-ctx.Done():
+		s.leave(t)
 		return nil, o, ctx.Err()
 	}
 }
@@ -438,6 +489,15 @@ func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for t := range s.queue {
 		s.metrics.queueDepth.Add(-1)
+		select {
+		case <-t.abandon:
+			// Every waiter left while the task sat in the queue: don't
+			// spend a worker on it at all.
+			t.err = wrapClass(Permanent, fmt.Errorf("sched: job %s: %w", t.key, ErrAbandoned))
+			close(t.done)
+			continue
+		default:
+		}
 		s.metrics.inFlight.Add(1)
 		if t.fn != nil {
 			s.runTenantTask(t)
@@ -445,7 +505,7 @@ func (s *Scheduler) worker() {
 			continue
 		}
 		start := time.Now()
-		t.res, t.err = s.execute(t.job, t.key)
+		t.res, t.err = s.execute(t.job, t.key, t.abandon)
 		s.metrics.observe(t.job.Benchmark, time.Since(start))
 		s.metrics.inFlight.Add(-1)
 		s.metrics.jobsRun.Add(1)
@@ -460,7 +520,11 @@ func (s *Scheduler) worker() {
 		}
 
 		s.mu.Lock()
-		delete(s.flight, t.key)
+		if s.flight[t.key] == t {
+			// An abandoned task was already unlinked — and its key may now
+			// belong to a fresh task — so only remove our own registration.
+			delete(s.flight, t.key)
+		}
 		// Cache every completed execution, including deterministic FL and
 		// ABT outcomes (they are as reproducible as OK ones). Infra
 		// errors — bad names, timeouts, panics — are not cached, so a
@@ -488,8 +552,18 @@ func (s *Scheduler) worker() {
 // runTenantTask executes one generic DoTask submission with panic
 // isolation and caches its value — on success only — under the tenant's
 // namespace. Errors are never cached: a failed submission is re-evaluated
-// if resubmitted.
+// if resubmitted. The fn context is cancelled if every waiter abandons
+// the task mid-execution, so a cooperative fn can stop early.
 func (s *Scheduler) runTenantTask(t *task) {
+	ctx, cancel := context.WithCancel(context.Background())
+	abandonDone := make(chan struct{})
+	go func() {
+		select {
+		case <-t.abandon:
+			cancel()
+		case <-abandonDone:
+		}
+	}()
 	start := time.Now()
 	func() {
 		defer func() {
@@ -500,13 +574,17 @@ func (s *Scheduler) runTenantTask(t *task) {
 				t.val, t.err = nil, fmt.Errorf("sched: task %s panicked: %v\n%s", t.key, r, buf)
 			}
 		}()
-		t.val, t.err = t.fn()
+		t.val, t.err = t.fn(ctx)
 	}()
+	close(abandonDone)
+	cancel()
 	s.metrics.observe(t.job.Benchmark, time.Since(start))
 	s.metrics.tasksRun.Add(1)
 
 	s.mu.Lock()
-	delete(s.flight, t.key)
+	if s.flight[t.key] == t {
+		delete(s.flight, t.key)
+	}
 	if t.err == nil {
 		if c := s.tenantCacheLocked(t.tenant); c != nil {
 			c.add(t.key, t.val, resultChecksum(t.val))
@@ -522,21 +600,32 @@ func (s *Scheduler) runTenantTask(t *task) {
 // Transient failures. The returned error, when non-nil, is classified
 // (errors.Is against ErrTransient / ErrPermanent / ErrWatchdog /
 // ErrBreakerOpen).
-func (s *Scheduler) execute(j Job, key string) (*bench.Result, error) {
+func (s *Scheduler) execute(j Job, key string, abandon <-chan struct{}) (*bench.Result, error) {
 	br := s.breakerFor(j.Device)
 	for attempt := 1; ; attempt++ {
+		select {
+		case <-abandon:
+			// Nobody is waiting any more: stop before burning another
+			// attempt. Abandonment says nothing about device health, so it
+			// never touches the breaker.
+			return nil, wrapClass(Permanent, fmt.Errorf("sched: job %s: %w", key, ErrAbandoned))
+		default:
+		}
 		if br != nil {
 			if ok, wait := br.allow(); !ok {
 				s.metrics.breakerDenials.Add(1)
 				return nil, &BreakerOpenError{Device: j.Device, RetryAfter: wait}
 			}
 		}
-		res, err := s.executeAttempt(j, key)
+		res, err := s.executeAttempt(j, key, abandon)
 		if err == nil {
 			if br != nil {
 				br.success()
 			}
 			return res, nil
+		}
+		if errors.Is(err, ErrAbandoned) {
+			return nil, err
 		}
 		class := ClassOf(err)
 		if br != nil && class != Permanent {
@@ -593,11 +682,12 @@ func (c *attemptCtl) publish(d *sim.Device) {
 	}
 }
 
-// executeAttempt runs one attempt under the watchdog. On timeout it
+// executeAttempt runs one attempt under the watchdog and the abandonment
+// monitor. On timeout — or when every waiter has abandoned the task — it
 // cancels the attempt's device and waits up to ReclaimGrace for the
-// goroutine to acknowledge — the worker is reclaimed, not leaked.
-func (s *Scheduler) executeAttempt(j Job, key string) (*bench.Result, error) {
-	if s.opts.JobTimeout <= 0 {
+// goroutine to acknowledge: the worker is reclaimed, not leaked.
+func (s *Scheduler) executeAttempt(j Job, key string, abandon <-chan struct{}) (*bench.Result, error) {
+	if s.opts.JobTimeout <= 0 && abandon == nil {
 		return s.executeIsolated(j, key, nil)
 	}
 	type outcome struct {
@@ -610,13 +700,13 @@ func (s *Scheduler) executeAttempt(j Job, key string) (*bench.Result, error) {
 		res, err := s.executeIsolated(j, key, ctl)
 		ch <- outcome{res, err}
 	}()
-	timer := time.NewTimer(s.opts.JobTimeout)
-	defer timer.Stop()
-	select {
-	case o := <-ch:
-		return o.res, o.err
-	case <-timer.C:
-		s.metrics.timeouts.Add(1)
+	var timeout <-chan time.Time
+	if s.opts.JobTimeout > 0 {
+		timer := time.NewTimer(s.opts.JobTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	reclaim := func() {
 		ctl.kill()
 		grace := time.NewTimer(s.opts.ReclaimGrace)
 		defer grace.Stop()
@@ -630,8 +720,18 @@ func (s *Scheduler) executeAttempt(j Job, key string) (*bench.Result, error) {
 			// warp loop). Abandon its goroutine and record the leak.
 			s.metrics.watchdogLeaks.Add(1)
 		}
+	}
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timeout:
+		s.metrics.timeouts.Add(1)
+		reclaim()
 		return nil, wrapClass(Watchdog,
 			fmt.Errorf("sched: job %s: %w after %v", key, context.DeadlineExceeded, s.opts.JobTimeout))
+	case <-abandon:
+		reclaim()
+		return nil, wrapClass(Permanent, fmt.Errorf("sched: job %s: %w", key, ErrAbandoned))
 	}
 }
 
@@ -651,6 +751,22 @@ func (s *Scheduler) executeIsolated(j Job, key string, ctl *attemptCtl) (*bench.
 					<-ctl.cancel
 				}
 				return nil, fmt.Errorf("sched: job %s: injected hang: %w", key, sim.ErrWatchdog)
+			case fault.KindSlowLaunch:
+				// A straggler, not a failure: stall (interruptibly, so
+				// watchdog and abandonment still reclaim the worker) and
+				// then run the attempt for real. This is the seam cluster
+				// hedging is proven against.
+				timer := time.NewTimer(f.Delay)
+				if ctl != nil {
+					select {
+					case <-timer.C:
+					case <-ctl.cancel:
+						timer.Stop()
+						return nil, fmt.Errorf("sched: job %s: cancelled during injected stall: %w", key, sim.ErrWatchdog)
+					}
+				} else {
+					<-timer.C
+				}
 			default:
 				return nil, f.Err
 			}

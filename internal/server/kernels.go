@@ -21,6 +21,7 @@ package server
 // unclassified outcome.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -127,7 +128,7 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	key := sub.ContentKey()
 	lim := s.limits
 	v, outcome, err := s.sched.DoTask(r.Context(), tenant, "kernel-submit", key,
-		func() (any, error) { return submit.Run(sub, lim) })
+		func(ctx context.Context) (any, error) { return submit.Run(ctx, sub, lim) })
 	if err != nil {
 		if submit.Code(err) == submit.CodeCompileFailed {
 			// A checked kernel the front end still refused: treat like a

@@ -1,0 +1,65 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gpucmp/internal/sched"
+)
+
+// TestLivenessVsReadiness: /healthz/live answers 200 unconditionally
+// (the process is up), while /healthz/ready flips to 503 during drain so
+// load balancers and the fleet coordinator stop routing here first.
+func TestLivenessVsReadiness(t *testing.T) {
+	s := sched.New(sched.Options{Workers: 1})
+	t.Cleanup(s.Close)
+	srv := New(s)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	check := func(path string, wantStatus int, wantField, wantValue string) {
+		t.Helper()
+		resp, body := get(t, ts.URL+path)
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s status = %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("%s body: %v", path, err)
+		}
+		if out[wantField] != wantValue {
+			t.Errorf("%s %s = %v, want %q", path, wantField, out[wantField], wantValue)
+		}
+	}
+
+	check("/healthz/live", http.StatusOK, "status", "alive")
+	check("/healthz/ready", http.StatusOK, "status", "ready")
+	if !srv.Ready() {
+		t.Error("Ready() = false before drain")
+	}
+
+	srv.SetReady(false)
+	check("/healthz/live", http.StatusOK, "status", "alive") // liveness unaffected by drain
+	check("/healthz/ready", http.StatusServiceUnavailable, "status", "draining")
+	if srv.Ready() {
+		t.Error("Ready() = true during drain")
+	}
+
+	// /healthz keeps serving during drain and reports ready=false.
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status during drain = %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["ready"] != false {
+		t.Errorf("/healthz ready = %v during drain, want false", out["ready"])
+	}
+
+	srv.SetReady(true)
+	check("/healthz/ready", http.StatusOK, "status", "ready")
+}

@@ -33,6 +33,14 @@ type Server struct {
 	start  time.Time
 	limits submit.Limits // POST /kernels resource bounds
 
+	// notReady flips readiness off (true = not ready). Liveness and
+	// readiness are separate probes: /healthz/live answers 200 for as
+	// long as the process can serve HTTP at all, while /healthz/ready
+	// answers 503 while the process is draining (SIGINT/SIGTERM) or
+	// joining/leaving a cluster ring — the coordinator stops routing to
+	// it without killing in-flight requests.
+	notReady atomic.Bool
+
 	// figureScale is the default problem-size divisor for /figures/*
 	// (overridable per request with ?scale=N). The default keeps an
 	// uncached figure regeneration interactive.
@@ -79,6 +87,8 @@ func New(s *sched.Scheduler, opts ...Option) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/healthz/live", s.handleLive)
+	mux.HandleFunc("/healthz/ready", s.handleReady)
 	mux.HandleFunc("/devices", s.handleDevices)
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/run", s.handleRun)
@@ -140,9 +150,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         status,
+		"ready":          !s.notReady.Load(),
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"breakers":       breakers,
 	})
+}
+
+// SetReady flips the readiness probe. cmd/gpucmpd calls SetReady(false)
+// when a drain signal arrives, so cluster coordinators stop routing new
+// work here while in-flight requests finish.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Ready reports the current readiness state.
+func (s *Server) Ready() bool { return !s.notReady.Load() }
+
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "alive"})
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.notReady.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 // deviceInfo is one /devices entry.
@@ -417,6 +448,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP gpucmpd_cache_corruptions_total Corrupted cache entries detected and evicted.\n")
 	fmt.Fprintf(w, "# TYPE gpucmpd_cache_corruptions_total counter\n")
 	fmt.Fprintf(w, "gpucmpd_cache_corruptions_total %d\n", snap.CacheCorruptions)
+	fmt.Fprintf(w, "# HELP gpucmpd_abandons_total Executions cancelled because every waiter went away.\n")
+	fmt.Fprintf(w, "# TYPE gpucmpd_abandons_total counter\n")
+	fmt.Fprintf(w, "gpucmpd_abandons_total %d\n", snap.Abandons)
 	fmt.Fprintf(w, "# HELP gpucmpd_warp_instrs_total Simulated warp instructions executed by completed jobs.\n")
 	fmt.Fprintf(w, "# TYPE gpucmpd_warp_instrs_total counter\n")
 	fmt.Fprintf(w, "gpucmpd_warp_instrs_total %d\n", snap.WarpInstrs)

@@ -18,6 +18,7 @@
 package submit
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -289,8 +290,11 @@ type Report struct {
 // must already have passed Gauntlet. Run never hangs: a non-terminating
 // kernel comes back as a watchdog-status DeviceRun with
 // Report.Watchdogged set. The returned error is non-nil only for
-// compile-time rejections (*Reject, CodeCompileFailed).
-func Run(s *Submission, lim Limits) (*Report, error) {
+// compile-time rejections (*Reject, CodeCompileFailed) — or ctx.Err()
+// when the context is cancelled mid-run (every waiter abandoned the
+// submission), in which case in-flight simulated devices are cancelled
+// and the remaining matrix is skipped so the worker is reclaimed.
+func Run(ctx context.Context, s *Submission, lim Limits) (*Report, error) {
 	rep := &Report{Kernel: s.Kernel.Name, Grid: s.Grid, Block: s.Block}
 	type built struct {
 		pers compiler.Personality
@@ -313,7 +317,10 @@ func Run(s *Submission, lim Limits) (*Report, error) {
 			if b.pers.Name == "cuda" && a.Vendor != "NVIDIA" {
 				continue // CUDA toolchain targets NVIDIA hardware only
 			}
-			run := executeOne(s, b.pk, a, lim)
+			if ctx != nil && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			run := executeOne(ctx, s, b.pk, a, lim)
 			run.Toolchain = b.pers.Name
 			run.Device = a.Name
 			if run.Status == "watchdog" {
@@ -328,13 +335,17 @@ func Run(s *Submission, lim Limits) (*Report, error) {
 // executeOne stages the submission's buffers onto a fresh simulated
 // device and launches once. All failure modes fold into the DeviceRun
 // status; nothing a hostile kernel does at run time is an error to the
-// caller.
-func executeOne(s *Submission, pk *ptx.Kernel, a *arch.Device, lim Limits) DeviceRun {
+// caller. Cancelling ctx cancels the device, so a launch in progress
+// aborts at its next warp checkpoint (surfacing as a watchdog status).
+func executeOne(ctx context.Context, s *Submission, pk *ptx.Kernel, a *arch.Device, lim Limits) DeviceRun {
 	dev, err := sim.NewDevice(a)
 	if err != nil {
 		return DeviceRun{Status: "skipped", Reason: err.Error()}
 	}
 	dev.StepBudget = lim.StepBudget
+	if ctx != nil {
+		defer context.AfterFunc(ctx, dev.Cancel)()
+	}
 	var args []uint32
 	var outAddr uint32
 	for _, prm := range s.Kernel.Params {

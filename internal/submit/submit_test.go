@@ -1,6 +1,7 @@
 package submit
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"strings"
@@ -335,7 +336,7 @@ func TestRunValid(t *testing.T) {
 		t.Fatal(err)
 	}
 	oneDevice(t, sub)
-	rep, err := Run(sub, lim)
+	rep, err := Run(context.Background(), sub, lim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +375,7 @@ func TestRunCUDASkipsNonNVIDIA(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Run(sub, lim)
+	rep, err := Run(context.Background(), sub, lim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +416,7 @@ func TestRunWatchdog(t *testing.T) {
 		t.Fatal(err)
 	}
 	oneDevice(t, sub)
-	rep, err := Run(sub, lim)
+	rep, err := Run(context.Background(), sub, lim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,7 +447,7 @@ func TestRunOOBFault(t *testing.T) {
 		t.Fatal(err)
 	}
 	oneDevice(t, sub)
-	rep, err := Run(sub, lim)
+	rep, err := Run(context.Background(), sub, lim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -465,7 +466,7 @@ func TestRunOutTruncation(t *testing.T) {
 		t.Fatal(err)
 	}
 	oneDevice(t, sub)
-	rep, err := Run(sub, lim)
+	rep, err := Run(context.Background(), sub, lim)
 	if err != nil {
 		t.Fatal(err)
 	}
