@@ -1,36 +1,53 @@
 // Command autotune runs the auto-tuner the paper proposes as future work:
-// for one benchmark, sweep its implementation variants (the step-4 knobs of
-// the fair-comparison pipeline) on every device the toolchain supports and
-// report the per-device winner. The winning variant differs across
-// devices — the performance-portability gap the tuner closes.
+// for one benchmark, sweep its variant space on every device the toolchain
+// supports and report the per-device winner. Benchmarks with hand-exposed
+// step-4 knobs (MD, SPMV, Sobel, FDTD, TranP) sweep those; pattern-portable
+// benchmarks (MxM, Reduce, Scan, St2D, Sobel) sweep the rewrite-rule
+// schedule space of their pattern program instead. The winning variant
+// differs across devices — the performance-portability gap the tuner
+// closes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"gpucmp/internal/bench"
 	"gpucmp/internal/stats"
 	"gpucmp/internal/tune"
 )
 
 func main() {
-	name := flag.String("bench", "SPMV", "benchmark to tune (MD, SPMV, Sobel, FDTD)")
+	name := flag.String("bench", "SPMV", "benchmark to tune (any with knobs or a pattern program)")
 	toolchain := flag.String("toolchain", "opencl", "cuda or opencl")
 	scale := flag.Int("scale", 2, "problem-size divisor")
+	workers := flag.Int("workers", 4, "concurrent candidate evaluations (pattern spaces)")
+	jsonOut := flag.Bool("json", false, "emit the reports as a JSON array on stdout")
 	flag.Parse()
 
-	if tune.RelevantKnobs(*name) == nil {
-		log.Fatalf("benchmark %q has no variant knobs to tune", *name)
+	if tune.RelevantKnobs(*name) == nil && !bench.IsPatternBench(*name) {
+		log.Fatalf("benchmark %q has neither variant knobs nor a pattern program", *name)
 	}
-	reports, err := tune.TuneEverywhere(*toolchain, *name, *scale)
+	reports, err := tune.TuneAnyEverywhere(*toolchain, *name, *scale, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	for _, rep := range reports {
 		tb := stats.NewTable(
-			fmt.Sprintf("%s on %s (%s, metric %s)", rep.Benchmark, rep.Device, rep.Toolchain, rep.Metric),
+			fmt.Sprintf("%s on %s (%s, %s space, metric %s)", rep.Benchmark, rep.Device, rep.Toolchain, rep.Space, rep.Metric),
 			"variant", "metric", "status")
 		for _, p := range rep.Points {
 			val := "-"

@@ -59,6 +59,9 @@ func mxmRef(a, bm []float32, n int) []float32 {
 
 // RunMxM measures dense matrix multiplication in GFlops/sec (Table II).
 func RunMxM(d Driver, cfg Config) (*Result, error) {
+	if cfg.Pattern != "" {
+		return runPatternMxM(d, cfg)
+	}
 	const metric = "GFlops/sec"
 	n := cfg.scale(256)
 	if n < mxmTile {

@@ -1,0 +1,500 @@
+package bench
+
+// The kernel-source seam: five paper benchmarks (MxM, Reduce, Scan, St2D,
+// Sobel) can run from pattern-generated kernels instead of the frozen
+// hand-written ones. Config.Pattern selects the schedule; the canonical
+// schedule's lowering mirrors the hand-written kernel's floating-point
+// association exactly, so its device output is bitwise identical — the
+// parity gate cmd/patternbench enforces. Other schedules are the rewrite
+// rules the autotuner searches; each run still passes the benchmark's own
+// correctness check against the host reference.
+
+import (
+	"fmt"
+	"math"
+
+	"gpucmp/internal/kir"
+	"gpucmp/internal/pattern"
+	"gpucmp/internal/sim"
+	"gpucmp/internal/workload"
+)
+
+// patternBenchNames lists the pattern-portable benchmarks in Registry
+// order.
+var patternBenchNames = []string{"Sobel", "Reduce", "St2D", "Scan", "MxM"}
+
+// PatternBenchNames lists the benchmarks expressible as pattern programs.
+func PatternBenchNames() []string {
+	out := make([]string, len(patternBenchNames))
+	copy(out, patternBenchNames)
+	return out
+}
+
+// IsPatternBench reports whether the benchmark accepts Config.Pattern.
+func IsPatternBench(name string) bool {
+	for _, n := range patternBenchNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func patternAddF() pattern.Fn {
+	return pattern.Fn{
+		Params: []pattern.FnParam{{Name: "a", T: kir.F32}, {Name: "b", T: kir.F32}},
+		Body:   kir.Add(pattern.X("a", kir.F32), pattern.X("b", kir.F32)),
+	}
+}
+
+func patternAddU() pattern.Fn {
+	return pattern.Fn{
+		Params: []pattern.FnParam{{Name: "a", T: kir.U32}, {Name: "b", T: kir.U32}},
+		Body:   kir.Add(pattern.X("a", kir.U32), pattern.X("b", kir.U32)),
+	}
+}
+
+// st2dTaps is the nine-point neighbourhood in the order the St2D element
+// function consumes it: centre, the four edge-adjacent cells, the four
+// diagonals.
+var st2dTaps = []pattern.Tap{
+	{DY: 0, DX: 0},
+	{DY: -1, DX: 0}, {DY: 1, DX: 0}, {DY: 0, DX: -1}, {DY: 0, DX: 1},
+	{DY: -1, DX: -1}, {DY: -1, DX: 1}, {DY: 1, DX: -1}, {DY: 1, DX: 1},
+}
+
+// st2dFn reproduces St2DKernel's exact float association:
+// 0.25*c + (0.15*((n+s)+(w+e))) + (0.05*((nw+ne)+(sw+se))), combined as
+// (centre + adj) + diag.
+func st2dFn() pattern.Fn {
+	params := make([]pattern.FnParam, 9)
+	t := make([]kir.Expr, 9)
+	for i := range params {
+		name := fmt.Sprintf("t%d", i)
+		params[i] = pattern.FnParam{Name: name, T: kir.F32}
+		t[i] = pattern.X(name, kir.F32)
+	}
+	centre := kir.Mul(kir.F(st2dWc), t[0])
+	adj := kir.Mul(kir.F(st2dWa), kir.Add(kir.Add(t[1], t[2]), kir.Add(t[3], t[4])))
+	diag := kir.Mul(kir.F(st2dWd), kir.Add(kir.Add(t[5], t[6]), kir.Add(t[7], t[8])))
+	return pattern.Fn{Params: params, Body: kir.Add(kir.Add(centre, adj), diag)}
+}
+
+// sobelTaps is the 3x3 neighbourhood in the fy-major order SobelKernel's
+// unrolled loops visit it.
+func sobelTaps() []pattern.Tap {
+	taps := make([]pattern.Tap, 0, 9)
+	for fy := -1; fy <= 1; fy++ {
+		for fx := -1; fx <= 1; fx++ {
+			taps = append(taps, pattern.Tap{DY: fy, DX: fx})
+		}
+	}
+	return taps
+}
+
+// sobelFn reproduces SobelKernel's accumulation: sum = 0; sum += pix*coef
+// in fy-major tap order.
+func sobelFn() pattern.Fn {
+	params := make([]pattern.FnParam, 0, 18)
+	for _, base := range []string{"t", "c"} {
+		for i := 0; i < 9; i++ {
+			params = append(params, pattern.FnParam{Name: fmt.Sprintf("%s%d", base, i), T: kir.F32})
+		}
+	}
+	body := kir.Expr(kir.F(0))
+	for i := 0; i < 9; i++ {
+		body = kir.Add(body, kir.Mul(
+			pattern.X(fmt.Sprintf("t%d", i), kir.F32),
+			pattern.X(fmt.Sprintf("c%d", i), kir.F32)))
+	}
+	return pattern.Fn{Params: params, Body: body}
+}
+
+// PatternProgram returns the pattern program behind a benchmark, or false
+// when the benchmark is not pattern-portable.
+func PatternProgram(name string) (pattern.Program, bool) {
+	switch name {
+	case "MxM":
+		return &pattern.MatMulProg{Name: "mxm"}, true
+	case "Reduce":
+		return &pattern.ReduceProg{Name: "reduce", Root: pattern.In("in", kir.F32),
+			Combine: patternAddF(), Identity: math.Float32bits(0)}, true
+	case "Scan":
+		return &pattern.ScanProg{Name: "scan", Input: "in", Elem: kir.U32,
+			Combine: patternAddU(), Identity: 0}, true
+	case "St2D":
+		return &pattern.Stencil2DProg{Name: "st2d", Input: "in", Taps: st2dTaps, Fn: st2dFn()}, true
+	case "Sobel":
+		return &pattern.Stencil2DProg{Name: "sobel", Input: "img", Taps: sobelTaps(),
+			Coeffs: sobelFilterX, Fn: sobelFn()}, true
+	default:
+		return nil, false
+	}
+}
+
+// PatternShape mirrors each hand-written Run*'s problem-size computation,
+// so hand and pattern variants always process identical data.
+func PatternShape(name string, cfg Config) (pattern.Shape, bool) {
+	switch name {
+	case "MxM":
+		n := cfg.scale(256)
+		if n < mxmTile {
+			n = mxmTile
+		}
+		n = (n / mxmTile) * mxmTile
+		return pattern.Shape{N: n}, true
+	case "Reduce":
+		n := cfg.scale(1 << 20)
+		if n < reduceBlock {
+			n = reduceBlock
+		}
+		return pattern.Shape{N: n}, true
+	case "Scan":
+		n := cfg.scale(256 * 1024)
+		n = (n / scanBlock) * scanBlock
+		if n < scanBlock {
+			n = scanBlock
+		}
+		return pattern.Shape{N: n}, true
+	case "St2D":
+		w := cfg.scale(512)
+		h := cfg.scale(512)
+		if w < 32 {
+			w, h = 32, 32
+		}
+		return pattern.Shape{W: w, H: h}, true
+	case "Sobel":
+		w := cfg.scale(1024)
+		h := cfg.scale(1024)
+		if w < 16 {
+			w, h = 16, 16
+		}
+		return pattern.Shape{W: w, H: h}, true
+	default:
+		return pattern.Shape{}, false
+	}
+}
+
+// PatternSpace enumerates the schedule mangles the autotuner searches for
+// a benchmark (canonical first).
+func PatternSpace(name string) []string {
+	p, ok := PatternProgram(name)
+	if !ok {
+		return nil
+	}
+	space := pattern.Space(p)
+	out := make([]string, len(space))
+	for i, s := range space {
+		out[i] = s.Mangle()
+	}
+	return out
+}
+
+// PatternCanonical returns the canonical schedule mangle for a benchmark.
+func PatternCanonical(name string) (string, bool) {
+	p, ok := PatternProgram(name)
+	if !ok {
+		return "", false
+	}
+	return pattern.Canonical(p).Mangle(), true
+}
+
+// patternLower parses cfg.Pattern and lowers the benchmark's program.
+func patternLower(name string, cfg Config) (*pattern.Lowered, error) {
+	p, ok := PatternProgram(name)
+	if !ok {
+		return nil, fmt.Errorf("bench: %s has no pattern program", name)
+	}
+	s, err := pattern.ParseSchedule(cfg.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	shape, _ := PatternShape(name, cfg)
+	return pattern.Lower(p, s, shape)
+}
+
+// allocLoweredBufs allocates and fills every buffer of a lowered program:
+// inputs from the caller's data, coefficient tables from their pinned
+// contents, the output from outInit (or zero), temps zeroed.
+func allocLoweredBufs(d Driver, l *pattern.Lowered, inputs map[string][]uint32, outInit []uint32) (map[string]Buf, error) {
+	bufs := map[string]Buf{}
+	for _, bs := range l.Bufs {
+		words := make([]uint32, bs.Words)
+		switch bs.Role {
+		case pattern.RoleInput:
+			src := inputs[bs.Name]
+			if len(src) < bs.Words {
+				return nil, fmt.Errorf("bench: pattern input %q has %d words, need %d", bs.Name, len(src), bs.Words)
+			}
+			copy(words, src)
+		case pattern.RoleCoeff:
+			copy(words, bs.Init)
+		case pattern.RoleOutput:
+			if outInit != nil {
+				if len(outInit) != bs.Words {
+					return nil, fmt.Errorf("bench: pattern out init has %d words, need %d", len(outInit), bs.Words)
+				}
+				copy(words, outInit)
+			}
+		}
+		b, err := allocWrite(d, words)
+		if err != nil {
+			return nil, err
+		}
+		bufs[bs.Name] = b
+	}
+	return bufs, nil
+}
+
+// runPatternMxM is the pattern path of RunMxM: same data, same reference
+// check, same metric, pattern-generated kernels.
+func runPatternMxM(d Driver, cfg Config) (*Result, error) {
+	const metric = "GFlops/sec"
+	l, err := patternLower("MxM", cfg)
+	if err != nil {
+		return abort(d, "MxM", metric, err), nil
+	}
+	n := l.Shape.N
+	rng := workload.NewRNG(41)
+	av := rng.Floats(n*n, -1, 1)
+	bv := rng.Floats(n*n, -1, 1)
+
+	mod, err := d.Build(l.Kernels...)
+	if err != nil {
+		return abort(d, "MxM", metric, err), nil
+	}
+	bufs, err := allocLoweredBufs(d, l, map[string][]uint32{"A": f32Words(av), "B": f32Words(bv)}, nil)
+	if err != nil {
+		return abort(d, "MxM", metric, err), nil
+	}
+	d.ResetTimer()
+	for _, ln := range l.Launches {
+		if err := launchOne(d, mod, bufs, ln); err != nil {
+			return abort(d, "MxM", metric, err), nil
+		}
+	}
+	kernelSecs := d.KernelTime()
+
+	got, err := readF32(d, bufs[l.Out], n*n)
+	if err != nil {
+		return abort(d, "MxM", metric, err), nil
+	}
+	want := mxmRef(av, bv, n)
+	correct := true
+	for i := range want {
+		if !f32eq(got[i], want[i], 2e-2) {
+			correct = false
+			break
+		}
+	}
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	return result(d, "MxM", metric, flops/kernelSecs/1e9, correct), nil
+}
+
+// runPatternReduce is the pattern path of RunReduce.
+func runPatternReduce(d Driver, cfg Config) (*Result, error) {
+	const metric = "GB/sec"
+	l, err := patternLower("Reduce", cfg)
+	if err != nil {
+		return abort(d, "Reduce", metric, err), nil
+	}
+	n := l.Shape.N
+	in := workload.NewRNG(13).Floats(n, 0, 1)
+
+	mod, err := d.Build(l.Kernels...)
+	if err != nil {
+		return abort(d, "Reduce", metric, err), nil
+	}
+	bufs, err := allocLoweredBufs(d, l, map[string][]uint32{"in": f32Words(in)}, nil)
+	if err != nil {
+		return abort(d, "Reduce", metric, err), nil
+	}
+	d.ResetTimer()
+	for _, ln := range l.Launches {
+		if err := launchOne(d, mod, bufs, ln); err != nil {
+			return abort(d, "Reduce", metric, err), nil
+		}
+	}
+	kernelSecs := d.KernelTime()
+
+	groups := l.Buf(l.Out).Words
+	partials, err := readF32(d, bufs[l.Out], groups)
+	if err != nil {
+		return abort(d, "Reduce", metric, err), nil
+	}
+	var got float64
+	for _, p := range partials {
+		got += float64(p)
+	}
+	var want float64
+	for _, v := range in {
+		want += float64(v)
+	}
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	correct := diff <= 1e-3*(1+want)
+	return result(d, "Reduce", metric, float64(n)*4/kernelSecs/1e9, correct), nil
+}
+
+// runPatternScan is the pattern path of RunScan.
+func runPatternScan(d Driver, cfg Config) (*Result, error) {
+	const metric = "MElements/sec"
+	l, err := patternLower("Scan", cfg)
+	if err != nil {
+		return abort(d, "Scan", metric, err), nil
+	}
+	n := l.Shape.N
+	keys := workload.NewRNG(47).Keys(n, 1000)
+
+	mod, err := d.Build(l.Kernels...)
+	if err != nil {
+		return abort(d, "Scan", metric, err), nil
+	}
+	bufs, err := allocLoweredBufs(d, l, map[string][]uint32{"in": keys}, nil)
+	if err != nil {
+		return abort(d, "Scan", metric, err), nil
+	}
+	d.ResetTimer()
+	for _, ln := range l.Launches {
+		if err := launchOne(d, mod, bufs, ln); err != nil {
+			return abort(d, "Scan", metric, err), nil
+		}
+	}
+	kernelSecs := d.KernelTime()
+
+	got, err := readWords(d, bufs[l.Out], n)
+	if err != nil {
+		return abort(d, "Scan", metric, err), nil
+	}
+	correct := true
+	var acc uint32
+	for i, k := range keys {
+		if got[i] != acc {
+			correct = false
+			break
+		}
+		acc += k
+	}
+	return result(d, "Scan", metric, float64(n)/kernelSecs/1e6, correct), nil
+}
+
+// runPatternSt2D is the pattern path of RunSt2D: the single-step stencil
+// lowering is ping-ponged the same four steps as the hand-written runner.
+func runPatternSt2D(d Driver, cfg Config) (*Result, error) {
+	const metric = "sec"
+	const steps = 4
+	l, err := patternLower("St2D", cfg)
+	if err != nil {
+		return abort(d, "St2D", metric, err), nil
+	}
+	w, h := l.Shape.W, l.Shape.H
+	img := workload.GrayImage(w, h, 37)
+
+	mod, err := d.Build(l.Kernels...)
+	if err != nil {
+		return abort(d, "St2D", metric, err), nil
+	}
+	// Both buffers seeded with the image so borders pass through, exactly
+	// like the hand-written runner.
+	bufA, err := allocWriteF(d, img)
+	if err != nil {
+		return abort(d, "St2D", metric, err), nil
+	}
+	bufB, err := allocWriteF(d, img)
+	if err != nil {
+		return abort(d, "St2D", metric, err), nil
+	}
+
+	d.ResetTimer()
+	ln := l.Launches[0]
+	src, dst := bufA, bufB
+	for s := 0; s < steps; s++ {
+		bufs := map[string]Buf{"in": src, "out": dst}
+		if err := launchOne(d, mod, bufs, ln); err != nil {
+			return abort(d, "St2D", metric, err), nil
+		}
+		src, dst = dst, src
+	}
+	kernelSecs := d.KernelTime()
+
+	got, err := readF32(d, src, w*h)
+	if err != nil {
+		return abort(d, "St2D", metric, err), nil
+	}
+	want := img
+	for s := 0; s < steps; s++ {
+		want = st2dRef(want, w, h)
+	}
+	correct := true
+	for i := range want {
+		if !f32eq(got[i], want[i], 1e-3) {
+			correct = false
+			break
+		}
+	}
+	return result(d, "St2D", metric, kernelSecs, correct), nil
+}
+
+// runPatternSobel is the pattern path of RunSobel. The schedule's
+// ConstCoeff flag is the pattern-layer spelling of cfg.UseConstant.
+func runPatternSobel(d Driver, cfg Config) (*Result, error) {
+	const metric = "sec"
+	l, err := patternLower("Sobel", cfg)
+	if err != nil {
+		return abort(d, "Sobel", metric, err), nil
+	}
+	w, h := l.Shape.W, l.Shape.H
+	img := workload.GrayImage(w, h, 11)
+
+	mod, err := d.Build(l.Kernels...)
+	if err != nil {
+		return abort(d, "Sobel", metric, err), nil
+	}
+	bufs, err := allocLoweredBufs(d, l, map[string][]uint32{"img": f32Words(img)}, nil)
+	if err != nil {
+		return abort(d, "Sobel", metric, err), nil
+	}
+	d.ResetTimer()
+	for _, ln := range l.Launches {
+		if err := launchOne(d, mod, bufs, ln); err != nil {
+			return abort(d, "Sobel", metric, err), nil
+		}
+	}
+
+	got, err := readF32(d, bufs[l.Out], w*h)
+	if err != nil {
+		return abort(d, "Sobel", metric, err), nil
+	}
+	want := sobelRef(img, w, h)
+	correct := true
+	for i := range want {
+		if !f32eq(got[i], want[i], 1e-4) {
+			correct = false
+			break
+		}
+	}
+	res := result(d, "Sobel", metric, 0, correct)
+	res.Value = res.KernelSeconds
+	return res, nil
+}
+
+// launchOne runs one launch of a lowered program on the driver.
+func launchOne(d Driver, mod Module, bufs map[string]Buf, ln pattern.Launch) error {
+	args := make([]Arg, len(ln.Args))
+	for i, a := range ln.Args {
+		if a.IsVal {
+			args[i] = V(a.Val)
+		} else {
+			b, ok := bufs[a.Buf]
+			if !ok {
+				return fmt.Errorf("bench: pattern launch %s references unknown buffer %q", ln.Kernel, a.Buf)
+			}
+			args[i] = B(b)
+		}
+	}
+	return d.Launch(mod, ln.Kernel,
+		sim.Dim3{X: ln.GridX, Y: ln.GridY},
+		sim.Dim3{X: ln.BlockX, Y: ln.BlockY}, args...)
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"testing"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/compiler"
+	"gpucmp/internal/pattern"
+)
+
+// gpuDevices are the paper's three GPUs — the devices the pattern parity
+// acceptance gate covers.
+func gpuDevices() []*arch.Device {
+	return []*arch.Device{arch.GTX480(), arch.GTX280(), arch.HD5870()}
+}
+
+// TestPatternParityBitIdentical is the in-tree parity gate: on every GPU
+// device, every pattern-portable benchmark's canonical lowering must
+// reproduce the hand-written kernels' output bit for bit through the full
+// compiler+simulator stack.
+func TestPatternParityBitIdentical(t *testing.T) {
+	cfg := Config{Scale: 64}
+	for _, name := range PatternBenchNames() {
+		for _, a := range gpuDevices() {
+			toolchains := []string{"opencl"}
+			if a.Vendor == "NVIDIA" {
+				toolchains = append(toolchains, "cuda")
+			}
+			for _, tc := range toolchains {
+				name, a, tc := name, a, tc
+				t.Run(name+"/"+a.Name+"/"+tc, func(t *testing.T) {
+					t.Parallel()
+					hand, pat, err := PatternParity(tc, a, name, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(hand) != len(pat) {
+						t.Fatalf("output sizes differ: hand %d, pattern %d", len(hand), len(pat))
+					}
+					for i := range hand {
+						if hand[i] != pat[i] {
+							t.Fatalf("word %d: hand %#x, pattern %#x", i, hand[i], pat[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPatternBenchRunsThroughDriver checks the Config.Pattern seam end to
+// end: each pattern benchmark runs through the ordinary Run* entry point
+// and passes its own correctness check, at the canonical schedule and at
+// one non-canonical schedule from the rule space.
+func TestPatternBenchRunsThroughDriver(t *testing.T) {
+	for _, name := range PatternBenchNames() {
+		space := PatternSpace(name)
+		if len(space) < 2 {
+			t.Fatalf("%s: rule space has %d schedules", name, len(space))
+		}
+		for _, mangle := range []string{space[0], space[len(space)-1]} {
+			name, mangle := name, mangle
+			t.Run(name+"/"+mangle, func(t *testing.T) {
+				t.Parallel()
+				d, err := NewDriver("opencl", arch.GTX480())
+				if err != nil {
+					t.Fatal(err)
+				}
+				spec, err := SpecByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := spec.Run(d, Config{Scale: 64, Pattern: mangle})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Err != nil {
+					t.Fatalf("pattern run aborted: %v", res.Err)
+				}
+				if !res.Correct {
+					t.Fatal("pattern run produced wrong output")
+				}
+			})
+		}
+	}
+}
+
+// TestPatternBenchRejectsBadSchedules: a malformed or inapplicable mangle
+// must surface as an ABT result, not a panic or a silent hand-path run.
+func TestPatternBenchRejectsBadSchedules(t *testing.T) {
+	d, err := NewDriver("opencl", arch.GTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunReduce(d, Config{Scale: 64, Pattern: "not-a-mangle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil {
+		t.Fatal("bad mangle should abort the run")
+	}
+	// Reduce rejects coarsening; a structurally valid but inapplicable
+	// schedule must abort too.
+	res, err = RunReduce(d, Config{Scale: 64, Pattern: "b256.c2.u0.f1.r1.t0.k0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err == nil {
+		t.Fatal("inapplicable schedule should abort the run")
+	}
+}
+
+// TestPatternSchedulesDoNotAliasInCompileCache pins the cache-key story:
+// the schedule mangle is part of every generated kernel's name (and
+// therefore its formatted source, the compile-cache key), so re-running a
+// schedule hits the cache while a different schedule misses.
+func TestPatternSchedulesDoNotAliasInCompileCache(t *testing.T) {
+	compiler.ResetCompileCache()
+	defer compiler.ResetCompileCache()
+
+	run := func(mangle string) {
+		t.Helper()
+		d, err := NewDriver("opencl", arch.GTX480())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunReduce(d, Config{Scale: 256, Pattern: mangle})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatalf("%s: %v", mangle, res.Err)
+		}
+	}
+
+	space := PatternSpace("Reduce")
+	a, b := space[0], space[len(space)-1]
+
+	run(a)
+	_, missesAfterA := compiler.CompileCacheStats()
+	run(a)
+	hits, misses := compiler.CompileCacheStats()
+	if misses != missesAfterA {
+		t.Fatalf("re-running schedule %s missed the compile cache (misses %d -> %d)", a, missesAfterA, misses)
+	}
+	if hits == 0 {
+		t.Fatalf("re-running schedule %s produced no cache hits", a)
+	}
+	run(b)
+	_, missesAfterB := compiler.CompileCacheStats()
+	if missesAfterB == missesAfterA {
+		t.Fatalf("schedules %s and %s aliased in the compile cache", a, b)
+	}
+}
+
+// TestPatternProgramsValidate: the seam's five programs are structurally
+// valid and their schedule spaces all contain the canonical schedule.
+func TestPatternProgramsValidate(t *testing.T) {
+	for _, name := range PatternBenchNames() {
+		p, ok := PatternProgram(name)
+		if !ok {
+			t.Fatalf("%s: no program", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		canon, ok := PatternCanonical(name)
+		if !ok {
+			t.Fatalf("%s: no canonical schedule", name)
+		}
+		space := PatternSpace(name)
+		if len(space) == 0 || space[0] != canon {
+			t.Fatalf("%s: space %v does not start with canonical %s", name, space, canon)
+		}
+		if !IsPatternBench(name) {
+			t.Fatalf("%s: IsPatternBench false", name)
+		}
+		if _, err := pattern.ParseSchedule(canon); err != nil {
+			t.Fatalf("%s: canonical mangle unparseable: %v", name, err)
+		}
+	}
+	if IsPatternBench("FFT") {
+		t.Fatal("FFT is not pattern-portable")
+	}
+}

@@ -44,6 +44,9 @@ func ReduceKernel() *kir.Kernel {
 // produces per-group partials; the final partial sum happens on the host,
 // as in SHOC.
 func RunReduce(d Driver, cfg Config) (*Result, error) {
+	if cfg.Pattern != "" {
+		return runPatternReduce(d, cfg)
+	}
 	const metric = "GB/sec"
 	n := cfg.scale(1 << 20)
 	if n < reduceBlock {

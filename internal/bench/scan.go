@@ -87,6 +87,9 @@ func scanAddKernel() *kir.Kernel {
 // RunScan measures exclusive prefix-sum throughput in MElements/sec
 // (Table II) using the three-kernel multi-level scan.
 func RunScan(d Driver, cfg Config) (*Result, error) {
+	if cfg.Pattern != "" {
+		return runPatternScan(d, cfg)
+	}
 	const metric = "MElements/sec"
 	n := cfg.scale(256 * 1024)
 	n = (n / scanBlock) * scanBlock

@@ -67,6 +67,9 @@ func sobelRef(img []float32, w, h int) []float32 {
 // RunSobel measures the Sobel benchmark (Table II metric: seconds). The
 // variant is selected by cfg.UseConstant.
 func RunSobel(d Driver, cfg Config) (*Result, error) {
+	if cfg.Pattern != "" {
+		return runPatternSobel(d, cfg)
+	}
 	const metric = "sec"
 	w := cfg.scale(1024)
 	h := cfg.scale(1024)

@@ -60,6 +60,9 @@ func st2dRef(in []float32, w, h int) []float32 {
 // RunSt2D measures the two-dimensional nine-point stencil (Table II
 // metric: seconds) over several ping-pong iterations.
 func RunSt2D(d Driver, cfg Config) (*Result, error) {
+	if cfg.Pattern != "" {
+		return runPatternSt2D(d, cfg)
+	}
 	const metric = "sec"
 	const steps = 4
 	w := cfg.scale(512)

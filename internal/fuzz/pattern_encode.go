@@ -1,0 +1,76 @@
+package fuzz
+
+// JSON serialisation of pattern fuzz cases for the pinned regression
+// corpus (pcorpus/). Like the kernel corpus, each file is self-contained:
+// the program AST (the internal/pattern codec), the shape, the inputs, and
+// the schedule mangles the case exercises — so a case that once exposed a
+// lowering bug replays forever, independent of the generator's evolution.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gpucmp/internal/pattern"
+)
+
+type pcaseJSON struct {
+	Seed    uint64              `json:"seed"`
+	N       int                 `json:"n,omitempty"`
+	W       int                 `json:"w,omitempty"`
+	H       int                 `json:"h,omitempty"`
+	Scheds  []string            `json:"schedules"`
+	Bufs    map[string][]uint32 `json:"buffers"`
+	OutInit []uint32            `json:"out_init,omitempty"`
+	Program json.RawMessage     `json:"program"`
+}
+
+// EncodePatternCase renders the case as indented JSON.
+func EncodePatternCase(c *PatternCase) ([]byte, error) {
+	prog, err := pattern.MarshalProgram(c.Prog)
+	if err != nil {
+		return nil, err
+	}
+	pj := pcaseJSON{
+		Seed: c.Seed,
+		N:    c.Shape.N, W: c.Shape.W, H: c.Shape.H,
+		Bufs: c.In.Bufs, OutInit: c.In.OutInit,
+		Program: prog,
+	}
+	for _, s := range c.Scheds {
+		pj.Scheds = append(pj.Scheds, s.Mangle())
+	}
+	return json.MarshalIndent(&pj, "", " ")
+}
+
+// DecodePatternCase parses a case written by EncodePatternCase and
+// re-validates the program and schedules.
+func DecodePatternCase(data []byte) (*PatternCase, error) {
+	var pj pcaseJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return nil, fmt.Errorf("fuzz: pattern corpus decode: %w", err)
+	}
+	prog, err := pattern.UnmarshalProgram(pj.Program)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: pattern corpus program: %w", err)
+	}
+	c := &PatternCase{
+		Seed:  pj.Seed,
+		Prog:  prog,
+		Shape: pattern.Shape{N: pj.N, W: pj.W, H: pj.H},
+		In:    pattern.EvalInputs{Bufs: pj.Bufs, OutInit: pj.OutInit},
+	}
+	if len(pj.Scheds) == 0 {
+		return nil, fmt.Errorf("fuzz: pattern corpus case %d has no schedules", pj.Seed)
+	}
+	for _, m := range pj.Scheds {
+		s, err := pattern.ParseSchedule(m)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: pattern corpus case %d: %w", pj.Seed, err)
+		}
+		c.Scheds = append(c.Scheds, s)
+	}
+	if c.In.Bufs == nil {
+		return nil, fmt.Errorf("fuzz: pattern corpus case %d has no buffers", pj.Seed)
+	}
+	return c, nil
+}

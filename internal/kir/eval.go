@@ -1,0 +1,292 @@
+package kir
+
+// The expression interpreter behind kir.Run, factored out so other layers
+// can evaluate KIR expression trees with exactly the reference semantics.
+// internal/pattern's sequential evaluator runs combinator element functions
+// through EvalExpr: because the pattern evaluator and the kernel executor
+// share this single implementation, a lowered pattern kernel and its host
+// reference cannot drift apart in arithmetic (float rounding, shift
+// masking, division-by-zero results, cast truncation).
+
+import (
+	"fmt"
+	"math"
+)
+
+// EvalEnv resolves the leaves of an expression during evaluation. Resolvers
+// may panic to abort evaluation (kir.Run converts panics into errors; pure
+// callers should recover themselves or pre-validate the tree).
+type EvalEnv interface {
+	// Var resolves a scalar variable read; ok=false for an unbound name.
+	Var(name string) (v uint32, ok bool)
+	// Param resolves a scalar kernel parameter.
+	Param(name string) uint32
+	// BuiltinVal resolves a work-item identification register.
+	BuiltinVal(k BuiltinKind) uint32
+	// LoadWord resolves Buf[idx].
+	LoadWord(buf string, idx uint32) uint32
+}
+
+func bitsOf(f float32) uint32  { return math.Float32bits(f) }
+func floatOf(b uint32) float32 { return math.Float32frombits(b) }
+func runBool(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EvalExpr evaluates one expression tree against env. This is the
+// definition of KIR expression semantics: all values are 32-bit words,
+// floats are evaluated in float32 with Go's rounding, integer division by
+// zero yields all-ones (unsigned) / the dividend (rem), and shift counts
+// are masked to 5 bits.
+func EvalExpr(x Expr, env EvalEnv) uint32 {
+	switch x := x.(type) {
+	case *ConstInt:
+		return uint32(x.V)
+	case *ConstFloat:
+		return bitsOf(x.V)
+	case *ParamRef:
+		return env.Param(x.Name)
+	case *VarRef:
+		v, ok := env.Var(x.Name)
+		if !ok {
+			panic(fmt.Sprintf("unbound variable %q", x.Name))
+		}
+		return v
+	case *Builtin:
+		return env.BuiltinVal(x.Kind)
+	case *Load:
+		idx := EvalExpr(x.Index, env)
+		return env.LoadWord(x.Buf, idx)
+	case *Sel:
+		if EvalExpr(x.Cond, env) != 0 {
+			return EvalExpr(x.A, env)
+		}
+		return EvalExpr(x.B, env)
+	case *Cast:
+		v := EvalExpr(x.X, env)
+		from, to := x.X.Type(), x.To
+		switch {
+		case from == to:
+			return v
+		case to == F32 && from == U32:
+			return bitsOf(float32(v))
+		case to == F32 && from == I32:
+			return bitsOf(float32(int32(v)))
+		case to == U32 && from == F32:
+			return uint32(int64(floatOf(v)))
+		case to == I32 && from == F32:
+			return uint32(int32(floatOf(v)))
+		default:
+			return v
+		}
+	case *Un:
+		v := EvalExpr(x.X, env)
+		isF := x.X.Type() == F32
+		switch x.Op {
+		case OpNeg:
+			if isF {
+				return bitsOf(-floatOf(v))
+			}
+			return -v
+		case OpNot:
+			if x.X.Type() == Bool {
+				return v ^ 1
+			}
+			return ^v
+		case OpAbs:
+			if isF {
+				return bitsOf(float32(math.Abs(float64(floatOf(v)))))
+			}
+			if int32(v) < 0 {
+				return uint32(-int32(v))
+			}
+			return v
+		case OpSqrt:
+			return bitsOf(float32(math.Sqrt(float64(floatOf(v)))))
+		case OpRsqrt:
+			return bitsOf(float32(1 / math.Sqrt(float64(floatOf(v)))))
+		case OpSin:
+			return bitsOf(float32(math.Sin(float64(floatOf(v)))))
+		case OpCos:
+			return bitsOf(float32(math.Cos(float64(floatOf(v)))))
+		case OpExp2:
+			return bitsOf(float32(math.Exp2(float64(floatOf(v)))))
+		case OpLog2:
+			return bitsOf(float32(math.Log2(float64(floatOf(v)))))
+		}
+		panic("unknown unary op")
+	case *Bin:
+		a := EvalExpr(x.L, env)
+		b := EvalExpr(x.R, env)
+		lt := x.L.Type()
+		switch lt {
+		case F32:
+			fa, fb := floatOf(a), floatOf(b)
+			switch x.Op {
+			case OpAdd:
+				return bitsOf(fa + fb)
+			case OpSub:
+				return bitsOf(fa - fb)
+			case OpMul:
+				return bitsOf(fa * fb)
+			case OpDiv:
+				return bitsOf(fa / fb)
+			case OpMin:
+				return bitsOf(float32(math.Min(float64(fa), float64(fb))))
+			case OpMax:
+				return bitsOf(float32(math.Max(float64(fa), float64(fb))))
+			case OpEq:
+				return runBool(fa == fb)
+			case OpNe:
+				return runBool(fa != fb)
+			case OpLt:
+				return runBool(fa < fb)
+			case OpLe:
+				return runBool(fa <= fb)
+			case OpGt:
+				return runBool(fa > fb)
+			case OpGe:
+				return runBool(fa >= fb)
+			}
+		case I32:
+			sa, sb := int32(a), int32(b)
+			switch x.Op {
+			case OpAdd:
+				return uint32(sa + sb)
+			case OpSub:
+				return uint32(sa - sb)
+			case OpMul:
+				return uint32(sa * sb)
+			case OpDiv:
+				if sb == 0 {
+					return ^uint32(0)
+				}
+				return uint32(sa / sb)
+			case OpRem:
+				if sb == 0 {
+					return a
+				}
+				return uint32(sa % sb)
+			case OpMin:
+				if sa < sb {
+					return a
+				}
+				return b
+			case OpMax:
+				if sa > sb {
+					return a
+				}
+				return b
+			case OpAnd:
+				return a & b
+			case OpOr:
+				return a | b
+			case OpXor:
+				return a ^ b
+			case OpShl:
+				return a << (b & 31)
+			case OpShr:
+				return uint32(sa >> (b & 31))
+			case OpEq:
+				return runBool(sa == sb)
+			case OpNe:
+				return runBool(sa != sb)
+			case OpLt:
+				return runBool(sa < sb)
+			case OpLe:
+				return runBool(sa <= sb)
+			case OpGt:
+				return runBool(sa > sb)
+			case OpGe:
+				return runBool(sa >= sb)
+			}
+		default: // U32 and Bool
+			switch x.Op {
+			case OpAdd:
+				return a + b
+			case OpSub:
+				return a - b
+			case OpMul:
+				return a * b
+			case OpDiv:
+				if b == 0 {
+					return ^uint32(0)
+				}
+				return a / b
+			case OpRem:
+				if b == 0 {
+					return a
+				}
+				return a % b
+			case OpMin:
+				if a < b {
+					return a
+				}
+				return b
+			case OpMax:
+				if a > b {
+					return a
+				}
+				return b
+			case OpAnd:
+				return a & b
+			case OpOr:
+				return a | b
+			case OpXor:
+				return a ^ b
+			case OpShl:
+				return a << (b & 31)
+			case OpShr:
+				return a >> (b & 31)
+			case OpEq:
+				return runBool(a == b)
+			case OpNe:
+				return runBool(a != b)
+			case OpLt:
+				return runBool(a < b)
+			case OpLe:
+				return runBool(a <= b)
+			case OpGt:
+				return runBool(a > b)
+			case OpGe:
+				return runBool(a >= b)
+			case OpLAnd:
+				return runBool(a != 0 && b != 0)
+			case OpLOr:
+				return runBool(a != 0 || b != 0)
+			}
+		}
+		panic("unknown binary op")
+	default:
+		panic(fmt.Sprintf("unknown expression %T", x))
+	}
+}
+
+// PureEnv evaluates expressions whose only leaves are constants and the
+// variables bound in Vars — no parameters, builtins or memory. It is the
+// environment internal/pattern uses to evaluate combinator element
+// functions on the host.
+type PureEnv struct {
+	Vars map[string]uint32
+}
+
+// Var resolves a bound variable.
+func (e PureEnv) Var(name string) (uint32, bool) { v, ok := e.Vars[name]; return v, ok }
+
+// Param panics: pure expressions have no kernel parameters.
+func (e PureEnv) Param(name string) uint32 {
+	panic(fmt.Sprintf("kir: PureEnv: parameter %q in a pure expression", name))
+}
+
+// BuiltinVal panics: pure expressions have no work-item identity.
+func (e PureEnv) BuiltinVal(k BuiltinKind) uint32 {
+	panic(fmt.Sprintf("kir: PureEnv: builtin %s in a pure expression", k))
+}
+
+// LoadWord panics: pure expressions do not touch memory.
+func (e PureEnv) LoadWord(buf string, idx uint32) uint32 {
+	panic(fmt.Sprintf("kir: PureEnv: load from %q in a pure expression", buf))
+}

@@ -337,6 +337,24 @@ func decodeStmt(sj *StmtJSON) (Stmt, error) {
 	}
 }
 
+// EncodeExprJSON renders a single expression tree into its serialised
+// form, for codecs (the pattern layer's element functions) that embed
+// expressions outside a whole kernel.
+func EncodeExprJSON(e Expr) *ExprJSON { return encodeExpr(e) }
+
+// DecodeExprJSON rebuilds an expression from its serialised form. Like
+// DecodeKernelJSON, the result is structurally well-formed but unchecked.
+func DecodeExprJSON(ej *ExprJSON) (Expr, error) { return decodeExpr(ej) }
+
+// TypeName renders a type the way the JSON codec spells it.
+func TypeName(t Type) string { return typeNames[t] }
+
+// TypeFromName inverts TypeName.
+func TypeFromName(name string) (Type, bool) {
+	t, ok := typeByName[name]
+	return t, ok
+}
+
 func encodeExpr(e Expr) *ExprJSON {
 	if e == nil {
 		return nil

@@ -9,7 +9,6 @@ package kir
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 )
 
@@ -329,265 +328,57 @@ func (e *runEval) less(t Type, a, b uint32) bool {
 	return a < b
 }
 
-func bitsOf(f float32) uint32  { return math.Float32bits(f) }
-func floatOf(b uint32) float32 { return math.Float32frombits(b) }
-func runBool(b bool) uint32 {
-	if b {
-		return 1
+// expr delegates to the shared EvalExpr interpreter: runEval is the
+// EvalEnv that binds variables, parameters, work-item identity and memory
+// for one thread of one launch.
+func (e *runEval) expr(x Expr) uint32 { return EvalExpr(x, e) }
+
+// Var resolves a declared variable (EvalEnv).
+func (e *runEval) Var(name string) (uint32, bool) {
+	v, ok := e.vars[name]
+	return v, ok
+}
+
+// Param resolves a scalar kernel parameter (EvalEnv).
+func (e *runEval) Param(name string) uint32 { return e.cfg.Scalars[name] }
+
+// BuiltinVal resolves a work-item identification register (EvalEnv).
+func (e *runEval) BuiltinVal(k BuiltinKind) uint32 {
+	switch k {
+	case TidX:
+		return e.tidX
+	case TidY:
+		return e.tidY
+	case NtidX:
+		return uint32(e.cfg.BlockX)
+	case NtidY:
+		return uint32(e.cfg.BlockY)
+	case CtaidX:
+		return e.ctaX
+	case CtaidY:
+		return e.ctaY
+	case NctaidX:
+		return uint32(e.cfg.GridX)
+	case NctaidY:
+		return uint32(e.cfg.GridY)
+	case WarpSize:
+		return uint32(e.cfg.WarpSize)
 	}
 	return 0
 }
 
-func (e *runEval) expr(x Expr) uint32 {
-	switch x := x.(type) {
-	case *ConstInt:
-		return uint32(x.V)
-	case *ConstFloat:
-		return bitsOf(x.V)
-	case *ParamRef:
-		return e.cfg.Scalars[x.Name]
-	case *VarRef:
-		v, ok := e.vars[x.Name]
-		if !ok {
-			panic(fmt.Sprintf("unbound variable %q", x.Name))
-		}
-		return v
-	case *Builtin:
-		switch x.Kind {
-		case TidX:
-			return e.tidX
-		case TidY:
-			return e.tidY
-		case NtidX:
-			return uint32(e.cfg.BlockX)
-		case NtidY:
-			return uint32(e.cfg.BlockY)
-		case CtaidX:
-			return e.ctaX
-		case CtaidY:
-			return e.ctaY
-		case NctaidX:
-			return uint32(e.cfg.GridX)
-		case NctaidY:
-			return uint32(e.cfg.GridY)
-		case WarpSize:
-			return uint32(e.cfg.WarpSize)
-		}
-		return 0
-	case *Load:
-		buf := e.buffer(x.Buf)
-		idx := e.expr(x.Index)
-		if int(idx) >= len(buf) {
-			panic(fmt.Sprintf("load from %s[%d] out of range (%d)", x.Buf, idx, len(buf)))
-		}
-		if e.isSharedOrGlobal(x.Buf) {
-			e.mu.Lock()
-			v := buf[idx]
-			e.mu.Unlock()
-			return v
-		}
-		return buf[idx]
-	case *Sel:
-		if e.expr(x.Cond) != 0 {
-			return e.expr(x.A)
-		}
-		return e.expr(x.B)
-	case *Cast:
-		v := e.expr(x.X)
-		from, to := x.X.Type(), x.To
-		switch {
-		case from == to:
-			return v
-		case to == F32 && from == U32:
-			return bitsOf(float32(v))
-		case to == F32 && from == I32:
-			return bitsOf(float32(int32(v)))
-		case to == U32 && from == F32:
-			return uint32(int64(floatOf(v)))
-		case to == I32 && from == F32:
-			return uint32(int32(floatOf(v)))
-		default:
-			return v
-		}
-	case *Un:
-		v := e.expr(x.X)
-		isF := x.X.Type() == F32
-		switch x.Op {
-		case OpNeg:
-			if isF {
-				return bitsOf(-floatOf(v))
-			}
-			return -v
-		case OpNot:
-			if x.X.Type() == Bool {
-				return v ^ 1
-			}
-			return ^v
-		case OpAbs:
-			if isF {
-				return bitsOf(float32(math.Abs(float64(floatOf(v)))))
-			}
-			if int32(v) < 0 {
-				return uint32(-int32(v))
-			}
-			return v
-		case OpSqrt:
-			return bitsOf(float32(math.Sqrt(float64(floatOf(v)))))
-		case OpRsqrt:
-			return bitsOf(float32(1 / math.Sqrt(float64(floatOf(v)))))
-		case OpSin:
-			return bitsOf(float32(math.Sin(float64(floatOf(v)))))
-		case OpCos:
-			return bitsOf(float32(math.Cos(float64(floatOf(v)))))
-		case OpExp2:
-			return bitsOf(float32(math.Exp2(float64(floatOf(v)))))
-		case OpLog2:
-			return bitsOf(float32(math.Log2(float64(floatOf(v)))))
-		}
-		panic("unknown unary op")
-	case *Bin:
-		a := e.expr(x.L)
-		b := e.expr(x.R)
-		lt := x.L.Type()
-		switch lt {
-		case F32:
-			fa, fb := floatOf(a), floatOf(b)
-			switch x.Op {
-			case OpAdd:
-				return bitsOf(fa + fb)
-			case OpSub:
-				return bitsOf(fa - fb)
-			case OpMul:
-				return bitsOf(fa * fb)
-			case OpDiv:
-				return bitsOf(fa / fb)
-			case OpMin:
-				return bitsOf(float32(math.Min(float64(fa), float64(fb))))
-			case OpMax:
-				return bitsOf(float32(math.Max(float64(fa), float64(fb))))
-			case OpEq:
-				return runBool(fa == fb)
-			case OpNe:
-				return runBool(fa != fb)
-			case OpLt:
-				return runBool(fa < fb)
-			case OpLe:
-				return runBool(fa <= fb)
-			case OpGt:
-				return runBool(fa > fb)
-			case OpGe:
-				return runBool(fa >= fb)
-			}
-		case I32:
-			sa, sb := int32(a), int32(b)
-			switch x.Op {
-			case OpAdd:
-				return uint32(sa + sb)
-			case OpSub:
-				return uint32(sa - sb)
-			case OpMul:
-				return uint32(sa * sb)
-			case OpDiv:
-				if sb == 0 {
-					return ^uint32(0)
-				}
-				return uint32(sa / sb)
-			case OpRem:
-				if sb == 0 {
-					return a
-				}
-				return uint32(sa % sb)
-			case OpMin:
-				if sa < sb {
-					return a
-				}
-				return b
-			case OpMax:
-				if sa > sb {
-					return a
-				}
-				return b
-			case OpAnd:
-				return a & b
-			case OpOr:
-				return a | b
-			case OpXor:
-				return a ^ b
-			case OpShl:
-				return a << (b & 31)
-			case OpShr:
-				return uint32(sa >> (b & 31))
-			case OpEq:
-				return runBool(sa == sb)
-			case OpNe:
-				return runBool(sa != sb)
-			case OpLt:
-				return runBool(sa < sb)
-			case OpLe:
-				return runBool(sa <= sb)
-			case OpGt:
-				return runBool(sa > sb)
-			case OpGe:
-				return runBool(sa >= sb)
-			}
-		default: // U32 and Bool
-			switch x.Op {
-			case OpAdd:
-				return a + b
-			case OpSub:
-				return a - b
-			case OpMul:
-				return a * b
-			case OpDiv:
-				if b == 0 {
-					return ^uint32(0)
-				}
-				return a / b
-			case OpRem:
-				if b == 0 {
-					return a
-				}
-				return a % b
-			case OpMin:
-				if a < b {
-					return a
-				}
-				return b
-			case OpMax:
-				if a > b {
-					return a
-				}
-				return b
-			case OpAnd:
-				return a & b
-			case OpOr:
-				return a | b
-			case OpXor:
-				return a ^ b
-			case OpShl:
-				return a << (b & 31)
-			case OpShr:
-				return a >> (b & 31)
-			case OpEq:
-				return runBool(a == b)
-			case OpNe:
-				return runBool(a != b)
-			case OpLt:
-				return runBool(a < b)
-			case OpLe:
-				return runBool(a <= b)
-			case OpGt:
-				return runBool(a > b)
-			case OpGe:
-				return runBool(a >= b)
-			case OpLAnd:
-				return runBool(a != 0 && b != 0)
-			case OpLOr:
-				return runBool(a != 0 || b != 0)
-			}
-		}
-		panic("unknown binary op")
-	default:
-		panic(fmt.Sprintf("unknown expression %T", x))
+// LoadWord resolves Buf[idx], taking the block lock for shared and global
+// memory (EvalEnv).
+func (e *runEval) LoadWord(bufName string, idx uint32) uint32 {
+	buf := e.buffer(bufName)
+	if int(idx) >= len(buf) {
+		panic(fmt.Sprintf("load from %s[%d] out of range (%d)", bufName, idx, len(buf)))
 	}
+	if e.isSharedOrGlobal(bufName) {
+		e.mu.Lock()
+		v := buf[idx]
+		e.mu.Unlock()
+		return v
+	}
+	return buf[idx]
 }

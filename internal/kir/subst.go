@@ -112,6 +112,10 @@ func SubstVar(stmts []Stmt, name string, repl Expr) []Stmt {
 	return out
 }
 
+// SubstExpr returns a deep copy of e with every read of variable name
+// replaced by a copy of repl.
+func SubstExpr(e Expr, name string, repl Expr) Expr { return substExpr(e, name, repl) }
+
 func substExpr(e Expr, name string, repl Expr) Expr {
 	switch e := e.(type) {
 	case nil:

@@ -1,0 +1,215 @@
+package pattern
+
+// JSON codec for pattern programs, schedules and shapes, so the fuzzer can
+// pin failing programs in a corpus and CI can replay them. Element-function
+// bodies reuse kir's expression codec; decoding re-validates everything, so
+// a corpus entry that no longer passes Validate fails loudly instead of
+// silently testing nothing.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"gpucmp/internal/kir"
+)
+
+// FnJSON is the serialised form of an element function.
+type FnJSON struct {
+	Params []FnParamJSON `json:"params"`
+	Body   *kir.ExprJSON `json:"body"`
+}
+
+// FnParamJSON is one serialised element-function parameter.
+type FnParamJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// NodeJSON is the serialised form of an elementwise dataflow node.
+type NodeJSON struct {
+	Input string      `json:"input,omitempty"`
+	Type  string      `json:"type,omitempty"` // input element type
+	Fn    *FnJSON     `json:"fn,omitempty"`
+	Args  []*NodeJSON `json:"args,omitempty"`
+}
+
+// TapJSON is one serialised stencil offset.
+type TapJSON struct {
+	DY int `json:"dy"`
+	DX int `json:"dx"`
+}
+
+// ProgramJSON is the serialised form of any pattern program; Kind selects
+// which fields are meaningful.
+type ProgramJSON struct {
+	Kind     string    `json:"kind"`
+	Name     string    `json:"name"`
+	Root     *NodeJSON `json:"root,omitempty"`     // map, reduce
+	Combine  *FnJSON   `json:"combine,omitempty"`  // reduce, scan
+	Identity uint32    `json:"identity,omitempty"` // reduce, scan
+	Input    string    `json:"input,omitempty"`    // scan, stencil
+	Elem     string    `json:"elem,omitempty"`     // scan
+	Taps     []TapJSON `json:"taps,omitempty"`     // stencil
+	Coeffs   []float32 `json:"coeffs,omitempty"`   // stencil
+	Fn       *FnJSON   `json:"fn,omitempty"`       // stencil
+}
+
+func encodeFn(f Fn) *FnJSON {
+	fj := &FnJSON{Body: kir.EncodeExprJSON(f.Body)}
+	for _, p := range f.Params {
+		fj.Params = append(fj.Params, FnParamJSON{Name: p.Name, Type: kir.TypeName(p.T)})
+	}
+	return fj
+}
+
+func decodeFn(fj *FnJSON) (Fn, error) {
+	if fj == nil {
+		return Fn{}, fmt.Errorf("pattern: decode: missing fn")
+	}
+	var f Fn
+	for _, pj := range fj.Params {
+		t, ok := kir.TypeFromName(pj.Type)
+		if !ok {
+			return Fn{}, fmt.Errorf("pattern: decode: fn param %q has unknown type %q", pj.Name, pj.Type)
+		}
+		f.Params = append(f.Params, FnParam{Name: pj.Name, T: t})
+	}
+	body, err := kir.DecodeExprJSON(fj.Body)
+	if err != nil {
+		return Fn{}, fmt.Errorf("pattern: decode: fn body: %w", err)
+	}
+	f.Body = body
+	return f, nil
+}
+
+func encodeNode(n *Node) *NodeJSON {
+	if n == nil {
+		return nil
+	}
+	if n.Input != "" {
+		return &NodeJSON{Input: n.Input, Type: kir.TypeName(n.T)}
+	}
+	nj := &NodeJSON{Fn: encodeFn(n.Fn)}
+	for _, a := range n.Args {
+		nj.Args = append(nj.Args, encodeNode(a))
+	}
+	return nj
+}
+
+func decodeNode(nj *NodeJSON) (*Node, error) {
+	if nj == nil {
+		return nil, fmt.Errorf("pattern: decode: missing node")
+	}
+	if nj.Input != "" {
+		t, ok := kir.TypeFromName(nj.Type)
+		if !ok {
+			return nil, fmt.Errorf("pattern: decode: input %q has unknown type %q", nj.Input, nj.Type)
+		}
+		return In(nj.Input, t), nil
+	}
+	f, err := decodeFn(nj.Fn)
+	if err != nil {
+		return nil, err
+	}
+	args := make([]*Node, len(nj.Args))
+	for i, aj := range nj.Args {
+		if args[i], err = decodeNode(aj); err != nil {
+			return nil, err
+		}
+	}
+	return &Node{Fn: f, Args: args, T: f.Ret()}, nil
+}
+
+// EncodeProgram renders a program into its serialised form.
+func EncodeProgram(p Program) (*ProgramJSON, error) {
+	switch p := p.(type) {
+	case *MapProg:
+		return &ProgramJSON{Kind: "map", Name: p.Name, Root: encodeNode(p.Root)}, nil
+	case *ReduceProg:
+		return &ProgramJSON{Kind: "reduce", Name: p.Name, Root: encodeNode(p.Root),
+			Combine: encodeFn(p.Combine), Identity: p.Identity}, nil
+	case *ScanProg:
+		return &ProgramJSON{Kind: "scan", Name: p.Name, Input: p.Input, Elem: kir.TypeName(p.Elem),
+			Combine: encodeFn(p.Combine), Identity: p.Identity}, nil
+	case *Stencil2DProg:
+		pj := &ProgramJSON{Kind: "stencil2d", Name: p.Name, Input: p.Input,
+			Coeffs: p.Coeffs, Fn: encodeFn(p.Fn)}
+		for _, t := range p.Taps {
+			pj.Taps = append(pj.Taps, TapJSON{DY: t.DY, DX: t.DX})
+		}
+		return pj, nil
+	case *MatMulProg:
+		return &ProgramJSON{Kind: "matmul", Name: p.Name}, nil
+	default:
+		return nil, fmt.Errorf("pattern: encode: unknown program type %T", p)
+	}
+}
+
+// DecodeProgram rebuilds and re-validates a program.
+func DecodeProgram(pj *ProgramJSON) (Program, error) {
+	var p Program
+	switch pj.Kind {
+	case "map":
+		root, err := decodeNode(pj.Root)
+		if err != nil {
+			return nil, err
+		}
+		p = &MapProg{Name: pj.Name, Root: root}
+	case "reduce":
+		root, err := decodeNode(pj.Root)
+		if err != nil {
+			return nil, err
+		}
+		comb, err := decodeFn(pj.Combine)
+		if err != nil {
+			return nil, err
+		}
+		p = &ReduceProg{Name: pj.Name, Root: root, Combine: comb, Identity: pj.Identity}
+	case "scan":
+		elem, ok := kir.TypeFromName(pj.Elem)
+		if !ok {
+			return nil, fmt.Errorf("pattern: decode: scan %q has unknown elem type %q", pj.Name, pj.Elem)
+		}
+		comb, err := decodeFn(pj.Combine)
+		if err != nil {
+			return nil, err
+		}
+		p = &ScanProg{Name: pj.Name, Input: pj.Input, Elem: elem, Combine: comb, Identity: pj.Identity}
+	case "stencil2d":
+		f, err := decodeFn(pj.Fn)
+		if err != nil {
+			return nil, err
+		}
+		sp := &Stencil2DProg{Name: pj.Name, Input: pj.Input, Coeffs: pj.Coeffs, Fn: f}
+		for _, t := range pj.Taps {
+			sp.Taps = append(sp.Taps, Tap{DY: t.DY, DX: t.DX})
+		}
+		p = sp
+	case "matmul":
+		p = &MatMulProg{Name: pj.Name}
+	default:
+		return nil, fmt.Errorf("pattern: decode: unknown program kind %q", pj.Kind)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("pattern: decode: %w", err)
+	}
+	return p, nil
+}
+
+// MarshalProgram is EncodeProgram straight to JSON bytes.
+func MarshalProgram(p Program) ([]byte, error) {
+	pj, err := EncodeProgram(p)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(pj)
+}
+
+// UnmarshalProgram is DecodeProgram straight from JSON bytes.
+func UnmarshalProgram(data []byte) (Program, error) {
+	var pj ProgramJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return nil, err
+	}
+	return DecodeProgram(&pj)
+}

@@ -1,0 +1,112 @@
+package pattern
+
+import (
+	"testing"
+
+	"gpucmp/internal/kir"
+	"gpucmp/internal/workload"
+)
+
+// TestProgramCodecRoundTrip checks that every soundness-suite program
+// survives JSON encode/decode with its behaviour intact (the property the
+// fuzz corpus depends on): the decoded program must evaluate bitwise
+// identically to the original at the canonical schedule.
+func TestProgramCodecRoundTrip(t *testing.T) {
+	for _, c := range soundnessCases(t) {
+		data, err := MarshalProgram(c.prog)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", c.prog.ProgName(), err)
+		}
+		back, err := UnmarshalProgram(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", c.prog.ProgName(), err)
+		}
+		if back.ProgName() != c.prog.ProgName() || back.Kind() != c.prog.Kind() {
+			t.Fatalf("%s: round trip changed identity: %s/%s", c.prog.ProgName(), back.ProgName(), back.Kind())
+		}
+		s := Canonical(c.prog)
+		want, err := Eval(c.prog, s, c.shape, c.in)
+		if err != nil {
+			t.Fatalf("%s: eval original: %v", c.prog.ProgName(), err)
+		}
+		got, err := Eval(back, s, c.shape, c.in)
+		if err != nil {
+			t.Fatalf("%s: eval decoded: %v", c.prog.ProgName(), err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: word %d differs after codec round trip", c.prog.ProgName(), i)
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsInvalidPrograms: a corpus entry that decodes into a
+// structurally invalid program must fail loudly.
+func TestDecodeRejectsInvalidPrograms(t *testing.T) {
+	bad := []string{
+		`{"kind":"nosuch","name":"x"}`,
+		`{"kind":"map","name":"x"}`,                                      // missing root
+		`{"kind":"map","name":"x","root":{"input":"a","type":"nosuch"}}`, // bad type
+		`{"kind":"matmul"}`,                                              // missing name
+		`{"kind":"scan","name":"s","input":"a","elem":"u32"}`,            // missing combine
+		`{"kind":"stencil2d","name":"st","input":"img"}`,                 // no taps
+	}
+	for _, data := range bad {
+		if _, err := UnmarshalProgram([]byte(data)); err == nil {
+			t.Errorf("UnmarshalProgram(%s) should fail", data)
+		}
+	}
+}
+
+// TestFnPurityRejected: element functions must not read kernel state.
+func TestFnPurityRejected(t *testing.T) {
+	impure := []Fn{
+		{Params: []FnParam{{Name: "x", T: kir.U32}}, Body: kir.Add(X("x", kir.U32), kir.Bi(kir.TidX))},
+		{Params: []FnParam{{Name: "x", T: kir.U32}}, Body: &kir.ParamRef{Name: "n", T: kir.U32}},
+		{Params: []FnParam{{Name: "x", T: kir.U32}}, Body: &kir.Load{Buf: "buf", Index: kir.U(0), T: kir.U32}},
+		{Params: []FnParam{{Name: "x", T: kir.U32}}, Body: X("y", kir.U32)}, // undeclared read
+	}
+	for i, f := range impure {
+		if err := f.Validate(); err == nil {
+			t.Errorf("impure fn %d validated", i)
+		}
+	}
+}
+
+// TestRunLoweredMatchesKernelCheck: lowered kernels must pass kir.Check
+// (Lower runs it) and execute on a fresh instance decoded from KernelJSON,
+// proving the generated kernels survive the same serialisation path the
+// compile cache and /run API use.
+func TestLoweredKernelsSurviveKernelJSON(t *testing.T) {
+	p := &ReduceProg{Name: "r", Root: Map(fnSquare(), In("a", kir.F32)), Combine: fnAddF()}
+	l, err := Lower(p, Canonical(p), Shape{N: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range l.Kernels {
+		kj := kir.EncodeKernelJSON(k)
+		back, err := kir.DecodeKernelJSON(&kj)
+		if err != nil {
+			t.Fatalf("kernel %d: %v", i, err)
+		}
+		if kir.Format(back) != kir.Format(k) {
+			t.Fatalf("kernel %d changed under KernelJSON round trip", i)
+		}
+	}
+	rng := workload.NewRNG(3)
+	in := EvalInputs{Bufs: map[string][]uint32{"a": f32Bits(rng.Floats(512, -1, 1))}}
+	want, err := Eval(p, Canonical(p), Shape{N: 512}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunLowered(l, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("word %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package pattern
+
+// RunLowered executes a lowered program on the kir host reference
+// executor: allocate the buffer set, run the launch sequence, read the
+// output. It is the pattern layer's oracle between the pure evaluator and
+// the compiled+simulated device pipeline.
+
+import (
+	"fmt"
+
+	"gpucmp/internal/kir"
+)
+
+// RunLowered executes every launch of l and returns the output buffer.
+// Input buffers are copied from in.Bufs; the output buffer starts from
+// in.OutInit when given (stencil border passthrough), zero otherwise.
+func RunLowered(l *Lowered, in EvalInputs) ([]uint32, error) {
+	storage := map[string][]uint32{}
+	for _, bs := range l.Bufs {
+		buf := make([]uint32, bs.Words)
+		switch bs.Role {
+		case RoleInput:
+			src, ok := in.Bufs[bs.Name]
+			if !ok || len(src) < bs.Words {
+				return nil, fmt.Errorf("pattern: run %s: input %q has %d words, need %d",
+					l.Key, bs.Name, len(src), bs.Words)
+			}
+			copy(buf, src)
+		case RoleCoeff:
+			copy(buf, bs.Init)
+		case RoleOutput:
+			if in.OutInit != nil {
+				if len(in.OutInit) != bs.Words {
+					return nil, fmt.Errorf("pattern: run %s: out init has %d words, need %d",
+						l.Key, len(in.OutInit), bs.Words)
+				}
+				copy(buf, in.OutInit)
+			}
+		}
+		storage[bs.Name] = buf
+	}
+
+	kernels := map[string]*kir.Kernel{}
+	for _, k := range l.Kernels {
+		kernels[k.Name] = k
+	}
+	for _, launch := range l.Launches {
+		k := kernels[launch.Kernel]
+		if k == nil {
+			return nil, fmt.Errorf("pattern: run %s: launch references unknown kernel %q", l.Key, launch.Kernel)
+		}
+		if len(launch.Args) != len(k.Params) {
+			return nil, fmt.Errorf("pattern: run %s: kernel %q takes %d params, launch has %d args",
+				l.Key, k.Name, len(k.Params), len(launch.Args))
+		}
+		cfg := kir.RunConfig{
+			GridX: launch.GridX, GridY: launch.GridY,
+			BlockX: launch.BlockX, BlockY: launch.BlockY,
+			Buffers: map[string][]uint32{},
+			Scalars: map[string]uint32{},
+		}
+		for i, arg := range launch.Args {
+			p := k.Params[i]
+			switch {
+			case arg.IsVal && !p.Buffer:
+				cfg.Scalars[p.Name] = arg.Val
+			case !arg.IsVal && p.Buffer:
+				buf, ok := storage[arg.Buf]
+				if !ok {
+					return nil, fmt.Errorf("pattern: run %s: launch of %q references unknown buffer %q",
+						l.Key, k.Name, arg.Buf)
+				}
+				cfg.Buffers[p.Name] = buf
+			default:
+				return nil, fmt.Errorf("pattern: run %s: kernel %q param %q: buffer/scalar mismatch",
+					l.Key, k.Name, p.Name)
+			}
+		}
+		if err := kir.Run(k, cfg); err != nil {
+			return nil, fmt.Errorf("pattern: run %s: %w", l.Key, err)
+		}
+	}
+	out, ok := storage[l.Out]
+	if !ok {
+		return nil, fmt.Errorf("pattern: run %s: no output buffer %q", l.Key, l.Out)
+	}
+	return out, nil
+}

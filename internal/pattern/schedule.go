@@ -1,0 +1,272 @@
+package pattern
+
+// The schedule is the rewrite-rule state of a program: each field is the
+// knob one semantics-preserving rewrite toggles (fusion, tree reduction in
+// shared memory, shared-memory tiling, unrolling, thread coarsening,
+// constant-memory coefficient placement). Canonical(p) is the schedule
+// whose lowering reproduces the hand-written internal/bench kernel's
+// floating-point association exactly; Space(p) is the closure of the
+// canonical schedule under every applicable rule, which is what the
+// autotuner searches.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Schedule selects one lowering of a program. The zero value is invalid;
+// start from Canonical.
+type Schedule struct {
+	// BlockX is the work-group width: threads per group for 1-D skeletons,
+	// the side of the square group (and the tile) for stencil and matmul.
+	BlockX int `json:"block_x"`
+	// Coarsen makes each map thread process this many consecutive
+	// elements (thread coarsening / vectorise-by-k). 1 elsewhere.
+	Coarsen int `json:"coarsen,omitempty"`
+	// Unroll, when nonzero, attaches "#pragma unroll" to the lowering's
+	// fixed-trip inner loop (reduction rounds, scan sweeps, the matmul
+	// k-tile loop, the map coarsening loop); kir.UnrollFull asks for
+	// complete unrolling.
+	Unroll int `json:"unroll,omitempty"`
+	// Fuse inlines elementwise producer chains into the consumer kernel;
+	// off, every Apply stage is materialised through a temporary global
+	// buffer by its own kernel.
+	Fuse bool `json:"fuse,omitempty"`
+	// TreeReduce reduces each block's shared-memory tile by parallel
+	// halving instead of a sequential fold by thread 0.
+	TreeReduce bool `json:"tree_reduce,omitempty"`
+	// Tile stages matmul operands through shared-memory tiles.
+	Tile bool `json:"tile,omitempty"`
+	// ConstCoeff places stencil coefficients in constant memory instead of
+	// global memory.
+	ConstCoeff bool `json:"const_coeff,omitempty"`
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Mangle renders the schedule as a short stable string, embedded in
+// generated kernel names (so distinct schedules never collide in the
+// process-wide compile cache) and carried as bench.Config.Pattern through
+// the /run API and the scheduler's job key. Every Schedule field
+// participates; schedule_test.go audits that by reflection.
+func (s Schedule) Mangle() string {
+	return fmt.Sprintf("b%d.c%d.u%d.f%d.r%d.t%d.k%d",
+		s.BlockX, s.Coarsen, s.Unroll, b2i(s.Fuse), b2i(s.TreeReduce), b2i(s.Tile), b2i(s.ConstCoeff))
+}
+
+// ParseSchedule inverts Mangle.
+func ParseSchedule(m string) (Schedule, error) {
+	parts := strings.Split(m, ".")
+	if len(parts) != 7 {
+		return Schedule{}, fmt.Errorf("pattern: bad schedule %q: want 7 dot-separated fields", m)
+	}
+	var s Schedule
+	for i, spec := range []struct {
+		tag string
+		num *int
+		fl  *bool
+	}{
+		{tag: "b", num: &s.BlockX},
+		{tag: "c", num: &s.Coarsen},
+		{tag: "u", num: &s.Unroll},
+		{tag: "f", fl: &s.Fuse},
+		{tag: "r", fl: &s.TreeReduce},
+		{tag: "t", fl: &s.Tile},
+		{tag: "k", fl: &s.ConstCoeff},
+	} {
+		p := parts[i]
+		if !strings.HasPrefix(p, spec.tag) {
+			return Schedule{}, fmt.Errorf("pattern: bad schedule %q: field %d should start with %q", m, i, spec.tag)
+		}
+		v, err := strconv.Atoi(p[len(spec.tag):])
+		if err != nil {
+			return Schedule{}, fmt.Errorf("pattern: bad schedule %q: field %q: %v", m, p, err)
+		}
+		if spec.num != nil {
+			*spec.num = v
+		} else {
+			if v != 0 && v != 1 {
+				return Schedule{}, fmt.Errorf("pattern: bad schedule %q: flag field %q must be 0 or 1", m, p)
+			}
+			*spec.fl = v == 1
+		}
+	}
+	return s, nil
+}
+
+// Canonical returns the schedule whose lowering mirrors the hand-written
+// benchmark kernel for the program's skeleton: block 256 (16 x 16 for the
+// 2-D skeletons), fused, tree reduction, tiled matmul, coefficients in
+// global memory.
+func Canonical(p Program) Schedule {
+	switch p.Kind() {
+	case KindMap:
+		return Schedule{BlockX: 256, Coarsen: 1, Fuse: true}
+	case KindReduce:
+		return Schedule{BlockX: 256, Coarsen: 1, Fuse: true, TreeReduce: true}
+	case KindScan:
+		return Schedule{BlockX: 256, Coarsen: 1, Fuse: true}
+	case KindStencil2D:
+		return Schedule{BlockX: 16, Coarsen: 1, Fuse: true}
+	case KindMatMul:
+		return Schedule{BlockX: 16, Coarsen: 1, Fuse: true, Tile: true}
+	default:
+		return Schedule{}
+	}
+}
+
+// Rule is one semantics-preserving rewrite: Applies says whether the
+// program has the dimension at all, and Options enumerates the values the
+// rule can set its dimension to (the first option is the canonical one).
+// Every rule is exercised against the evaluator by the soundness suite in
+// rules_test.go.
+type Rule struct {
+	Name    string
+	Applies func(p Program) bool
+	Options func(p Program) []func(*Schedule)
+}
+
+func hasFusableChain(p Program) bool {
+	switch p := p.(type) {
+	case *MapProg:
+		return nodeDepth(p.Root) >= 2
+	case *ReduceProg:
+		return nodeDepth(p.Root) >= 1
+	default:
+		return false
+	}
+}
+
+// Rules returns the rewrite catalogue.
+func Rules() []Rule {
+	return []Rule{
+		{
+			Name:    "block-size",
+			Applies: func(p Program) bool { return true },
+			Options: func(p Program) []func(*Schedule) {
+				sizes := []int{256, 128, 64}
+				if p.Kind() == KindStencil2D || p.Kind() == KindMatMul {
+					sizes = []int{16, 8}
+				}
+				var out []func(*Schedule)
+				for _, b := range sizes {
+					b := b
+					out = append(out, func(s *Schedule) { s.BlockX = b })
+				}
+				return out
+			},
+		},
+		{
+			Name:    "fuse",
+			Applies: hasFusableChain,
+			Options: func(p Program) []func(*Schedule) {
+				return []func(*Schedule){
+					func(s *Schedule) { s.Fuse = true },
+					func(s *Schedule) { s.Fuse = false },
+				}
+			},
+		},
+		{
+			Name:    "tree-reduce",
+			Applies: func(p Program) bool { return p.Kind() == KindReduce },
+			Options: func(p Program) []func(*Schedule) {
+				return []func(*Schedule){
+					func(s *Schedule) { s.TreeReduce = true },
+					func(s *Schedule) { s.TreeReduce = false },
+				}
+			},
+		},
+		{
+			Name:    "tile-shared",
+			Applies: func(p Program) bool { return p.Kind() == KindMatMul },
+			Options: func(p Program) []func(*Schedule) {
+				return []func(*Schedule){
+					func(s *Schedule) { s.Tile = true },
+					func(s *Schedule) { s.Tile = false },
+				}
+			},
+		},
+		{
+			Name: "unroll",
+			Applies: func(p Program) bool {
+				// Unrolls the fixed-trip inner loop each of these lowerings has.
+				switch p.Kind() {
+				case KindReduce, KindScan, KindMatMul:
+					return true
+				default:
+					return false
+				}
+			},
+			Options: func(p Program) []func(*Schedule) {
+				return []func(*Schedule){
+					func(s *Schedule) { s.Unroll = 0 },
+					func(s *Schedule) { s.Unroll = 4 },
+				}
+			},
+		},
+		{
+			Name:    "coarsen",
+			Applies: func(p Program) bool { return p.Kind() == KindMap },
+			Options: func(p Program) []func(*Schedule) {
+				return []func(*Schedule){
+					func(s *Schedule) { s.Coarsen = 1 },
+					func(s *Schedule) { s.Coarsen = 2 },
+					func(s *Schedule) { s.Coarsen = 4 },
+				}
+			},
+		},
+		{
+			Name: "const-coeff",
+			Applies: func(p Program) bool {
+				st, ok := p.(*Stencil2DProg)
+				return ok && len(st.Coeffs) > 0
+			},
+			Options: func(p Program) []func(*Schedule) {
+				return []func(*Schedule){
+					func(s *Schedule) { s.ConstCoeff = false },
+					func(s *Schedule) { s.ConstCoeff = true },
+				}
+			},
+		},
+	}
+}
+
+// Space enumerates the schedules reachable from Canonical(p) by every
+// combination of applicable rewrite rules: the autotuner's search space.
+// The canonical schedule is always the first element.
+func Space(p Program) []Schedule {
+	scheds := []Schedule{Canonical(p)}
+	for _, r := range Rules() {
+		if !r.Applies(p) {
+			continue
+		}
+		opts := r.Options(p)
+		var next []Schedule
+		for _, s := range scheds {
+			for _, apply := range opts {
+				v := s
+				apply(&v)
+				next = append(next, v)
+			}
+		}
+		scheds = next
+	}
+	// The product enumeration visits the all-canonical combination first,
+	// so scheds[0] == Canonical(p); dedupe in case an option is a no-op.
+	seen := map[string]bool{}
+	var out []Schedule
+	for _, s := range scheds {
+		m := s.Mangle()
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package perfmodel
+
+import (
+	"gpucmp/internal/arch"
+	"gpucmp/internal/pattern"
+)
+
+// PatternPrior scores a pattern schedule on a device — higher means
+// predicted faster. It is a search-ordering heuristic, not a performance
+// claim: the tuner measures every candidate it keeps, the prior only
+// decides evaluation order (so a budgeted search tries the likely winners
+// first) and breaks ties deterministically. The terms mirror the roofline
+// model's structure: occupancy from block geometry, DRAM round trips from
+// fusion, instruction count from the per-kind rewrite rules.
+func PatternPrior(a *arch.Device, kind pattern.Kind, s pattern.Schedule) float64 {
+	score := 0.0
+	// Blocks that are a whole number of hardware SIMD groups waste no
+	// lanes; on a 64-wide wavefront device a 32-thread block runs half
+	// empty.
+	if s.BlockX >= a.SIMDWidth && s.BlockX%a.SIMDWidth == 0 {
+		score += 2
+	}
+	// Bigger blocks hide more latency, up to the occupancy knee.
+	b := s.BlockX
+	if b > 256 {
+		b = 256
+	}
+	score += float64(b) / 256
+	// Fusion removes a full DRAM round trip per fused stage.
+	if s.Fuse {
+		score += 2
+	}
+	switch kind {
+	case pattern.KindReduce:
+		// log2(B) tree rounds beat a B-step serial fold.
+		if s.TreeReduce {
+			score += 2
+		}
+	case pattern.KindMatMul:
+		// The shared-memory tile turns 2n global loads per output into
+		// 2n/B.
+		if s.Tile {
+			score += 3
+		}
+	case pattern.KindStencil2D:
+		// The broadcast constant cache serves the coefficient table for
+		// free — on devices that have one (the Fig. 8 effect).
+		if s.ConstCoeff && a.HasConstantCache {
+			score++
+		}
+	}
+	if s.Unroll > 0 {
+		score += 0.25
+	}
+	if s.Coarsen > 1 {
+		score += 0.1
+	}
+	return score
+}

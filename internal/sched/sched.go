@@ -23,6 +23,7 @@ import (
 	"gpucmp/internal/arch"
 	"gpucmp/internal/bench"
 	"gpucmp/internal/fault"
+	"gpucmp/internal/pattern"
 	"gpucmp/internal/sim"
 )
 
@@ -36,13 +37,15 @@ type Job struct {
 }
 
 // Key returns the canonical content key: every field that influences the
-// result, in a fixed order. (bench.Config is a flat struct of scalars, so
-// the %d/%t rendering below is a total encoding of it.)
+// result, in a fixed order. (bench.Config is a flat struct of scalars plus
+// the pattern-schedule mangle, so the rendering below is a total encoding
+// of it. Mangles contain no spaces, so the encoding stays unambiguous.)
 func (j Job) Key() string {
 	c := j.Config
-	return fmt.Sprintf("%s|%s|%s|scale=%d tex=%t const=%t ua=%t ub=%t vspmv=%t ntranp=%t",
+	return fmt.Sprintf("%s|%s|%s|scale=%d tex=%t const=%t ua=%t ub=%t vspmv=%t ntranp=%t pat=%s",
 		j.Benchmark, j.Toolchain, j.Device,
-		c.Scale, c.UseTexture, c.UseConstant, c.UnrollA, c.UnrollB, c.VectorSPMV, c.NaiveTranspose)
+		c.Scale, c.UseTexture, c.UseConstant, c.UnrollA, c.UnrollB, c.VectorSPMV, c.NaiveTranspose,
+		c.Pattern)
 }
 
 // Validate resolves the job's names without running it.
@@ -62,6 +65,14 @@ func (j Job) Validate() error {
 		}
 	default:
 		return fmt.Errorf("sched: unknown toolchain %q (want cuda or opencl)", j.Toolchain)
+	}
+	if j.Config.Pattern != "" {
+		if !bench.IsPatternBench(j.Benchmark) {
+			return fmt.Errorf("sched: benchmark %q has no pattern-generated variant", j.Benchmark)
+		}
+		if _, err := pattern.ParseSchedule(j.Config.Pattern); err != nil {
+			return fmt.Errorf("sched: bad pattern schedule: %w", err)
+		}
 	}
 	return nil
 }

@@ -36,6 +36,8 @@ func TestKeyIsCanonicalAndComplete(t *testing.T) {
 		{Benchmark: base.Benchmark, Device: base.Device, Toolchain: base.Toolchain, Config: bench.Config{Scale: 16, UseTexture: true}},
 		{Benchmark: base.Benchmark, Device: base.Device, Toolchain: base.Toolchain, Config: bench.Config{Scale: 16, UnrollA: true}},
 		{Benchmark: base.Benchmark, Device: base.Device, Toolchain: base.Toolchain, Config: bench.Config{Scale: 16, NaiveTranspose: true}},
+		{Benchmark: base.Benchmark, Device: base.Device, Toolchain: base.Toolchain, Config: bench.Config{Scale: 16, Pattern: "b256.c1.u0.f1.r1.t0.k0"}},
+		{Benchmark: base.Benchmark, Device: base.Device, Toolchain: base.Toolchain, Config: bench.Config{Scale: 16, Pattern: "b128.c1.u0.f1.r1.t0.k0"}},
 	}
 	seen := map[string]bool{base.Key(): true}
 	for _, v := range variants {

@@ -53,6 +53,21 @@ func (k Knob) String() string {
 	}
 }
 
+// MarshalText renders the knob by name, so a Point's Settings map JSON-
+// encodes with readable keys.
+func (k Knob) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a knob name (the inverse of MarshalText).
+func (k *Knob) UnmarshalText(text []byte) error {
+	for _, c := range []Knob{KnobTexture, KnobConstant, KnobUnrollA, KnobUnrollB, KnobVectorKernel, KnobNaiveTranspose} {
+		if c.String() == string(text) {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("tune: unknown knob %q", text)
+}
+
 // RelevantKnobs returns the variant dimensions a benchmark actually has.
 func RelevantKnobs(benchName string) []Knob {
 	switch benchName {
@@ -88,17 +103,22 @@ func applyKnob(cfg *bench.Config, k Knob, on bool) {
 	}
 }
 
-// Point is one evaluated configuration.
+// Point is one evaluated configuration: either a knob assignment (Settings)
+// or a pattern schedule (Pattern), never both.
 type Point struct {
-	Settings map[Knob]bool
-	Config   bench.Config
-	Value    float64 // Table II metric (normalised so higher is better)
-	Raw      float64 // the metric as reported
-	Status   string  // OK / FL / ABT
+	Settings map[Knob]bool `json:"settings,omitempty"`
+	Pattern  string        `json:"pattern,omitempty"` // schedule mangle (pattern space)
+	Config   bench.Config  `json:"config"`
+	Value    float64       `json:"value,omitempty"` // Table II metric (normalised so higher is better)
+	Raw      float64       `json:"raw,omitempty"`   // the metric as reported
+	Status   string        `json:"status"`          // OK / FL / ABT
 }
 
 // Label renders the settings compactly.
 func (p Point) Label() string {
+	if p.Pattern != "" {
+		return p.Pattern
+	}
 	if len(p.Settings) == 0 {
 		return "(no knobs)"
 	}
@@ -123,11 +143,12 @@ func (p Point) Label() string {
 
 // Report is the outcome of one tuning run.
 type Report struct {
-	Benchmark string
-	Device    string
-	Toolchain string
-	Metric    string
-	Points    []Point // sorted best-first; failed points at the end
+	Benchmark string  `json:"benchmark"`
+	Device    string  `json:"device"`
+	Toolchain string  `json:"toolchain"`
+	Metric    string  `json:"metric"`
+	Space     string  `json:"space"`  // "knobs" or "pattern"
+	Points    []Point `json:"points"` // sorted best-first; failed points at the end
 }
 
 // Best returns the winning point (the first OK point).
@@ -149,7 +170,7 @@ func Tune(toolchain string, a *arch.Device, benchName string, scale int) (*Repor
 		return nil, err
 	}
 	knobs := RelevantKnobs(benchName)
-	rep := &Report{Benchmark: benchName, Device: a.Name, Toolchain: toolchain, Metric: spec.Metric}
+	rep := &Report{Benchmark: benchName, Device: a.Name, Toolchain: toolchain, Metric: spec.Metric, Space: "knobs"}
 
 	n := 1 << uint(len(knobs))
 	for mask := 0; mask < n; mask++ {
