@@ -22,22 +22,28 @@ import (
 	"gpucmp/internal/stats"
 )
 
-// Record is one cell of the grid in the JSON output.
+// Record is one cell of the grid in the JSON output. The transfer fields
+// are filled in -transfers mode: TransferSec is the simulated host<->device
+// copy time of the cell and TotalSec the transfer-inclusive end-to-end
+// time — the paper's kernel-only comparison plus what it leaves out.
 type Record struct {
-	Benchmark string  `json:"benchmark"`
-	Device    string  `json:"device"`
-	Toolchain string  `json:"toolchain"`
-	Metric    string  `json:"metric"`
-	Value     float64 `json:"value,omitempty"`
-	KernelSec float64 `json:"kernel_seconds,omitempty"`
-	Status    string  `json:"status"`
-	Error     string  `json:"error,omitempty"`
+	Benchmark   string  `json:"benchmark"`
+	Device      string  `json:"device"`
+	Toolchain   string  `json:"toolchain"`
+	Metric      string  `json:"metric"`
+	Value       float64 `json:"value,omitempty"`
+	KernelSec   float64 `json:"kernel_seconds,omitempty"`
+	TransferSec float64 `json:"transfer_seconds,omitempty"`
+	TotalSec    float64 `json:"total_seconds,omitempty"`
+	Status      string  `json:"status"`
+	Error       string  `json:"error,omitempty"`
 }
 
 func main() {
 	scale := flag.Int("scale", 2, "problem-size divisor (1 = full size)")
 	parallel := flag.Int("parallel", 1, "worker-pool size (1 = sequential)")
 	jsonPath := flag.String("json", "", "write raw results as JSON to this file ('-' for stdout)")
+	transfers := flag.Bool("transfers", false, "transfer-inclusive mode: report host<->device copy time and end-to-end totals per cell")
 	flag.Parse()
 
 	jobs := sched.GridJobs(*scale)
@@ -71,18 +77,38 @@ func main() {
 			rec.Status = res.Status()
 			rec.Value = res.Value
 			rec.KernelSec = res.KernelSeconds
+			if *transfers {
+				rec.TransferSec = res.TransferSeconds
+				rec.TotalSec = res.KernelSeconds + res.TransferSeconds
+			}
 		}
 		records[i] = rec
 	}
 
-	tb := stats.NewTable(fmt.Sprintf("full grid at scale %d (%d cells)", *scale, len(records)),
-		"benchmark", "device", "toolchain", "value", "metric", "status")
-	for _, r := range records {
-		val := "-"
-		if r.Status == "OK" {
-			val = fmt.Sprintf("%.4g", r.Value)
+	title := fmt.Sprintf("full grid at scale %d (%d cells)", *scale, len(records))
+	var tb *stats.Table
+	if *transfers {
+		tb = stats.NewTable(title+", transfer-inclusive",
+			"benchmark", "device", "toolchain", "value", "kernel_s", "transfer_s", "total_s", "status")
+		for _, r := range records {
+			val := "-"
+			if r.Status == "OK" {
+				val = fmt.Sprintf("%.4g", r.Value)
+			}
+			tb.Add(r.Benchmark, r.Device, r.Toolchain, val,
+				fmt.Sprintf("%.3g", r.KernelSec), fmt.Sprintf("%.3g", r.TransferSec),
+				fmt.Sprintf("%.3g", r.TotalSec), r.Status)
 		}
-		tb.Add(r.Benchmark, r.Device, r.Toolchain, val, r.Metric, r.Status)
+	} else {
+		tb = stats.NewTable(title,
+			"benchmark", "device", "toolchain", "value", "metric", "status")
+		for _, r := range records {
+			val := "-"
+			if r.Status == "OK" {
+				val = fmt.Sprintf("%.4g", r.Value)
+			}
+			tb.Add(r.Benchmark, r.Device, r.Toolchain, val, r.Metric, r.Status)
+		}
 	}
 	fmt.Println(tb)
 

@@ -5,7 +5,9 @@
 // scheduler's counters and latency histograms. Identical requests are
 // deduplicated while in flight and served from the result cache
 // afterwards; kernels are compiled once per front-end, not once per
-// launch.
+// launch. POST /coexec splits one workload across several modelled
+// devices with transfer-inclusive scheduling and survives mid-run
+// device loss (see -inject-transfer-rate / -inject-device-lost-rate).
 //
 //	gpucmpd -addr :8480 &
 //	curl localhost:8480/healthz
@@ -65,9 +67,12 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 512, "coordinator mode: shed with 503 above this many in-flight requests (negative disables)")
 	probeInterval := flag.Duration("probe-interval", time.Second, "coordinator mode: worker readiness-probe period (negative disables)")
 	vnodes := flag.Int("ring-vnodes", cluster.DefaultVirtualNodes, "coordinator mode: virtual nodes per ring member")
-	injectSeed := flag.Uint64("inject-seed", 1, "serving mode: fault-injection seed (with -inject-slow-rate)")
+	injectSeed := flag.Uint64("inject-seed", 1, "serving mode: fault-injection seed (with -inject-slow-rate and the coexec rates)")
 	injectSlowRate := flag.Float64("inject-slow-rate", 0, "serving mode: fraction of kernel launches stalled by an injected straggler delay (0 disables)")
 	injectSlowDelay := flag.Duration("inject-slow-delay", 300*time.Millisecond, "serving mode: straggler delay for -inject-slow-rate")
+	injectTransferRate := flag.Float64("inject-transfer-rate", 0, "serving mode: fraction of POST /coexec shard launches failed with a transfer error (0 disables)")
+	injectDeviceLostRate := flag.Float64("inject-device-lost-rate", 0, "serving mode: fraction of POST /coexec shard launches that kill the whole device (0 disables)")
+	injectMaxPerKey := flag.Int("inject-max-per-key", 3, "serving mode: per-shard cap on injected coexec transfer errors (device losses are never capped)")
 	drainNotice := flag.Duration("drain-notice", 0, "on SIGINT/SIGTERM, hold readiness down this long before closing listeners (lets coordinator probes evict us first)")
 	flag.Parse()
 
@@ -133,7 +138,20 @@ func main() {
 	if *stepBudget > 0 {
 		limits.StepBudget = *stepBudget
 	}
-	srv := server.New(s, server.WithFigureScale(*figureScale), server.WithSubmitLimits(limits))
+	opts := []server.Option{server.WithFigureScale(*figureScale), server.WithSubmitLimits(limits)}
+	if *injectTransferRate > 0 || *injectDeviceLostRate > 0 {
+		// A separate injector for the co-execution path: shard-granular
+		// transfer errors (capped per shard so recovery terminates) and
+		// device losses, deterministic in (seed, device, shard).
+		opts = append(opts, server.WithCoexecFaults(fault.New(*injectSeed, fault.Schedule{
+			TransferRate:   *injectTransferRate,
+			DeviceLostRate: *injectDeviceLostRate,
+			MaxPerKey:      *injectMaxPerKey,
+		})))
+		log.Printf("gpucmpd: injecting coexec faults: %.0f%% transfer errors, %.0f%% device losses (seed %d)",
+			*injectTransferRate*100, *injectDeviceLostRate*100, *injectSeed)
+	}
+	srv := server.New(s, opts...)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -64,6 +64,8 @@ func TestValidateRejectsBrokenDevices(t *testing.T) {
 		{"threads below wg", func(d *Device) { d.MaxThreadsPerUnit = d.MaxWorkGroupSize - 1 }},
 		{"bw frac", func(d *Device) { d.Timing.SustainedBWFraction = 1.5 }},
 		{"issue frac", func(d *Device) { d.Timing.SustainedIssueFraction = 0 }},
+		{"zero link bw", func(d *Device) { d.Transfer.PCIeGBps = 0 }},
+		{"neg link latency", func(d *Device) { d.Transfer.LatencyS = -1e-6 }},
 	}
 	for _, tc := range cases {
 		d := GTX480()
@@ -139,6 +141,29 @@ func TestTestbeds(t *testing.T) {
 		if p.Device == nil {
 			t.Errorf("%s has no device", p.Name)
 		}
+	}
+}
+
+func TestTransferParameters(t *testing.T) {
+	// The CPU device's buffers are host-resident, so its effective link
+	// bandwidth must beat every PCIe-attached device — that asymmetry is
+	// the mechanism behind the transfer-inclusive ranking flips.
+	cpu := Intel920()
+	for _, d := range All() {
+		if d.Kind == KindCPU {
+			continue
+		}
+		if d.Transfer.PCIeGBps >= cpu.Transfer.PCIeGBps {
+			t.Errorf("%s link %g GB/s >= CPU %g GB/s", d.Name, d.Transfer.PCIeGBps, cpu.Transfer.PCIeGBps)
+		}
+	}
+	// TransferTime = latency + bytes/bandwidth, checked at a round size.
+	g := GTX480()
+	want := g.Transfer.LatencyS + 1e6/(g.Transfer.PCIeGBps*1e9)
+	almost(t, g.TransferTime(1_000_000), want, 1e-12, "GTX480 TransferTime(1MB)")
+	// Latency must dominate tiny copies, bandwidth large ones.
+	if small := g.TransferTime(4); small < g.Transfer.LatencyS {
+		t.Errorf("TransferTime(4) = %g below link latency", small)
 	}
 }
 

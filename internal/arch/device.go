@@ -125,6 +125,34 @@ type Device struct {
 	GlobalSegmentSize int // bytes per global-memory transaction segment
 
 	Timing Timing
+
+	// Transfer describes the host link the device's buffers travel over.
+	// The D-Wave comparison argument (PAPERS.md, arXiv:1005.2581) is that
+	// device rankings are meaningless unless this cost is counted, so it is
+	// a per-device property: each testbed of the paper had its own host
+	// board, and the CPU device has no PCIe link at all.
+	Transfer Transfer
+}
+
+// Transfer holds the calibrated host<->device link parameters used for
+// transfer-inclusive accounting. For discrete GPUs this is the effective
+// PCIe throughput of the testbed's host board; for the CPU device it is a
+// cache-hierarchy copy (OpenCL CPU buffers are host-resident); for the
+// Cell/BE it is the XDR DMA path through the element interconnect.
+type Transfer struct {
+	// PCIeGBps is the effective host<->device bandwidth in GB/s.
+	PCIeGBps float64
+	// LatencyS is the fixed per-transfer link latency in seconds (DMA
+	// setup, doorbell, completion interrupt), on top of whatever the
+	// runtime adds host-side.
+	LatencyS float64
+}
+
+// TransferTime returns the link-only time to move n bytes: the fixed
+// per-transfer latency plus the bandwidth term. Runtime (toolchain)
+// overheads are added by perfmodel.TransferTimeOn.
+func (d *Device) TransferTime(bytes int64) float64 {
+	return d.Transfer.LatencyS + float64(bytes)/(d.Transfer.PCIeGBps*1e9)
 }
 
 // TheoreticalPeakBandwidth implements Eq. (2) of the paper:
@@ -215,6 +243,10 @@ func (d *Device) Validate() error {
 		return fmt.Errorf("arch: %s: SustainedBWFraction out of (0,1]", d.Name)
 	case d.Timing.SustainedIssueFraction <= 0 || d.Timing.SustainedIssueFraction > 1:
 		return fmt.Errorf("arch: %s: SustainedIssueFraction out of (0,1]", d.Name)
+	case d.Transfer.PCIeGBps <= 0:
+		return fmt.Errorf("arch: %s: Transfer.PCIeGBps must be positive", d.Name)
+	case d.Transfer.LatencyS < 0:
+		return fmt.Errorf("arch: %s: negative Transfer.LatencyS", d.Name)
 	}
 	return nil
 }

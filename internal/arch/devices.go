@@ -56,6 +56,8 @@ func GTX480() *Device {
 			SustainedIssueFraction: 0.977, // paper: 97.7% of TP_FLOPS
 			KernelLaunchBase:       1e-6,
 		},
+		// Saturn testbed: PCIe 2.0 x16, ~70% of the 8 GB/s wire rate.
+		Transfer: Transfer{PCIeGBps: 5.6, LatencyS: 8e-6},
 	}
 }
 
@@ -103,6 +105,8 @@ func GTX280() *Device {
 			SustainedIssueFraction: 0.715, // paper: 71.5% of TP_FLOPS
 			KernelLaunchBase:       1.5e-6,
 		},
+		// Dutijc testbed: PCIe 2.0 x16 behind an older northbridge.
+		Transfer: Transfer{PCIeGBps: 5.0, LatencyS: 10e-6},
 	}
 }
 
@@ -152,6 +156,9 @@ func HD5870() *Device {
 			SustainedIssueFraction: 0.60, // VLIW packing losses on scalar kernels
 			KernelLaunchBase:       2e-6,
 		},
+		// Jupiter testbed: PCIe 2.0 x16; the APP runtime staged every copy
+		// through a pinned bounce buffer, costing bandwidth and latency.
+		Transfer: Transfer{PCIeGBps: 4.4, LatencyS: 12e-6},
 	}
 }
 
@@ -203,6 +210,10 @@ func Intel920() *Device {
 			SustainedIssueFraction: 0.15, // OpenCL work-item emulation overhead
 			KernelLaunchBase:       4e-6,
 		},
+		// No PCIe link at all: an OpenCL CPU buffer is host memory, so a
+		// "transfer" is a cache-hierarchy memcpy. This asymmetry is what
+		// flips transfer-bound rankings (EXPERIMENTS.md).
+		Transfer: Transfer{PCIeGBps: 16.0, LatencyS: 2e-6},
 	}
 }
 
@@ -252,6 +263,8 @@ func CellBE() *Device {
 			SustainedIssueFraction: 0.25,
 			KernelLaunchBase:       10e-6,
 		},
+		// Host PPE to SPE-visible XDR over the element interconnect DMA.
+		Transfer: Transfer{PCIeGBps: 2.5, LatencyS: 20e-6},
 	}
 }
 

@@ -72,6 +72,12 @@ type Result struct {
 
 	KernelSeconds   float64 `json:"kernel_seconds,omitempty"`
 	EndToEndSeconds float64 `json:"end_to_end_seconds,omitempty"`
+	// TransferSeconds is the host<->device copy time inside EndToEndSeconds.
+	TransferSeconds float64 `json:"transfer_seconds,omitempty"`
+
+	// Transfer echoes the device's link parameters so a client can
+	// reproduce transfer-inclusive numbers from the compute-only ones.
+	Transfer *TransferParams `json:"transfer,omitempty"`
 
 	// Correct is false when the run completed but produced wrong output —
 	// the Table VI "FL" state.
@@ -84,6 +90,13 @@ type Result struct {
 	Kernels []KernelReport `json:"kernels,omitempty"`
 
 	Traces []*sim.Trace `json:"-"`
+}
+
+// TransferParams is the per-device host link description echoed in results
+// and on GET /devices.
+type TransferParams struct {
+	PCIeGBps       float64 `json:"pcie_gbps"`
+	LatencySeconds float64 `json:"latency_seconds"`
 }
 
 // Status summarises the run the way Table VI prints it.
@@ -203,14 +216,17 @@ func SpecByName(name string) (Spec, error) {
 
 // result assembles the common Result fields from a finished driver run.
 func result(d Driver, name, metric string, value float64, correct bool) *Result {
+	a := d.Arch()
 	return &Result{
 		Benchmark:       name,
 		Toolchain:       d.Name(),
-		Device:          d.Arch().Name,
+		Device:          a.Name,
 		Metric:          metric,
 		Value:           value,
 		KernelSeconds:   d.KernelTime(),
 		EndToEndSeconds: d.Elapsed(),
+		TransferSeconds: TransferSeconds(d),
+		Transfer:        &TransferParams{PCIeGBps: a.Transfer.PCIeGBps, LatencySeconds: a.Transfer.LatencyS},
 		Correct:         correct,
 		Kernels:         KernelReports(d),
 		Traces:          d.Traces(),

@@ -242,6 +242,20 @@ func Breakdowns(d Driver) []perfmodel.Breakdown {
 	}
 }
 
+// TransferSeconds exposes the host<->device copy time a driver has
+// accumulated since its last ResetTimer. Zero for drivers that do not
+// track transfers.
+func TransferSeconds(d Driver) float64 {
+	switch dd := d.(type) {
+	case *CUDADriver:
+		return dd.Ctx.TransferTime()
+	case *OpenCLDriver:
+		return dd.Queue.TransferTime()
+	default:
+		return 0
+	}
+}
+
 // ExecSeconds sums the per-launch execution time excluding launch overhead
 // — the event-timer view (CL_PROFILING_COMMAND_START to _END) that the
 // synthetic peak probes report.

@@ -17,6 +17,9 @@ type resultJSON struct {
 
 	KernelSeconds   float64 `json:"kernel_seconds,omitempty"`
 	EndToEndSeconds float64 `json:"end_to_end_seconds,omitempty"`
+	TransferSeconds float64 `json:"transfer_seconds,omitempty"`
+
+	Transfer *TransferParams `json:"transfer,omitempty"`
 
 	Correct bool   `json:"correct"`
 	Status  string `json:"status"`
@@ -36,6 +39,8 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		Value:           r.Value,
 		KernelSeconds:   r.KernelSeconds,
 		EndToEndSeconds: r.EndToEndSeconds,
+		TransferSeconds: r.TransferSeconds,
+		Transfer:        r.Transfer,
 		Correct:         r.Correct,
 		Status:          r.Status(),
 		Kernels:         r.Kernels,
@@ -62,6 +67,8 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		Value:           in.Value,
 		KernelSeconds:   in.KernelSeconds,
 		EndToEndSeconds: in.EndToEndSeconds,
+		TransferSeconds: in.TransferSeconds,
+		Transfer:        in.Transfer,
 		Correct:         in.Correct,
 		Kernels:         in.Kernels,
 	}

@@ -17,7 +17,9 @@ func TestResultJSONRoundTrip(t *testing.T) {
 		{"ok", Result{
 			Benchmark: "FFT", Toolchain: "cuda", Device: "GeForce GTX480",
 			Metric: "GFlops/sec", Value: 412.5,
-			KernelSeconds: 0.0021, EndToEndSeconds: 0.0042, Correct: true,
+			KernelSeconds: 0.0021, EndToEndSeconds: 0.0042, TransferSeconds: 0.0009,
+			Transfer: &TransferParams{PCIeGBps: 5.6, LatencySeconds: 8e-6},
+			Correct:  true,
 		}},
 		{"fl", Result{
 			Benchmark: "RdxS", Toolchain: "opencl", Device: "Radeon HD5870",
@@ -41,8 +43,15 @@ func TestResultJSONRoundTrip(t *testing.T) {
 			if out.Benchmark != tc.in.Benchmark || out.Toolchain != tc.in.Toolchain ||
 				out.Device != tc.in.Device || out.Metric != tc.in.Metric ||
 				out.Value != tc.in.Value || out.KernelSeconds != tc.in.KernelSeconds ||
-				out.EndToEndSeconds != tc.in.EndToEndSeconds || out.Correct != tc.in.Correct {
+				out.EndToEndSeconds != tc.in.EndToEndSeconds || out.Correct != tc.in.Correct ||
+				out.TransferSeconds != tc.in.TransferSeconds {
 				t.Errorf("round trip changed fields:\n in: %+v\nout: %+v", tc.in, out)
+			}
+			if (out.Transfer == nil) != (tc.in.Transfer == nil) {
+				t.Errorf("transfer params presence changed: %v -> %v", tc.in.Transfer, out.Transfer)
+			}
+			if tc.in.Transfer != nil && *out.Transfer != *tc.in.Transfer {
+				t.Errorf("transfer params changed: %+v -> %+v", *tc.in.Transfer, *out.Transfer)
 			}
 			if out.Status() != tc.in.Status() {
 				t.Errorf("status changed: %s -> %s", tc.in.Status(), out.Status())

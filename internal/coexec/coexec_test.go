@@ -1,0 +1,349 @@
+package coexec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/fault"
+	"gpucmp/internal/sim"
+)
+
+// checkNoGoroutineLeak asserts the goroutine count settles back to (about)
+// its pre-test level — the same helper shape the fault chaos suite uses.
+func checkNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var now int
+	for time.Now().Before(deadline) {
+		now = runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after settling", before, now)
+}
+
+// fastOpts keeps retries snappy for tests.
+func fastOpts(devs ...*arch.Device) Options {
+	return Options{
+		Devices:   devs,
+		BaseDelay: time.Microsecond,
+		MaxDelay:  50 * time.Microsecond,
+	}
+}
+
+func testWorkloads() []Workload {
+	return []Workload{VecAdd(24), SobelRows(64, 48), MxMRows(48)}
+}
+
+// TestOracleBitIdenticalAcrossDevices is the foundation the whole package
+// rests on: the same workload produces the same bits on every modelled
+// device under both toolchains, so shards can move freely.
+func TestOracleBitIdenticalAcrossDevices(t *testing.T) {
+	for _, w := range testWorkloads() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			ref, _, err := Oracle(w, "cuda", arch.GTX480())
+			if err != nil {
+				t.Fatalf("oracle on GTX480: %v", err)
+			}
+			if want := w.Units() * w.WordsPerUnit(); len(ref) != want {
+				t.Fatalf("oracle output %d words, want %d", len(ref), want)
+			}
+			for _, a := range []*arch.Device{arch.GTX280(), arch.HD5870(), arch.Intel920(), arch.CellBE()} {
+				got, _, err := Oracle(w, ToolchainFor(a), a)
+				if err != nil {
+					t.Fatalf("oracle on %s: %v", a.Name, err)
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("%s: word %d differs: %#x vs %#x", a.Name, i, got[i], ref[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCoexecMatchesOracle: fault-free 2- and 3-device splits merge to the
+// oracle bits, and the report's accounting holds together.
+func TestCoexecMatchesOracle(t *testing.T) {
+	splits := [][]*arch.Device{
+		{arch.GTX480(), arch.GTX280()},
+		{arch.GTX480(), arch.GTX280(), arch.Intel920()},
+	}
+	for _, w := range testWorkloads() {
+		ref, _, err := Oracle(w, "cuda", arch.GTX480())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, devs := range splits {
+			out, rep, err := Run(context.Background(), w, fastOpts(devs...))
+			if err != nil {
+				t.Fatalf("%s on %d devices: %v", w.Name(), len(devs), err)
+			}
+			if len(out) != len(ref) {
+				t.Fatalf("%s: merged %d words, want %d", w.Name(), len(out), len(ref))
+			}
+			for i := range ref {
+				if out[i] != ref[i] {
+					t.Fatalf("%s on %d devices: word %d differs", w.Name(), len(devs), i)
+				}
+			}
+			var shards int
+			for _, d := range rep.Devices {
+				shards += d.Shards
+				if d.SpanSeconds > d.BusySeconds+1e-15 {
+					t.Errorf("%s/%s: overlapped span %g exceeds serial busy %g",
+						w.Name(), d.Device, d.SpanSeconds, d.BusySeconds)
+				}
+			}
+			if shards < rep.Shards {
+				t.Errorf("%s: device shard counts %d < %d shards", w.Name(), shards, rep.Shards)
+			}
+			if rep.Degraded || len(rep.Lost) > 0 {
+				t.Errorf("%s: fault-free run reports degradation: %+v", w.Name(), rep)
+			}
+			if rep.MakespanSeconds <= 0 || rep.MakespanSeconds > rep.NoOverlapSeconds+1e-15 {
+				t.Errorf("%s: makespan %g vs no-overlap %g implausible",
+					w.Name(), rep.MakespanSeconds, rep.NoOverlapSeconds)
+			}
+		}
+	}
+}
+
+// TestDeterministicKillRedistributes: a device killed mid-split loses its
+// remaining shards to the survivors, the merge stays bit-identical, and
+// the run is marked degraded with the dead device named.
+func TestDeterministicKillRedistributes(t *testing.T) {
+	before := runtime.NumGoroutine()
+	// A workload whose shards cost real simulation time, so both workers
+	// provably engage before the queue drains (tiny shards let one fast
+	// worker swallow the whole queue before the other is scheduled).
+	w := MxMRows(96)
+	ref, _, err := Oracle(w, "cuda", arch.GTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	opts := fastOpts(arch.GTX480(), arch.GTX280())
+	opts.ShardsPerDevice = 8
+	opts.Metrics = m
+	opts.Kill = map[string]int{"GeForce GTX280": 1} // dies after one shard
+	out, rep, err := Run(context.Background(), w, opts)
+	if err != nil {
+		t.Fatalf("run with kill: %v", err)
+	}
+	for i := range ref {
+		if out[i] != ref[i] {
+			t.Fatalf("word %d differs after mid-run kill", i)
+		}
+	}
+	if !rep.Degraded || len(rep.Lost) != 1 || rep.Lost[0] != "GeForce GTX280" {
+		t.Fatalf("degraded markers wrong: %+v", rep)
+	}
+	var killed *DeviceReport
+	for i := range rep.Devices {
+		if rep.Devices[i].Device == "GeForce GTX280" {
+			killed = &rep.Devices[i]
+		}
+	}
+	if killed == nil || !killed.Lost {
+		t.Fatalf("killed device not marked lost: %+v", rep.Devices)
+	}
+	if rep.Redistributions == 0 {
+		t.Errorf("dead device's shards were not redistributed: %+v", rep)
+	}
+	snap := m.Snapshot()
+	if snap["1:GeForce GTX280"].Lost != 1 {
+		t.Errorf("metrics missed the device loss: %+v", snap)
+	}
+	if snap["0:GeForce GTX480"].Shards == 0 {
+		t.Errorf("survivor did no work: %+v", snap)
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestPermanentShardFailureIsTyped: with an uncapped 100% transfer-fault
+// rate and a tiny attempt budget, the run must fail with a *ShardError
+// wrapping fault.ErrTransfer — never an untyped error.
+func TestPermanentShardFailureIsTyped(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w := VecAdd(8)
+	opts := fastOpts(arch.GTX480(), arch.GTX280())
+	opts.MaxAttempts = 3
+	opts.Injector = fault.New(1, fault.Schedule{TransferRate: 1.0}) // MaxPerKey 0 = unlimited
+	_, _, err := Run(context.Background(), w, opts)
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *ShardError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, fault.ErrTransfer) {
+		t.Fatalf("ShardError does not wrap fault.ErrTransfer: %v", err)
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestMaxPerKeyExemptionUnstarvesRecovery: the same schedule capped at
+// MaxPerKey=3 must always recover, because the cap is spent per shard
+// globally — redistribution to a fresh device cannot re-arm it.
+func TestMaxPerKeyExemptionUnstarvesRecovery(t *testing.T) {
+	w := VecAdd(16)
+	ref, _, err := Oracle(w, "cuda", arch.GTX480())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(0); seed < 5; seed++ {
+		opts := fastOpts(arch.GTX480(), arch.GTX280(), arch.Intel920())
+		opts.MaxAttempts = 8 // > MaxPerKey + device count
+		opts.Injector = fault.New(seed, fault.Schedule{TransferRate: 1.0, MaxPerKey: 3})
+		out, rep, err := Run(context.Background(), w, opts)
+		if err != nil {
+			t.Fatalf("seed %d: recovery starved: %v", seed, err)
+		}
+		for i := range ref {
+			if out[i] != ref[i] {
+				t.Fatalf("seed %d: word %d differs", seed, i)
+			}
+		}
+		if rep.Retries == 0 {
+			t.Fatalf("seed %d: 100%% fault rate injected no retries", seed)
+		}
+	}
+}
+
+// stubWorkload exercises scheduler paths (stragglers, cancellation) without
+// simulator cost: unit u's output word is u+1, and RunUnits can be delayed
+// per device.
+type stubWorkload struct {
+	units int
+	delay map[string]time.Duration // device name -> per-call delay
+}
+
+func (s *stubWorkload) Name() string      { return "stub" }
+func (s *stubWorkload) Units() int        { return s.units }
+func (s *stubWorkload) WordsPerUnit() int { return 1 }
+func (s *stubWorkload) NewInstance(tc string, a *arch.Device) (Instance, error) {
+	return &stubInstance{w: s, dev: a.Name}, nil
+}
+
+type stubInstance struct {
+	w   *stubWorkload
+	dev string
+}
+
+func (in *stubInstance) SimDevice() *sim.Device { return nil }
+func (in *stubInstance) SetupSeconds() float64  { return 0 }
+func (in *stubInstance) RunUnits(lo, hi int) ([]uint32, Times, error) {
+	if d := in.w.delay[in.dev]; d > 0 {
+		time.Sleep(d)
+	}
+	out := make([]uint32, hi-lo)
+	for i := range out {
+		out[i] = uint32(lo + i + 1)
+	}
+	return out, Times{H2D: 1e-6, Kernel: 2e-6, D2H: 1e-6}, nil
+}
+
+// TestStragglerReassignment: both stub devices are paced so both engage,
+// but one holds its shard far past the straggler threshold; the watchdog
+// must duplicate that in-flight shard to the fast device (first completion
+// wins) and the merged output stays correct.
+func TestStragglerReassignment(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w := &stubWorkload{units: 12, delay: map[string]time.Duration{
+		"GeForce GTX480": 2 * time.Millisecond,
+		"GeForce GTX280": 250 * time.Millisecond,
+	}}
+	opts := fastOpts(arch.GTX480(), arch.GTX280())
+	opts.StragglerAfter = 20 * time.Millisecond
+	opts.ShardsPerDevice = 3
+	m := NewMetrics()
+	opts.Metrics = m
+	out, rep, err := Run(context.Background(), w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != uint32(i+1) {
+			t.Fatalf("word %d = %d, want %d", i, out[i], i+1)
+		}
+	}
+	if rep.Stragglers == 0 {
+		t.Error("no straggler duplicates dispatched")
+	}
+	// The duplicate completed on the fast device while the slow one slept,
+	// so the fast device's completion count covers all six shards.
+	for _, d := range rep.Devices {
+		if d.Device == "GeForce GTX480" && d.Shards < 6 {
+			t.Errorf("fast device completed %d shards, want all 6 (incl. the duplicate)", d.Shards)
+		}
+	}
+	if snap := m.Snapshot(); snap["1:GeForce GTX280"].Stragglers == 0 {
+		t.Errorf("straggler not attributed to the slow device: %+v", snap)
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestCancellationKillsInFlightShards: cancelling the context mid-run must
+// cancel every device's in-flight simulated kernel, return a wrapped
+// context error, and leak nothing.
+func TestCancellationKillsInFlightShards(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w := MxMRows(192) // big enough that shards are still in flight when we cancel
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := fastOpts(arch.GTX480(), arch.GTX280(), arch.Intel920())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := Run(ctx, w, opts)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	checkNoGoroutineLeak(t, before)
+}
+
+// TestRunValidation covers the trivial error paths.
+func TestRunValidation(t *testing.T) {
+	if _, _, err := Run(context.Background(), VecAdd(4), Options{}); !errors.Is(err, ErrNoDevices) {
+		t.Fatalf("want ErrNoDevices, got %v", err)
+	}
+	// A CUDA toolchain forced onto an AMD device must surface the open error.
+	opts := Options{Devices: []*arch.Device{arch.HD5870()}, Toolchains: []string{"cuda"}}
+	if _, _, err := Run(context.Background(), VecAdd(4), opts); err == nil {
+		t.Fatal("CUDA on HD5870 must fail to open")
+	}
+}
+
+// TestToolchainFor pins the SNIPPETS §3 split.
+func TestToolchainFor(t *testing.T) {
+	if ToolchainFor(arch.GTX480()) != "cuda" || ToolchainFor(arch.Intel920()) != "opencl" {
+		t.Fatal("toolchain auto-selection wrong")
+	}
+}
+
+func ExampleRun() {
+	out, rep, err := Run(context.Background(), VecAdd(16),
+		Options{Devices: []*arch.Device{arch.GTX480(), arch.Intel920()}})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(len(out) == 16*256, rep.Shards > 1, rep.Degraded)
+	// Output: true true false
+}

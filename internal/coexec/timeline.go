@@ -1,0 +1,51 @@
+package coexec
+
+// engine models one device's three hardware queues — an upload (h2d) DMA
+// engine, the compute engine, and a download (d2h) DMA engine — so the
+// report can state both the overlapped makespan and the fully serialised
+// one. With a single shared copy engine no overlap is ever possible here
+// (the next shard's upload queues behind the previous shard's download,
+// which waits on its kernel), so the model follows the dual-copy-engine
+// topology async CUDA streams schedule against: shard k+1's input copy
+// runs while shard k computes, and shard k's output copy drains while
+// shard k+1 computes.
+type engine struct {
+	h2dT  float64 // upload-engine clock
+	compT float64 // compute-engine clock
+	d2hT  float64 // download-engine clock
+	busy  float64 // serialised sum of all shard costs
+
+	h2d, ker, d2h float64 // per-phase sums, for the device report
+}
+
+func (e *engine) add(t Times) {
+	e.h2d += t.H2D
+	e.ker += t.Kernel
+	e.d2h += t.D2H
+	h2dDone := e.h2dT + t.H2D
+	e.h2dT = h2dDone
+	compStart := e.compT
+	if h2dDone > compStart {
+		compStart = h2dDone
+	}
+	compDone := compStart + t.Kernel
+	e.compT = compDone
+	d2hStart := e.d2hT
+	if compDone > d2hStart {
+		d2hStart = compDone
+	}
+	e.d2hT = d2hStart + t.D2H
+	e.busy += t.Total()
+}
+
+// span returns the overlapped timeline length.
+func (e *engine) span() float64 {
+	s := e.h2dT
+	if e.compT > s {
+		s = e.compT
+	}
+	if e.d2hT > s {
+		s = e.d2hT
+	}
+	return s
+}

@@ -1,0 +1,137 @@
+// Package coexec splits one benchmark launch across several modelled
+// devices in the same process — the CUDA+OpenCL co-execution pattern of
+// SNIPPETS.md §3 — with transfer-inclusive accounting and fault-tolerant
+// shard scheduling. A workload is partitioned into contiguous shards of
+// independent units; each device runs shards through its own simulated
+// runtime; the merged output is bit-identical to a single-device run
+// because the simulator is bit-exact and every unit's output depends only
+// on the inputs and a fixed per-unit operation order, never on how the
+// units were grouped into shards or which device ran them.
+package coexec
+
+import (
+	"fmt"
+	"math"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/bench"
+	"gpucmp/internal/sim"
+)
+
+// Times is the simulated cost of one shard execution, split by engine so
+// the copy/compute overlap timeline can be assembled (see timeline.go).
+type Times struct {
+	H2D    float64 // host->device input copy seconds
+	Kernel float64 // compute seconds
+	D2H    float64 // device->host output copy seconds
+}
+
+// Total returns the no-overlap (serialised) cost.
+func (t Times) Total() float64 { return t.H2D + t.Kernel + t.D2H }
+
+// Workload is a partitionable benchmark: Units independent work units,
+// each producing WordsPerUnit output words. Kernels must avoid shared
+// memory and per-partition accumulation orders so that every modelled
+// device (including the Cell/BE with its tiny local store) produces the
+// same bits for the same unit.
+type Workload interface {
+	Name() string
+	Units() int
+	WordsPerUnit() int
+	// NewInstance opens per-device state: a driver on the device, device
+	// buffers, the compiled kernel, and any broadcast inputs (charged to
+	// the instance's setup time, not to a shard).
+	NewInstance(toolchain string, a *arch.Device) (Instance, error)
+}
+
+// Instance is one device's view of a workload. It is not safe for
+// concurrent use; the co-execution scheduler drives each instance from a
+// single worker goroutine.
+type Instance interface {
+	// RunUnits executes units [lo,hi) and returns their output words
+	// (len = (hi-lo)*WordsPerUnit) plus the simulated cost split.
+	RunUnits(lo, hi int) ([]uint32, Times, error)
+	// SimDevice exposes the simulated device for cancellation.
+	SimDevice() *sim.Device
+	// SetupSeconds is the one-off simulated cost of opening the instance
+	// (broadcast input copies).
+	SetupSeconds() float64
+}
+
+// ToolchainFor returns the natural toolchain for a device: CUDA on NVIDIA
+// hardware, OpenCL everywhere else — the SNIPPETS.md §3 split.
+func ToolchainFor(a *arch.Device) string {
+	if a.Vendor == "NVIDIA" {
+		return "cuda"
+	}
+	return "opencl"
+}
+
+// Oracle runs the whole workload as one shard on one device — the
+// single-device reference the chaos suite compares merged outputs against.
+func Oracle(w Workload, toolchain string, a *arch.Device) ([]uint32, Times, error) {
+	inst, err := w.NewInstance(toolchain, a)
+	if err != nil {
+		return nil, Times{}, err
+	}
+	return inst.RunUnits(0, w.Units())
+}
+
+// instance is the shared per-device plumbing: a bench.Driver plus timer
+// bookkeeping that splits driver-accumulated time into the Times engines.
+type instance struct {
+	d     bench.Driver
+	mod   bench.Module
+	setup float64
+}
+
+func (in *instance) SimDevice() *sim.Device { return bench.SimDevice(in.d) }
+func (in *instance) SetupSeconds() float64  { return in.setup }
+
+// splitTimer runs h2d, kernel and d2h phases and attributes driver time.
+func (in *instance) splitTimer(h2d, kernel, d2h func() error) (Times, error) {
+	var t Times
+	in.d.ResetTimer()
+	if err := h2d(); err != nil {
+		return t, err
+	}
+	t.H2D = bench.TransferSeconds(in.d)
+	if err := kernel(); err != nil {
+		return t, err
+	}
+	t.Kernel = in.d.KernelTime()
+	if err := d2h(); err != nil {
+		return t, err
+	}
+	t.D2H = bench.TransferSeconds(in.d) - t.H2D
+	return t, nil
+}
+
+// subBuf addresses words [lo,hi) of a buffer of 32-bit words.
+func subBuf(b bench.Buf, lo, hi int) bench.Buf {
+	return bench.Buf{Addr: b.Addr + uint32(4*lo), Size: uint32(4 * (hi - lo))}
+}
+
+func f32Words(f []float32) []uint32 {
+	w := make([]uint32, len(f))
+	for i, v := range f {
+		w[i] = math.Float32bits(v)
+	}
+	return w
+}
+
+// coexecBlock is the launch width every co-execution kernel uses. It is
+// deliberately small and one-dimensional in X so the same geometry is
+// legal on every modelled device (the Cell/BE caps work-groups at 256 and
+// a single resident group per SPE).
+const coexecBlock = 64
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// checkRange validates a RunUnits span.
+func checkRange(w Workload, lo, hi int) error {
+	if lo < 0 || hi > w.Units() || lo >= hi {
+		return fmt.Errorf("coexec: %s: bad unit range [%d,%d) of %d", w.Name(), lo, hi, w.Units())
+	}
+	return nil
+}

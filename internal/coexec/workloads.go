@@ -1,0 +1,352 @@
+package coexec
+
+import (
+	"fmt"
+	"strings"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/bench"
+	"gpucmp/internal/kir"
+	"gpucmp/internal/sim"
+	"gpucmp/internal/workload"
+)
+
+// Named constructs a co-execution workload by wire name at the given
+// problem size: "vecadd" (size = unit count), "sobel" (size x size image)
+// or "mxm" (size x size matrices). It is the vocabulary POST /coexec and
+// cmd/coexecbench share.
+func Named(name string, size int) (Workload, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("coexec: workload size %d: want >= 1", size)
+	}
+	switch strings.ToLower(name) {
+	case "vecadd":
+		return VecAdd(size), nil
+	case "sobel":
+		return SobelRows(size, size), nil
+	case "mxm":
+		return MxMRows(size), nil
+	}
+	return nil, fmt.Errorf("coexec: unknown workload %q (want vecadd, sobel or mxm)", name)
+}
+
+// NamedWorkloads lists the wire names Named accepts.
+func NamedWorkloads() []string { return []string{"vecadd", "sobel", "mxm"} }
+
+// ---------------------------------------------------------------------------
+// VecAdd: c[i] = a[i]*1.5 + b[i]. Unit = 256 contiguous elements. The
+// transfer-dominated extreme: three words moved per two flops.
+// ---------------------------------------------------------------------------
+
+const vecAddUnit = 256
+
+// VecAdd builds the saxpy-style workload with the given unit count.
+func VecAdd(units int) Workload { return &vecAdd{units: units} }
+
+type vecAdd struct{ units int }
+
+func (w *vecAdd) Name() string      { return "VecAdd" }
+func (w *vecAdd) Units() int        { return w.units }
+func (w *vecAdd) WordsPerUnit() int { return vecAddUnit }
+
+func vecAddKernel() *kir.Kernel {
+	b := kir.NewKernel("covecadd")
+	a := b.GlobalBuffer("a", kir.F32)
+	bb := b.GlobalBuffer("b", kir.F32)
+	c := b.GlobalBuffer("c", kir.F32)
+	lo := b.ScalarParam("lo", kir.U32)
+	n := b.ScalarParam("n", kir.U32)
+	i := b.Declare("i", b.GlobalIDX())
+	b.If(kir.Lt(i, n), func() {
+		g := b.Declare("g", kir.Add(i, lo))
+		b.Store(c, g, kir.Add(kir.Mul(b.Load(a, g), kir.F(1.5)), b.Load(bb, g)))
+	})
+	return b.MustBuild()
+}
+
+type vecAddInstance struct {
+	instance
+	w       *vecAdd
+	hostA   []uint32
+	hostB   []uint32
+	a, b, c bench.Buf
+}
+
+func (w *vecAdd) NewInstance(toolchain string, dev *arch.Device) (Instance, error) {
+	d, err := bench.NewDriver(toolchain, dev)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := d.Build(vecAddKernel())
+	if err != nil {
+		return nil, err
+	}
+	nElem := w.units * vecAddUnit
+	rng := workload.NewRNG(101)
+	in := &vecAddInstance{
+		instance: instance{d: d, mod: mod},
+		w:        w,
+		hostA:    f32Words(rng.Floats(nElem, -1, 1)),
+		hostB:    f32Words(rng.Floats(nElem, -1, 1)),
+	}
+	bytes := uint32(4 * nElem)
+	for _, p := range []*bench.Buf{&in.a, &in.b, &in.c} {
+		if *p, err = d.Alloc(bytes); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+func (in *vecAddInstance) RunUnits(lo, hi int) ([]uint32, Times, error) {
+	if err := checkRange(in.w, lo, hi); err != nil {
+		return nil, Times{}, err
+	}
+	eLo, eHi := lo*vecAddUnit, hi*vecAddUnit
+	n := eHi - eLo
+	out := make([]uint32, n)
+	t, err := in.splitTimer(
+		func() error {
+			if err := in.d.Write(subBuf(in.a, eLo, eHi), in.hostA[eLo:eHi]); err != nil {
+				return err
+			}
+			return in.d.Write(subBuf(in.b, eLo, eHi), in.hostB[eLo:eHi])
+		},
+		func() error {
+			grid := sim.Dim3{X: ceilDiv(n, coexecBlock), Y: 1}
+			block := sim.Dim3{X: coexecBlock, Y: 1}
+			return in.d.Launch(in.mod, "covecadd", grid, block,
+				bench.B(in.a), bench.B(in.b), bench.B(in.c),
+				bench.V(uint32(eLo)), bench.V(uint32(n)))
+		},
+		func() error { return in.d.Read(out, subBuf(in.c, eLo, eHi)) },
+	)
+	if err != nil {
+		return nil, t, err
+	}
+	return out, t, nil
+}
+
+// ---------------------------------------------------------------------------
+// SobelRows: the paper's Sobel-X filter with unit = one image row. Shards
+// write their input rows plus a one-row halo; border rows stay zero, as in
+// the single-device benchmark.
+// ---------------------------------------------------------------------------
+
+// SobelRows builds the row-sharded Sobel workload on a w x h image.
+func SobelRows(w, h int) Workload { return &sobelRows{w: w, h: h} }
+
+type sobelRows struct{ w, h int }
+
+func (s *sobelRows) Name() string      { return "Sobel" }
+func (s *sobelRows) Units() int        { return s.h }
+func (s *sobelRows) WordsPerUnit() int { return s.w }
+
+func sobelRowKernel() *kir.Kernel {
+	b := kir.NewKernel("cosobel")
+	img := b.GlobalBuffer("img", kir.F32)
+	filt := b.GlobalBuffer("filt", kir.F32)
+	out := b.GlobalBuffer("out", kir.F32)
+	w := b.ScalarParam("w", kir.U32)
+	h := b.ScalarParam("h", kir.U32)
+	y0 := b.ScalarParam("y0", kir.U32)
+
+	x := b.Declare("x", b.GlobalIDX())
+	y := b.Declare("y", kir.Add(b.GlobalIDY(), y0))
+	inside := kir.LAnd(
+		kir.LAnd(kir.Ge(x, kir.U(1)), kir.Lt(x, kir.Sub(w, kir.U(1)))),
+		kir.LAnd(kir.Ge(y, kir.U(1)), kir.Lt(y, kir.Sub(h, kir.U(1)))))
+	b.If(inside, func() {
+		sum := b.Declare("sum", kir.F(0))
+		b.ForUnroll("fy", kir.U(0), kir.U(3), kir.U(1), kir.UnrollFull, func(fy kir.Expr) {
+			b.ForUnroll("fx", kir.U(0), kir.U(3), kir.U(1), kir.UnrollFull, func(fx kir.Expr) {
+				row := kir.Sub(kir.Add(y, fy), kir.U(1))
+				col := kir.Sub(kir.Add(x, fx), kir.U(1))
+				pix := b.Load(img, kir.Add(kir.Mul(row, w), col))
+				coef := b.Load(filt, kir.Add(kir.Mul(fy, kir.U(3)), fx))
+				b.Assign(sum, kir.Add(sum, kir.Mul(pix, coef)))
+			})
+		})
+		b.Store(out, kir.Add(kir.Mul(y, w), x), sum)
+	})
+	return b.MustBuild()
+}
+
+type sobelInstance struct {
+	instance
+	w              *sobelRows
+	hostImg        []uint32
+	img, filt, out bench.Buf
+}
+
+func (s *sobelRows) NewInstance(toolchain string, dev *arch.Device) (Instance, error) {
+	d, err := bench.NewDriver(toolchain, dev)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := d.Build(sobelRowKernel())
+	if err != nil {
+		return nil, err
+	}
+	in := &sobelInstance{
+		instance: instance{d: d, mod: mod},
+		w:        s,
+		hostImg:  f32Words(workload.GrayImage(s.w, s.h, 11)),
+	}
+	if in.img, err = d.Alloc(uint32(4 * s.w * s.h)); err != nil {
+		return nil, err
+	}
+	if in.out, err = d.Alloc(uint32(4 * s.w * s.h)); err != nil {
+		return nil, err
+	}
+	filt, err := d.Alloc(uint32(4 * 9))
+	if err != nil {
+		return nil, err
+	}
+	// Broadcast inputs: the 3x3 filter plus the zeroed output plane (border
+	// rows are never written by the kernel and must read back as zeros).
+	d.ResetTimer()
+	if err := d.Write(filt, f32Words([]float32{-1, 0, 1, -2, 0, 2, -1, 0, 1})); err != nil {
+		return nil, err
+	}
+	if err := d.Write(in.out, make([]uint32, s.w*s.h)); err != nil {
+		return nil, err
+	}
+	in.filt = filt
+	in.setup = d.Elapsed()
+	return in, nil
+}
+
+func (in *sobelInstance) RunUnits(lo, hi int) ([]uint32, Times, error) {
+	s := in.w
+	if err := checkRange(s, lo, hi); err != nil {
+		return nil, Times{}, err
+	}
+	// Input rows with a one-row halo on each side.
+	iLo, iHi := lo-1, hi+1
+	if iLo < 0 {
+		iLo = 0
+	}
+	if iHi > s.h {
+		iHi = s.h
+	}
+	out := make([]uint32, (hi-lo)*s.w)
+	t, err := in.splitTimer(
+		func() error {
+			return in.d.Write(subBuf(in.img, iLo*s.w, iHi*s.w), in.hostImg[iLo*s.w:iHi*s.w])
+		},
+		func() error {
+			grid := sim.Dim3{X: ceilDiv(s.w, coexecBlock), Y: hi - lo}
+			block := sim.Dim3{X: coexecBlock, Y: 1}
+			return in.d.Launch(in.mod, "cosobel", grid, block,
+				bench.B(in.img), bench.B(in.filt), bench.B(in.out),
+				bench.V(uint32(s.w)), bench.V(uint32(s.h)), bench.V(uint32(lo)))
+		},
+		func() error { return in.d.Read(out, subBuf(in.out, lo*s.w, hi*s.w)) },
+	)
+	if err != nil {
+		return nil, t, err
+	}
+	return out, t, nil
+}
+
+// ---------------------------------------------------------------------------
+// MxMRows: naive (shared-memory-free) SGEMM with unit = one row of C. The
+// B matrix is broadcast at instance setup; each shard ships its A rows and
+// reads back its C rows. k-ascending accumulation keeps the bits identical
+// on every device and under every shard split.
+// ---------------------------------------------------------------------------
+
+// MxMRows builds the row-sharded matrix-multiply workload (C = A*B, n x n).
+func MxMRows(n int) Workload { return &mxmRows{n: n} }
+
+type mxmRows struct{ n int }
+
+func (m *mxmRows) Name() string      { return "MxM" }
+func (m *mxmRows) Units() int        { return m.n }
+func (m *mxmRows) WordsPerUnit() int { return m.n }
+
+func mxmRowKernel() *kir.Kernel {
+	b := kir.NewKernel("comxm")
+	a := b.GlobalBuffer("A", kir.F32)
+	bb := b.GlobalBuffer("B", kir.F32)
+	c := b.GlobalBuffer("C", kir.F32)
+	n := b.ScalarParam("n", kir.U32)
+	row0 := b.ScalarParam("row0", kir.U32)
+
+	col := b.Declare("col", b.GlobalIDX())
+	row := b.Declare("row", kir.Add(b.GlobalIDY(), row0))
+	b.If(kir.Lt(col, n), func() {
+		acc := b.Declare("acc", kir.F(0))
+		b.For("k", kir.U(0), n, kir.U(1), func(k kir.Expr) {
+			b.Assign(acc, kir.Add(acc, kir.Mul(
+				b.Load(a, kir.Add(kir.Mul(row, n), k)),
+				b.Load(bb, kir.Add(kir.Mul(k, n), col)))))
+		})
+		b.Store(c, kir.Add(kir.Mul(row, n), col), acc)
+	})
+	return b.MustBuild()
+}
+
+type mxmInstance struct {
+	instance
+	w       *mxmRows
+	hostA   []uint32
+	a, b, c bench.Buf
+}
+
+func (m *mxmRows) NewInstance(toolchain string, dev *arch.Device) (Instance, error) {
+	d, err := bench.NewDriver(toolchain, dev)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := d.Build(mxmRowKernel())
+	if err != nil {
+		return nil, err
+	}
+	rng := workload.NewRNG(41)
+	in := &mxmInstance{
+		instance: instance{d: d, mod: mod},
+		w:        m,
+		hostA:    f32Words(rng.Floats(m.n*m.n, -1, 1)),
+	}
+	hostB := f32Words(rng.Floats(m.n*m.n, -1, 1))
+	bytes := uint32(4 * m.n * m.n)
+	for _, p := range []*bench.Buf{&in.a, &in.b, &in.c} {
+		if *p, err = d.Alloc(bytes); err != nil {
+			return nil, err
+		}
+	}
+	// Broadcast input: every shard needs all of B.
+	d.ResetTimer()
+	if err := d.Write(in.b, hostB); err != nil {
+		return nil, err
+	}
+	in.setup = d.Elapsed()
+	return in, nil
+}
+
+func (in *mxmInstance) RunUnits(lo, hi int) ([]uint32, Times, error) {
+	m := in.w
+	if err := checkRange(m, lo, hi); err != nil {
+		return nil, Times{}, err
+	}
+	out := make([]uint32, (hi-lo)*m.n)
+	t, err := in.splitTimer(
+		func() error {
+			return in.d.Write(subBuf(in.a, lo*m.n, hi*m.n), in.hostA[lo*m.n:hi*m.n])
+		},
+		func() error {
+			grid := sim.Dim3{X: ceilDiv(m.n, coexecBlock), Y: hi - lo}
+			block := sim.Dim3{X: coexecBlock, Y: 1}
+			return in.d.Launch(in.mod, "comxm", grid, block,
+				bench.B(in.a), bench.B(in.b), bench.B(in.c),
+				bench.V(uint32(m.n)), bench.V(uint32(lo)))
+		},
+		func() error { return in.d.Read(out, subBuf(in.c, lo*m.n, hi*m.n)) },
+	)
+	if err != nil {
+		return nil, t, err
+	}
+	return out, t, nil
+}

@@ -39,6 +39,7 @@ type Context struct {
 
 	elapsed         float64 // end-to-end simulated seconds
 	kernelTime      float64 // kernel-only simulated seconds
+	transferTime    float64 // host<->device copy simulated seconds
 	streamHighWater float64 // longest unsynchronised stream
 	traces          []*sim.Trace
 	breakdowns      []perfmodel.Breakdown
@@ -80,7 +81,9 @@ func (c *Context) MemcpyHtoD(dst DevicePtr, src []uint32) error {
 	if err := c.dev.Global.WriteWords(dst.Addr, src); err != nil {
 		return err
 	}
-	c.elapsed += perfmodel.TransferTime(c.tc, int64(4*len(src)))
+	t := perfmodel.TransferTimeOn(c.dev.Arch, c.tc, int64(4*len(src)))
+	c.elapsed += t
+	c.transferTime += t
 	return nil
 }
 
@@ -92,7 +95,9 @@ func (c *Context) MemcpyDtoH(dst []uint32, src DevicePtr) error {
 	if err := c.dev.Global.ReadWords(src.Addr, dst); err != nil {
 		return err
 	}
-	c.elapsed += perfmodel.TransferTime(c.tc, int64(4*len(dst)))
+	t := perfmodel.TransferTimeOn(c.dev.Arch, c.tc, int64(4*len(dst)))
+	c.elapsed += t
+	c.transferTime += t
 	return nil
 }
 
@@ -215,6 +220,11 @@ func (c *Context) Elapsed() float64 { return c.elapsed }
 // KernelTime returns the simulated kernel-only seconds.
 func (c *Context) KernelTime() float64 { return c.kernelTime }
 
+// TransferTime returns the simulated host<->device copy seconds since the
+// last ResetTimer (synchronous copies only; async stream copies are
+// accounted in the stream timeline).
+func (c *Context) TransferTime() float64 { return c.transferTime }
+
 // Traces returns the launch traces since the last ResetTimer.
 func (c *Context) Traces() []*sim.Trace { return c.traces }
 
@@ -225,6 +235,7 @@ func (c *Context) Breakdowns() []perfmodel.Breakdown { return c.breakdowns }
 func (c *Context) ResetTimer() {
 	c.elapsed = 0
 	c.kernelTime = 0
+	c.transferTime = 0
 	c.traces = nil
 	c.breakdowns = nil
 }

@@ -45,7 +45,7 @@ func (s *Stream) MemcpyHtoDAsync(dst DevicePtr, src []uint32) error {
 	if err := s.ctx.dev.Global.WriteWords(dst.Addr, src); err != nil {
 		return err
 	}
-	s.elapsed += perfmodel.TransferTime(s.ctx.tc, int64(4*len(src)))
+	s.elapsed += perfmodel.TransferTimeOn(s.ctx.dev.Arch, s.ctx.tc, int64(4*len(src)))
 	return nil
 }
 

@@ -43,6 +43,14 @@ const (
 	// hedging exists for. The scheduler sleeps Fault.Delay (interruptibly)
 	// before running the attempt for real.
 	KindSlowLaunch
+	// KindTransferError is a host<->device copy that fails for one shard
+	// attempt — the co-execution analogue of KindTransientLaunch. The
+	// shard is retried (possibly on another device).
+	KindTransferError
+	// KindDeviceLost is a whole device disappearing mid-run (driver reset,
+	// Xid, hot unplug). Every unfinished shard on the device must be
+	// redistributed to the survivors.
+	KindDeviceLost
 
 	numKinds
 )
@@ -60,6 +68,10 @@ func (k Kind) String() string {
 		return "corrupt_cache"
 	case KindSlowLaunch:
 		return "slow_launch"
+	case KindTransferError:
+		return "transfer_error"
+	case KindDeviceLost:
+		return "device_lost"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -70,6 +82,12 @@ func (k Kind) String() string {
 var (
 	ErrTransientLaunch = errors.New("fault: injected transient launch failure")
 	ErrOutOfResources  = errors.New("fault: injected out of resources")
+	// ErrTransfer is the typed error for an injected host<->device copy
+	// failure; the co-execution scheduler classifies it retryable.
+	ErrTransfer = errors.New("fault: injected transfer error")
+	// ErrDeviceLost is the typed error for an injected device loss; the
+	// co-execution scheduler redistributes rather than retries in place.
+	ErrDeviceLost = errors.New("fault: injected device lost")
 )
 
 // Schedule sets the per-attempt injection probabilities. The rates are
@@ -99,17 +117,28 @@ type Schedule struct {
 	// guarantees every job eventually succeeds, which is what the
 	// bit-identical chaos comparison needs.
 	MaxPerKey int
+
+	// TransferRate is the probability one co-execution shard attempt fails
+	// its host<->device copy with ErrTransfer. Shard faults ride their own
+	// probability ladder (ShardLaunch), separate from the launch ladder.
+	TransferRate float64
+	// DeviceLostRate is the probability one shard attempt takes its whole
+	// device down with ErrDeviceLost.
+	DeviceLostRate float64
 }
 
 // Validate reports whether the rates form a probability ladder.
 func (s Schedule) Validate() error {
-	for _, r := range []float64{s.TransientRate, s.OORRate, s.HangRate, s.CorruptRate, s.SlowRate} {
+	for _, r := range []float64{s.TransientRate, s.OORRate, s.HangRate, s.CorruptRate, s.SlowRate, s.TransferRate, s.DeviceLostRate} {
 		if r < 0 || r > 1 {
 			return fmt.Errorf("fault: rate %v out of [0,1]", r)
 		}
 	}
 	if sum := s.TransientRate + s.OORRate + s.HangRate + s.SlowRate; sum > 1 {
 		return fmt.Errorf("fault: launch-fault rates sum to %v > 1", sum)
+	}
+	if sum := s.TransferRate + s.DeviceLostRate; sum > 1 {
+		return fmt.Errorf("fault: shard-fault rates sum to %v > 1", sum)
 	}
 	if s.SlowDelay < 0 {
 		return fmt.Errorf("fault: negative SlowDelay %v", s.SlowDelay)
@@ -218,6 +247,50 @@ func (in *Injector) Launch(key string) *Fault {
 	return nil
 }
 
+// ShardLaunch is called once per co-execution shard attempt and returns
+// the fault to inject, or nil for a clean attempt. The decision depends
+// only on (seed, device, shard, per-device attempt number) — the
+// "deterministic per-(seed,device,shard) schedule" contract — so the same
+// seed kills the same devices at the same points in every run.
+//
+// MaxPerKey accounting is keyed by the shard alone, not by (device,
+// shard): when a shard is redistributed to a fresh device after a loss,
+// the retries there do NOT restart the cap count — the same exemption
+// hedged requests get. Without this, a chaos schedule could starve
+// recovery into a spurious permanent error by drawing fresh faults on
+// every survivor. Device losses never count against the cap either: they
+// are device-level events, and charging them to whichever shard happened
+// to observe them first would make the cap's guarantee depend on
+// scheduling order.
+func (in *Injector) ShardLaunch(device, shard string) *Fault {
+	if in == nil {
+		return nil
+	}
+	dk := device + "\x00" + shard
+	in.mu.Lock()
+	n := in.launches[dk]
+	in.launches[dk] = n + 1
+	capped := in.sch.MaxPerKey > 0 && in.faults[shard] >= in.sch.MaxPerKey
+	var f *Fault
+	if !capped {
+		u := in.uniform(dk, n, saltShard)
+		switch {
+		case u < in.sch.TransferRate:
+			f = &Fault{Kind: KindTransferError,
+				Err: fmt.Errorf("fault: %s shard %s attempt %d: %w", device, shard, n, ErrTransfer)}
+			in.faults[shard]++
+		case u < in.sch.TransferRate+in.sch.DeviceLostRate:
+			f = &Fault{Kind: KindDeviceLost,
+				Err: fmt.Errorf("fault: %s shard %s attempt %d: %w", device, shard, n, ErrDeviceLost)}
+		}
+	}
+	in.mu.Unlock()
+	if f != nil {
+		in.counts[f.Kind].Add(1)
+	}
+	return f
+}
+
 // CorruptStore is called once per cache store for the job key and reports
 // whether this stored entry should be corrupted.
 func (in *Injector) CorruptStore(key string) bool {
@@ -266,6 +339,7 @@ func (in *Injector) Total() uint64 {
 const (
 	saltLaunch = 0x1cebe1a9
 	saltStore  = 0x5ca1ab1e
+	saltShard  = 0xc0e8ec5d
 )
 
 // uniform maps (seed, key, n, salt) to a uniform draw in [0,1) via an

@@ -147,10 +147,98 @@ func TestCorruptStoreIndependentOfLaunch(t *testing.T) {
 	}
 }
 
+func TestShardLaunchDeterministicPerDeviceShard(t *testing.T) {
+	sch := Schedule{TransferRate: 0.3, DeviceLostRate: 0.1}
+	shard := func(in *Injector) []string {
+		var out []string
+		for _, dev := range []string{"gpu0", "gpu1"} {
+			for s := 0; s < 10; s++ {
+				for a := 0; a < 3; a++ {
+					f := in.ShardLaunch(dev, fmt.Sprintf("shard-%d", s))
+					if f == nil {
+						out = append(out, "-")
+					} else {
+						out = append(out, f.Kind.String())
+					}
+				}
+			}
+		}
+		return out
+	}
+	a, b := shard(New(11, sch)), shard(New(11, sch))
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed produced different shard fault schedules")
+	}
+	if fmt.Sprint(a) == fmt.Sprint(shard(New(12, sch))) {
+		t.Fatal("different seeds produced identical shard fault schedules")
+	}
+
+	// The two fault kinds must appear and carry their typed errors.
+	in := New(3, Schedule{TransferRate: 0.5, DeviceLostRate: 0.5})
+	var sawTransfer, sawLost bool
+	for s := 0; s < 50; s++ {
+		switch f := in.ShardLaunch("dev", fmt.Sprintf("s%d", s)); {
+		case f == nil:
+			t.Fatal("rates sum to 1 but no fault injected")
+		case f.Kind == KindTransferError:
+			sawTransfer = true
+			if !errors.Is(f.Err, ErrTransfer) {
+				t.Fatal("transfer fault error is not ErrTransfer")
+			}
+		case f.Kind == KindDeviceLost:
+			sawLost = true
+			if !errors.Is(f.Err, ErrDeviceLost) {
+				t.Fatal("device-lost fault error is not ErrDeviceLost")
+			}
+		}
+	}
+	if !sawTransfer || !sawLost {
+		t.Fatalf("fault mix not exercised: transfer=%v lost=%v", sawTransfer, sawLost)
+	}
+}
+
+// TestShardCapSharedAcrossDevices is the redistribution exemption: the
+// MaxPerKey budget for a shard is spent once, globally — moving the shard
+// to a fresh device must not grant the chaos schedule a fresh budget to
+// starve recovery with.
+func TestShardCapSharedAcrossDevices(t *testing.T) {
+	in := New(99, Schedule{TransferRate: 1.0, MaxPerKey: 3})
+	var faults int
+	for _, dev := range []string{"gpu0", "gpu1", "cpu0"} {
+		for i := 0; i < 5; i++ {
+			if in.ShardLaunch(dev, "shard-7") != nil {
+				faults++
+			}
+		}
+	}
+	if faults != 3 {
+		t.Fatalf("injected %d transfer faults across devices, want exactly MaxPerKey=3", faults)
+	}
+}
+
+// TestDeviceLostExemptFromCap: device losses never consume the shard's
+// fault budget, and keep firing past it — the cap's guarantee is about
+// per-shard attempts, not device health.
+func TestDeviceLostExemptFromCap(t *testing.T) {
+	in := New(4, Schedule{DeviceLostRate: 1.0, MaxPerKey: 1})
+	for i := 0; i < 5; i++ {
+		f := in.ShardLaunch("gpu0", "s0")
+		if f == nil || f.Kind != KindDeviceLost {
+			t.Fatalf("attempt %d: want KindDeviceLost, got %v", i, f)
+		}
+	}
+	if got := in.Counts()["device_lost"]; got != 5 {
+		t.Fatalf("device_lost count = %d, want 5", got)
+	}
+}
+
 func TestNilInjectorIsInert(t *testing.T) {
 	var in *Injector
 	if in.Launch("k") != nil || in.CorruptStore("k") || in.Total() != 0 || in.Seed() != 0 {
 		t.Fatal("nil injector must inject nothing")
+	}
+	if in.ShardLaunch("d", "s") != nil {
+		t.Fatal("nil injector ShardLaunch must inject nothing")
 	}
 	if len(in.Counts()) != 0 {
 		t.Fatal("nil injector Counts must be empty")
@@ -163,6 +251,8 @@ func TestScheduleValidate(t *testing.T) {
 		{TransientRate: 1.1},
 		{TransientRate: 0.5, OORRate: 0.4, HangRate: 0.3},
 		{MaxPerKey: -1},
+		{TransferRate: -0.1},
+		{TransferRate: 0.7, DeviceLostRate: 0.7},
 	}
 	for i, s := range bad {
 		if s.Validate() == nil {

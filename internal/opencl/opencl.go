@@ -245,12 +245,13 @@ func (e *Event) Duration() float64 { return e.RunTime }
 // CommandQueue serialises commands on one device and accumulates the
 // simulated clock.
 type CommandQueue struct {
-	ctx        *Context
-	elapsed    float64
-	kernelTime float64
-	traces     []*sim.Trace
-	breakdowns []perfmodel.Breakdown
-	constOffs  map[uint32]uint32
+	ctx          *Context
+	elapsed      float64
+	kernelTime   float64
+	transferTime float64
+	traces       []*sim.Trace
+	breakdowns   []perfmodel.Breakdown
+	constOffs    map[uint32]uint32
 }
 
 // CreateCommandQueue makes a profiling-enabled queue.
@@ -266,7 +267,9 @@ func (q *CommandQueue) EnqueueWriteBuffer(dst Buffer, src []uint32) error {
 	if err := q.ctx.dev.Global.WriteWords(dst.Addr, src); err != nil {
 		return err
 	}
-	q.elapsed += perfmodel.TransferTime(q.ctx.tc, int64(4*len(src)))
+	t := perfmodel.TransferTimeOn(q.ctx.dev.Arch, q.ctx.tc, int64(4*len(src)))
+	q.elapsed += t
+	q.transferTime += t
 	return nil
 }
 
@@ -278,7 +281,9 @@ func (q *CommandQueue) EnqueueReadBuffer(dst []uint32, src Buffer) error {
 	if err := q.ctx.dev.Global.ReadWords(src.Addr, dst); err != nil {
 		return err
 	}
-	q.elapsed += perfmodel.TransferTime(q.ctx.tc, int64(4*len(dst)))
+	t := perfmodel.TransferTimeOn(q.ctx.dev.Arch, q.ctx.tc, int64(4*len(dst)))
+	q.elapsed += t
+	q.transferTime += t
 	return nil
 }
 
@@ -362,6 +367,10 @@ func (q *CommandQueue) Elapsed() float64 { return q.elapsed }
 // KernelTime returns kernel-only simulated seconds.
 func (q *CommandQueue) KernelTime() float64 { return q.kernelTime }
 
+// TransferTime returns the simulated host<->device copy seconds since the
+// last ResetTimer.
+func (q *CommandQueue) TransferTime() float64 { return q.transferTime }
+
 // Traces returns the launch traces since the last ResetTimer.
 func (q *CommandQueue) Traces() []*sim.Trace { return q.traces }
 
@@ -372,6 +381,7 @@ func (q *CommandQueue) Breakdowns() []perfmodel.Breakdown { return q.breakdowns 
 func (q *CommandQueue) ResetTimer() {
 	q.elapsed = 0
 	q.kernelTime = 0
+	q.transferTime = 0
 	q.traces = nil
 	q.breakdowns = nil
 }

@@ -35,9 +35,16 @@ type Toolchain struct {
 	BWEfficiency map[arch.Microarch]float64
 
 	// HostTransferGBps is the effective PCIe bandwidth for Memcpy.
+	// Retained for the toolchain-only TransferTime path; the per-device
+	// model (TransferTimeOn) uses arch.Device.Transfer instead.
 	HostTransferGBps float64
-	// HostTransferLatency is the fixed per-transfer cost.
+	// HostTransferLatency is the fixed per-transfer cost the runtime adds
+	// host-side (driver call, staging, completion polling).
 	HostTransferLatency float64
+	// TransferBWFactor derates the device link bandwidth for this runtime
+	// (pinned-path quality differs between the CUDA and OpenCL stacks).
+	// Zero means 1.0.
+	TransferBWFactor float64
 }
 
 func (tc *Toolchain) bwFactor(m arch.Microarch) float64 {
@@ -58,6 +65,7 @@ func CUDAToolchain() *Toolchain {
 		},
 		HostTransferGBps:    5.2,
 		HostTransferLatency: 10e-6,
+		TransferBWFactor:    1.0,
 	}
 }
 
@@ -70,6 +78,7 @@ func OpenCLToolchain() *Toolchain {
 		BWEfficiency:        map[arch.Microarch]float64{},
 		HostTransferGBps:    5.0,
 		HostTransferLatency: 14e-6,
+		TransferBWFactor:    0.96, // staged copies through the CL runtime
 	}
 }
 
@@ -215,7 +224,22 @@ func TotalTime(a *arch.Device, tc *Toolchain, traces []*sim.Trace) float64 {
 	return sum
 }
 
-// TransferTime models one host<->device copy of n bytes.
+// TransferTime models one host<->device copy of n bytes with only the
+// toolchain's flat PCIe figure. Kept for callers with no device at hand;
+// the runtimes use TransferTimeOn, which is link-aware.
 func TransferTime(tc *Toolchain, bytes int64) float64 {
 	return tc.HostTransferLatency + float64(bytes)/(tc.HostTransferGBps*1e9)
+}
+
+// TransferTimeOn models one host<->device copy of n bytes over a specific
+// device's link: the device contributes its PCIe (or cache-copy) bandwidth
+// and DMA latency, the toolchain contributes its host-side per-call cost
+// and a runtime-quality derating of the link bandwidth.
+func TransferTimeOn(a *arch.Device, tc *Toolchain, bytes int64) float64 {
+	factor := tc.TransferBWFactor
+	if factor <= 0 {
+		factor = 1
+	}
+	bw := a.Transfer.PCIeGBps * 1e9 * factor
+	return tc.HostTransferLatency + a.Transfer.LatencyS + float64(bytes)/bw
 }

@@ -177,6 +177,36 @@ func TestTransferTime(t *testing.T) {
 	}
 }
 
+// TestTransferTimeOn checks the per-device link model: device bandwidth and
+// DMA latency plus toolchain host-side cost, with the OpenCL derating.
+func TestTransferTimeOn(t *testing.T) {
+	gpu, cpu := arch.GTX480(), arch.Intel920()
+	cuda, ocl := CUDAToolchain(), OpenCLToolchain()
+
+	want := cuda.HostTransferLatency + gpu.Transfer.LatencyS +
+		float64(1<<20)/(gpu.Transfer.PCIeGBps*1e9)
+	if got := TransferTimeOn(gpu, cuda, 1<<20); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TransferTimeOn(GTX480, cuda, 1MiB) = %g, want %g", got, want)
+	}
+
+	// OpenCL's staged copies must never beat CUDA on the same link.
+	if TransferTimeOn(gpu, ocl, 1<<20) <= TransferTimeOn(gpu, cuda, 1<<20) {
+		t.Error("OpenCL transfer should be slower than CUDA on the same device")
+	}
+
+	// The host-resident CPU device must move large buffers faster than any
+	// PCIe-attached GPU under the same toolchain.
+	if TransferTimeOn(cpu, ocl, 1<<26) >= TransferTimeOn(gpu, ocl, 1<<26) {
+		t.Error("CPU cache-copy should beat PCIe for large buffers")
+	}
+
+	// A zero TransferBWFactor must behave as 1.0, not divide by zero.
+	bare := &Toolchain{Name: "bare"}
+	if v := TransferTimeOn(gpu, bare, 1 << 20); math.IsInf(v, 0) || math.IsNaN(v) || v <= 0 {
+		t.Errorf("zero TransferBWFactor mishandled: %g", v)
+	}
+}
+
 // TestTotalTimeSums.
 func TestTotalTimeSums(t *testing.T) {
 	dev := arch.GTX280()

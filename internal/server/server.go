@@ -11,14 +11,17 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"gpucmp/internal/arch"
 	"gpucmp/internal/bench"
+	"gpucmp/internal/coexec"
 	"gpucmp/internal/compiler"
 	"gpucmp/internal/core"
+	"gpucmp/internal/fault"
 	"gpucmp/internal/perfmodel"
 	"gpucmp/internal/sched"
 	"gpucmp/internal/submit"
@@ -55,6 +58,11 @@ type Server struct {
 	// /kernels counters.
 	gauntletRejects atomic.Uint64 // submissions refused before execution
 	quotaDenials    atomic.Uint64 // submissions refused by tenant quota
+
+	// POST /coexec dependencies: the (optional) fault injector and the
+	// per-device shard counters exported on /metrics.
+	coexecInjector *fault.Injector
+	coexecMetrics  *coexec.Metrics
 }
 
 // Option customises a Server.
@@ -76,7 +84,10 @@ func WithSubmitLimits(lim submit.Limits) Option {
 
 // New wraps a scheduler in the HTTP service.
 func New(s *sched.Scheduler, opts ...Option) *Server {
-	srv := &Server{sched: s, start: time.Now(), figureScale: 4, limits: submit.DefaultLimits()}
+	srv := &Server{
+		sched: s, start: time.Now(), figureScale: 4, limits: submit.DefaultLimits(),
+		coexecMetrics: coexec.NewMetrics(),
+	}
 	for _, o := range opts {
 		o(srv)
 	}
@@ -92,6 +103,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/devices", s.handleDevices)
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/coexec", s.handleCoexec)
 	mux.HandleFunc("/kernels", s.handleKernels)
 	mux.HandleFunc("/figures/", s.handleFigure)
 	mux.HandleFunc("/compiler/passes", s.handleCompilerPasses)
@@ -135,6 +147,7 @@ const (
 	codeQuota            = "quota-exceeded"
 	codeInternal         = "internal"
 	codeUnavailable      = "unavailable"
+	codeCoexecFailed     = "coexec-failed"
 )
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -176,7 +189,9 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
-// deviceInfo is one /devices entry.
+// deviceInfo is one /devices entry. The transfer fields parameterise the
+// host<->device link (PCIe for the discrete cards, the cache hierarchy for
+// the CPU) — what transfer-inclusive scheduling ranks devices by.
 type deviceInfo struct {
 	Name         string   `json:"name"`
 	Vendor       string   `json:"vendor"`
@@ -184,6 +199,8 @@ type deviceInfo struct {
 	ComputeUnits int      `json:"compute_units"`
 	PeakGFLOPS   float64  `json:"peak_gflops"`
 	PeakGBs      float64  `json:"peak_gb_per_sec"`
+	LinkGBs      float64  `json:"transfer_gb_per_sec"`
+	LinkLatency  float64  `json:"transfer_latency_seconds"`
 	Toolchains   []string `json:"toolchains"`
 }
 
@@ -201,6 +218,8 @@ func (s *Server) handleDevices(w http.ResponseWriter, r *http.Request) {
 			ComputeUnits: a.ComputeUnits,
 			PeakGFLOPS:   a.TheoreticalPeakFLOPS(),
 			PeakGBs:      a.TheoreticalPeakBandwidth(),
+			LinkGBs:      a.Transfer.PCIeGBps,
+			LinkLatency:  a.Transfer.LatencyS,
 			Toolchains:   tcs,
 		})
 	}
@@ -507,6 +526,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE gpucmpd_tenant_quota_denied_total counter\n")
 		for _, q := range quotas {
 			fmt.Fprintf(w, "gpucmpd_tenant_quota_denied_total{tenant=%q} %d\n", q.Tenant, q.Denied)
+		}
+	}
+	if coex := s.coexecMetrics.Snapshot(); len(coex) > 0 {
+		devs := make([]string, 0, len(coex))
+		for d := range coex {
+			devs = append(devs, d)
+		}
+		sort.Strings(devs)
+		fmt.Fprintf(w, "# HELP gpucmpd_coexec_shards_total Co-execution shard attempts completed per device.\n")
+		fmt.Fprintf(w, "# TYPE gpucmpd_coexec_shards_total counter\n")
+		for _, d := range devs {
+			fmt.Fprintf(w, "gpucmpd_coexec_shards_total{device=%q} %d\n", d, coex[d].Shards)
+		}
+		fmt.Fprintf(w, "# HELP gpucmpd_coexec_retries_total Co-execution shard attempts retried per device.\n")
+		fmt.Fprintf(w, "# TYPE gpucmpd_coexec_retries_total counter\n")
+		for _, d := range devs {
+			fmt.Fprintf(w, "gpucmpd_coexec_retries_total{device=%q} %d\n", d, coex[d].Retries)
+		}
+		fmt.Fprintf(w, "# HELP gpucmpd_coexec_redistributions_total Shards completed on a device after first trying elsewhere.\n")
+		fmt.Fprintf(w, "# TYPE gpucmpd_coexec_redistributions_total counter\n")
+		for _, d := range devs {
+			fmt.Fprintf(w, "gpucmpd_coexec_redistributions_total{device=%q} %d\n", d, coex[d].Redistributions)
+		}
+		fmt.Fprintf(w, "# HELP gpucmpd_coexec_transfer_errors_total Injected transfer faults observed per device.\n")
+		fmt.Fprintf(w, "# TYPE gpucmpd_coexec_transfer_errors_total counter\n")
+		for _, d := range devs {
+			fmt.Fprintf(w, "gpucmpd_coexec_transfer_errors_total{device=%q} %d\n", d, coex[d].TransferErrors)
+		}
+		fmt.Fprintf(w, "# HELP gpucmpd_coexec_stragglers_total Straggler duplicates dispatched against a device.\n")
+		fmt.Fprintf(w, "# TYPE gpucmpd_coexec_stragglers_total counter\n")
+		for _, d := range devs {
+			fmt.Fprintf(w, "gpucmpd_coexec_stragglers_total{device=%q} %d\n", d, coex[d].Stragglers)
+		}
+		fmt.Fprintf(w, "# HELP gpucmpd_coexec_device_lost Device was lost mid-run at least once (0/1).\n")
+		fmt.Fprintf(w, "# TYPE gpucmpd_coexec_device_lost gauge\n")
+		for _, d := range devs {
+			fmt.Fprintf(w, "gpucmpd_coexec_device_lost{device=%q} %d\n", d, coex[d].Lost)
 		}
 	}
 	hits, misses := compiler.CompileCacheStats()
