@@ -1,14 +1,15 @@
 package fuzz
 
-// Engine-equivalence gate: the predecoded fast interpreter (the default
-// sim engine) must be observationally indistinguishable from the retained
-// reference engine (sim.Device.Reference). Every corpus program —
-// including the hang corpus, which exercises the watchdog — replays on
-// both engines across every device and both compiler personalities, and
-// everything observable must match bit for bit: the dynamic trace, the
-// entire allocated global memory and constant segment contents, and the
-// error taxonomy (identical strings sequentially, identical error class in
-// parallel).
+// Engine-equivalence gate: every optimised interpreter (the predecoded
+// fast engine and the fused/block-compiled threaded engine) must be
+// observationally indistinguishable from the retained reference engine.
+// Every corpus program — including the hang corpus, which exercises the
+// watchdog — replays on all engines across every device and both compiler
+// personalities, and everything observable must match bit for bit: the
+// dynamic trace, the entire allocated global memory and constant segment
+// contents, and the error taxonomy (identical strings sequentially,
+// identical error class in parallel, where which compute unit's error
+// surfaces first is a legitimate race).
 
 import (
 	"errors"
@@ -24,6 +25,11 @@ import (
 	"gpucmp/internal/ptx"
 	"gpucmp/internal/sim"
 )
+
+// equivEngines is the set of optimised engines checked against the
+// reference; extending the taxonomy means adding a line here and nothing
+// else.
+var equivEngines = []sim.Engine{sim.EngineFast, sim.EngineThreaded}
 
 // equivCorpusFiles returns every corpus program, including the hang
 // corpus that the ordinary replay test skips.
@@ -59,13 +65,14 @@ type equivRun struct {
 // does (fuzz.Execute), but on a device with explicit engine/parallelism
 // knobs, and dumps the whole allocated global memory afterwards so stores
 // outside the nominal output buffer are compared too.
-func runEngineK(t *testing.T, p *Program, pk *ptx.Kernel, a *arch.Device, reference, parallel bool, budget uint64) *equivRun {
+func runEngineK(t *testing.T, p *Program, pk *ptx.Kernel, a *arch.Device, engine sim.Engine, parallel bool, budget uint64) *equivRun {
 	t.Helper()
 	dev, err := sim.NewDevice(a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dev.Reference = reference
+	dev.Engine = engine
+	dev.Reference = engine == sim.EngineReference
 	dev.Parallel = parallel
 	dev.StepBudget = budget
 	var args []uint32
@@ -114,8 +121,9 @@ func equivBudget(path string) uint64 {
 	return 1 << 22
 }
 
-// TestCorpusEngineEquivalence replays the full corpus sequentially on both
-// engines and requires strict equality: traces, memory, and error strings.
+// TestCorpusEngineEquivalence replays the full corpus sequentially on
+// every engine and requires strict equality with the reference: traces,
+// memory, and error strings.
 func TestCorpusEngineEquivalence(t *testing.T) {
 	for _, path := range equivCorpusFiles(t) {
 		path := path
@@ -136,27 +144,29 @@ func TestCorpusEngineEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				for _, a := range arch.All() {
-					ref := runEngineK(t, p, pk, a, true, false, budget)
-					fast := runEngineK(t, p, pk, a, false, false, budget)
-					label := pers.Name + "/" + a.Name
-					switch {
-					case ref.err != nil && fast.err != nil:
-						if ref.err.Error() != fast.err.Error() {
-							t.Fatalf("%s: error mismatch:\nreference: %v\nfast:      %v", label, ref.err, fast.err)
+					ref := runEngineK(t, p, pk, a, sim.EngineReference, false, budget)
+					for _, eng := range equivEngines {
+						got := runEngineK(t, p, pk, a, eng, false, budget)
+						label := pers.Name + "/" + a.Name + "/" + eng.String()
+						switch {
+						case ref.err != nil && got.err != nil:
+							if ref.err.Error() != got.err.Error() {
+								t.Fatalf("%s: error mismatch:\nreference: %v\n%s: %v", label, ref.err, eng, got.err)
+							}
+						case (ref.err == nil) != (got.err == nil):
+							t.Fatalf("%s: reference err=%v, %s err=%v", label, ref.err, eng, got.err)
+						default:
+							if !reflect.DeepEqual(ref.trace, got.trace) {
+								t.Fatalf("%s: trace mismatch:\nreference: %s\n%s: %s",
+									label, ref.trace.Summary(), eng, got.trace.Summary())
+							}
 						}
-					case (ref.err == nil) != (fast.err == nil):
-						t.Fatalf("%s: reference err=%v, fast err=%v", label, ref.err, fast.err)
-					default:
-						if !reflect.DeepEqual(ref.trace, fast.trace) {
-							t.Fatalf("%s: trace mismatch:\nreference: %s\nfast:      %s",
-								label, ref.trace.Summary(), fast.trace.Summary())
-						}
-					}
-					if !reflect.DeepEqual(ref.global, fast.global) {
-						for i := range ref.global {
-							if ref.global[i] != fast.global[i] {
-								t.Fatalf("%s: global memory differs at word %d: reference %#x, fast %#x",
-									label, i, ref.global[i], fast.global[i])
+						if !reflect.DeepEqual(ref.global, got.global) {
+							for i := range ref.global {
+								if ref.global[i] != got.global[i] {
+									t.Fatalf("%s: global memory differs at word %d: reference %#x, %s %#x",
+										label, i, ref.global[i], eng, got.global[i])
+								}
 							}
 						}
 					}
@@ -166,12 +176,13 @@ func TestCorpusEngineEquivalence(t *testing.T) {
 	}
 }
 
-// TestCorpusEngineEquivalenceParallel replays the corpus with the fast
-// engine's parallel compute units against the sequential reference.
-// Successful launches must still match bit for bit (per-CU statistic
-// shards merge in a fixed order, so parallelism is invisible); failing
-// launches must fail in the same error class (which compute unit's error
-// surfaces first is a race once sibling cancellation is in play).
+// TestCorpusEngineEquivalenceParallel replays the corpus with each
+// optimised engine's parallel compute units against the sequential
+// reference. Successful launches must still match bit for bit (per-CU
+// statistic shards merge in a fixed order, so parallelism is invisible);
+// failing launches must fail in the same error class (which compute
+// unit's error surfaces first is a race once sibling cancellation is in
+// play).
 func TestCorpusEngineEquivalenceParallel(t *testing.T) {
 	for _, path := range equivCorpusFiles(t) {
 		path := path
@@ -192,23 +203,25 @@ func TestCorpusEngineEquivalenceParallel(t *testing.T) {
 					t.Fatal(err)
 				}
 				for _, a := range arch.All() {
-					ref := runEngineK(t, p, pk, a, true, false, budget)
-					fast := runEngineK(t, p, pk, a, false, true, budget)
-					label := pers.Name + "/" + a.Name
-					switch {
-					case ref.err != nil && fast.err != nil:
-						if errors.Is(ref.err, sim.ErrWatchdog) != errors.Is(fast.err, sim.ErrWatchdog) {
-							t.Fatalf("%s: error class mismatch:\nreference: %v\nfast:      %v", label, ref.err, fast.err)
-						}
-					case (ref.err == nil) != (fast.err == nil):
-						t.Fatalf("%s: reference err=%v, fast err=%v", label, ref.err, fast.err)
-					default:
-						if !reflect.DeepEqual(ref.trace, fast.trace) {
-							t.Fatalf("%s: trace mismatch:\nreference: %s\nfast:      %s",
-								label, ref.trace.Summary(), fast.trace.Summary())
-						}
-						if !reflect.DeepEqual(ref.global, fast.global) {
-							t.Fatalf("%s: global memory differs", label)
+					ref := runEngineK(t, p, pk, a, sim.EngineReference, false, budget)
+					for _, eng := range equivEngines {
+						got := runEngineK(t, p, pk, a, eng, true, budget)
+						label := pers.Name + "/" + a.Name + "/" + eng.String()
+						switch {
+						case ref.err != nil && got.err != nil:
+							if errors.Is(ref.err, sim.ErrWatchdog) != errors.Is(got.err, sim.ErrWatchdog) {
+								t.Fatalf("%s: error class mismatch:\nreference: %v\n%s: %v", label, ref.err, eng, got.err)
+							}
+						case (ref.err == nil) != (got.err == nil):
+							t.Fatalf("%s: reference err=%v, %s err=%v", label, ref.err, eng, got.err)
+						default:
+							if !reflect.DeepEqual(ref.trace, got.trace) {
+								t.Fatalf("%s: trace mismatch:\nreference: %s\n%s: %s",
+									label, ref.trace.Summary(), eng, got.trace.Summary())
+							}
+							if !reflect.DeepEqual(ref.global, got.global) {
+								t.Fatalf("%s: global memory differs", label)
+							}
 						}
 					}
 				}

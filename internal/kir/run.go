@@ -64,13 +64,16 @@ func Run(k *Kernel, cfg RunConfig) error {
 			bar := newHostBarrier(threads)
 			errs := make([]error, threads)
 			var wg sync.WaitGroup
-			var mu sync.Mutex // serialises shared/global writes and atomics
+			// mu serialises shared/global writes and atomics; the barrier's
+			// turnstile additionally fixes their order, so a block always
+			// executes as the same sequential interleaving.
+			var mu sync.Mutex
 			for t := 0; t < threads; t++ {
 				wg.Add(1)
 				go func(t int) {
 					defer wg.Done()
 					ev := &runEval{
-						k: k, cfg: cfg, shared: shared, bar: bar, mu: &mu,
+						k: k, cfg: cfg, shared: shared, bar: bar, mu: &mu, tIdx: t,
 						tidX: uint32(t % cfg.BlockX), tidY: uint32(t / cfg.BlockX),
 						ctaX: uint32(bx), ctaY: uint32(by),
 						vars: map[string]uint32{},
@@ -97,6 +100,7 @@ func Run(k *Kernel, cfg RunConfig) error {
 							bar.leave(t)
 						}
 					}()
+					bar.start(t)
 					ev.stmts(k.Body)
 				}(t)
 			}
@@ -116,35 +120,82 @@ func Run(k *Kernel, cfg RunConfig) error {
 	return nil
 }
 
-// hostBarrier is a reusable (cyclic) barrier for n goroutines. It detects
-// barrier divergence — some threads waiting at a barrier that the others
-// can never reach because they already returned from the kernel — and
-// reports which thread diverged instead of deadlocking.
+// hostBarrier is a reusable (cyclic) barrier for n goroutines that
+// doubles as a deterministic turnstile: exactly one thread holds the
+// execution floor at any moment, and the floor passes in thread order —
+// a thread runs until it arrives at a barrier, returns from the kernel,
+// or dies, then the lowest-numbered runnable thread goes next. A block
+// therefore executes as one fixed sequential interleaving, which makes
+// the host oracle deterministic even for kernels with data races (the
+// runEval mutex serialises individual accesses; the turnstile fixes
+// their order) — racing writes get a defined, reproducible result
+// instead of a scheduler-dependent one, so differential comparisons and
+// the shrinker's predicate re-checks never flap. Barrier divergence —
+// some threads waiting at a barrier the others already returned past —
+// is detected and reported instead of deadlocking.
 type hostBarrier struct {
 	mu       sync.Mutex
-	cond     *sync.Cond
+	conds    []sync.Cond // one per thread: handoffs wake exactly the floor-taker
 	n        int
-	waiting  int
+	turn     int // thread currently holding the floor
 	gen      int
-	departed int // threads that returned from the kernel body
+	arrived  []bool // arrived at the barrier this generation
+	waiting  int
+	gone     []bool // returned from the kernel body (or died)
+	departed int
 	broken   bool
 	breaker  int    // thread that broke the barrier, -1 if none
 	cause    string // why the barrier broke
 }
 
 func newHostBarrier(n int) *hostBarrier {
-	b := &hostBarrier{n: n, breaker: -1}
-	b.cond = sync.NewCond(&b.mu)
+	b := &hostBarrier{n: n, breaker: -1,
+		arrived: make([]bool, n), gone: make([]bool, n),
+		conds: make([]sync.Cond, n)}
+	for i := range b.conds {
+		b.conds[i].L = &b.mu
+	}
 	return b
 }
 
-func (b *hostBarrier) wait() {
+// start blocks thread t until it is handed the floor for the first time
+// (thread 0 holds it initially).
+func (b *hostBarrier) start(t int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.turn != t && !b.broken {
+		b.conds[t].Wait()
+	}
+	if b.broken {
+		panic(b.cause)
+	}
+}
+
+// nextRunnableLocked returns the smallest thread index >= from that has
+// neither departed nor arrived at the current generation, or -1. Within
+// a generation the floor only ever moves upward, so scanning from the
+// caller's successor is exhaustive.
+func (b *hostBarrier) nextRunnableLocked(from int) int {
+	for i := from; i < b.n; i++ {
+		if !b.gone[i] && !b.arrived[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// wait is the barrier arrival of thread t, which must hold the floor.
+// The floor passes to the next runnable thread; once every live thread
+// has arrived the generation flips and the floor returns to the lowest
+// live thread.
+func (b *hostBarrier) wait(t int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.broken {
 		panic(b.cause)
 	}
 	gen := b.gen
+	b.arrived[t] = true
 	b.waiting++
 	if b.waiting+b.departed == b.n {
 		if b.departed > 0 {
@@ -156,29 +207,48 @@ func (b *hostBarrier) wait() {
 			panic(b.cause)
 		}
 		b.waiting = 0
+		for i := range b.arrived {
+			b.arrived[i] = false
+		}
 		b.gen++
-		b.cond.Broadcast()
-		return
+		b.turn = b.nextRunnableLocked(0)
+		if b.turn == t {
+			return // lowest live thread: keep the floor into the new generation
+		}
+		b.conds[b.turn].Signal()
+	} else {
+		b.turn = b.nextRunnableLocked(t + 1)
+		b.conds[b.turn].Signal()
 	}
-	for gen == b.gen && !b.broken {
-		b.cond.Wait()
+	for !(gen != b.gen && b.turn == t) && !b.broken {
+		b.conds[t].Wait()
 	}
 	if b.broken {
 		panic(b.cause)
 	}
 }
 
-// leave records that a thread returned from the kernel body. If the
-// remaining threads are all parked at a barrier, they can never be
-// released, so the barrier breaks naming the diverging thread.
+// leave records that a thread returned from the kernel body and passes
+// the floor on. If the remaining threads are all parked at a barrier,
+// they can never be released, so the barrier breaks naming the diverging
+// thread.
 func (b *hostBarrier) leave(t int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.gone[t] = true
 	b.departed++
-	if !b.broken && b.waiting > 0 && b.waiting+b.departed == b.n {
+	if b.broken {
+		return
+	}
+	if b.waiting > 0 && b.waiting+b.departed == b.n {
 		b.breakLocked(t, fmt.Sprintf(
 			"barrier divergence: thread %d returned from the kernel while %d thread(s) wait at a barrier",
 			t, b.waiting))
+		return
+	}
+	if next := b.nextRunnableLocked(t + 1); next >= 0 {
+		b.turn = next
+		b.conds[next].Signal()
 	}
 }
 
@@ -199,7 +269,9 @@ func (b *hostBarrier) breakLocked(t int, cause string) {
 	b.broken = true
 	b.breaker = t
 	b.cause = cause
-	b.cond.Broadcast()
+	for i := range b.conds {
+		b.conds[i].Signal()
+	}
 }
 
 // abortedBy returns the thread index that broke the barrier, or -1.
@@ -216,6 +288,7 @@ type runEval struct {
 	local  map[string][]uint32
 	bar    *hostBarrier
 	mu     *sync.Mutex
+	tIdx   int // block-local thread index (the turnstile identity)
 
 	tidX, tidY uint32
 	ctaX, ctaY uint32
@@ -314,7 +387,7 @@ func (e *runEval) stmts(stmts []Stmt) {
 			}
 			delete(e.vars, s.Var)
 		case *BarrierStmt:
-			e.bar.wait()
+			e.bar.wait(e.tIdx)
 		default:
 			panic(fmt.Sprintf("unknown statement %T", s))
 		}

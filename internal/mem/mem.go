@@ -98,7 +98,38 @@ func (m *Memory) Atomic(addr uint32, f func(old uint32) uint32) (uint32, error) 
 	}
 }
 
-// WriteWords copies host words into device memory starting at addr.
+// Gather loads the word at addrs[l] into dst[l] for every l, lane 0
+// upward — the order (and therefore the error surfaced when several lanes
+// are out of range) matches a per-lane Load loop exactly. It exists for
+// the fully-active warp accesses of the block-compiled engine, where one
+// bounds-checked pass replaces len(addrs) Load calls.
+func (m *Memory) Gather(addrs []uint32, dst []uint32) error {
+	words := m.words
+	for l, a := range addrs {
+		i := int(a / WordBytes)
+		if a%WordBytes != 0 || i >= len(words) {
+			_, err := m.check(a)
+			return err
+		}
+		dst[l] = words[i]
+	}
+	return nil
+}
+
+// Scatter stores src[l] to addrs[l] for every l, lane 0 upward; on lane
+// collisions the highest lane wins, exactly like a per-lane Store loop.
+func (m *Memory) Scatter(addrs []uint32, src []uint32) error {
+	words := m.words
+	for l, a := range addrs {
+		i := int(a / WordBytes)
+		if a%WordBytes != 0 || i >= len(words) {
+			_, err := m.check(a)
+			return err
+		}
+		words[i] = src[l]
+	}
+	return nil
+}
 func (m *Memory) WriteWords(addr uint32, src []uint32) error {
 	i, err := m.check(addr)
 	if err != nil {

@@ -73,6 +73,60 @@ func TestAtomicRMW(t *testing.T) {
 	}
 }
 
+// TestGatherScatterMatchPerLane pins the bulk warp accessors to a
+// per-lane Load/Store loop: same values, same lane (0-upward) walk order,
+// therefore the same surfaced error and the same partial side effects
+// when a mid-warp lane faults, and last-lane-wins on scatter collisions.
+func TestGatherScatterMatchPerLane(t *testing.T) {
+	m := NewMemory(256)
+	addrs := []uint32{0, 8, 8, 4, 252}
+	src := []uint32{10, 20, 30, 40, 50}
+	if err := m.Scatter(addrs, src); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Load(8); v != 30 {
+		t.Errorf("scatter collision: got %d at 0x8, want the higher lane's 30", v)
+	}
+	dst := make([]uint32, len(addrs))
+	if err := m.Gather(addrs, dst); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{10, 30, 30, 40, 50}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("gather lane %d: got %d, want %d", i, dst[i], want[i])
+		}
+	}
+
+	// Faulting lanes: the first bad lane's error must be byte-identical to
+	// the per-lane path's, and scatter must keep the stores issued before
+	// the fault, exactly like a per-lane loop.
+	for _, bad := range []struct {
+		addr uint32
+		name string
+	}{{2, "unaligned"}, {1 << 20, "out of range"}} {
+		m2 := NewMemory(256)
+		faulty := []uint32{0, 4, bad.addr, 8}
+		_, wantErr := m2.Load(bad.addr)
+		if wantErr == nil {
+			t.Fatalf("%s probe did not fault", bad.name)
+		}
+		if err := m2.Gather(faulty, make([]uint32, 4)); err == nil || err.Error() != wantErr.Error() {
+			t.Errorf("%s gather error: got %v, want %v", bad.name, err, wantErr)
+		}
+		err := m2.Scatter(faulty, []uint32{1, 2, 3, 4})
+		if err == nil || err.Error() != wantErr.Error() {
+			t.Errorf("%s scatter error: got %v, want %v", bad.name, err, wantErr)
+		}
+		if v, _ := m2.Load(4); v != 2 {
+			t.Errorf("%s scatter: store before the faulting lane lost (got %d, want 2)", bad.name, v)
+		}
+		if v, _ := m2.Load(8); v != 0 {
+			t.Errorf("%s scatter: store after the faulting lane happened (got %d, want 0)", bad.name, v)
+		}
+	}
+}
+
 // The access-pattern tables for CoalesceSegments, CoalesceList,
 // DistinctAddrs, BankConflictFactor and ActiveLanes live in
 // coalesce_test.go; here only the property-based cross-check remains.

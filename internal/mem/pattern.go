@@ -237,6 +237,145 @@ func dedupNonDecreasing(buf []uint32) int {
 	return d
 }
 
+// Full-mask variants. The block-compiled segments of the threaded engine
+// (internal/sim/compile.go) only execute when every lane of a full-width
+// warp is active, so their memory arms classify with these specialisations:
+// the same single pass as the *Fast routines but without the per-lane mask
+// test and branch. Each is bit-identical to its masked sibling called with
+// a mask covering all len(addrs) lanes.
+
+// classifyRunsFull is classifyRuns for a fully-active warp.
+func classifyRunsFull(addrs []uint32, buf *[64]uint32) (n, p int) {
+	irregular := false
+	for _, a := range addrs {
+		if !irregular {
+			if p == 0 && n > 0 && a < buf[n-1] {
+				p = n
+			}
+			if p > 0 && a != buf[n-p] {
+				irregular = true
+			}
+		}
+		buf[n] = a
+		n++
+	}
+	if irregular {
+		return n, 0
+	}
+	if p == 0 {
+		p = n
+	}
+	return n, p
+}
+
+// BankConflictFactorFull is BankConflictFactorFast for a fully-active warp.
+func BankConflictFactorFull(addrs []uint32, banks int) int {
+	if banks <= 1 {
+		return 1
+	}
+	if len(addrs) > 64 || banks > 64 {
+		return BankConflictFactor(addrs, ^uint64(0)>>(64-uint(len(addrs))), banks)
+	}
+	var buf [64]uint32
+	n, p := classifyRunsFull(addrs, &buf)
+	if n == 0 {
+		return 1
+	}
+	var hits [64]uint8
+	max := uint8(0)
+	count := func(a uint32) {
+		b := (a / WordBytes) % uint32(banks)
+		hits[b]++
+		if hits[b] > max {
+			max = hits[b]
+		}
+	}
+	if p > 0 {
+		d := dedupNonDecreasing(buf[:p])
+		for i := 0; i < d; i++ {
+			count(buf[i])
+		}
+	} else {
+		var t dedupTable
+		for i := 0; i < n; i++ {
+			if t.insert(buf[i]) {
+				count(buf[i])
+			}
+		}
+	}
+	if max <= 1 {
+		return 1
+	}
+	return int(max)
+}
+
+// CoalesceListFull is CoalesceListFast for a fully-active warp.
+func CoalesceListFull(addrs []uint32, segBytes uint32, out []uint32) int {
+	if segBytes == 0 {
+		segBytes = 64
+	}
+	if len(addrs) > 64 || segBytes&(segBytes-1) != 0 {
+		return CoalesceList(addrs, ^uint64(0)>>(64-uint(len(addrs))), segBytes, out)
+	}
+	segMask := segBytes - 1
+	n := 0
+	var last uint32
+	for lane := 0; lane < len(addrs); lane++ {
+		s := addrs[lane] &^ segMask
+		if n > 0 {
+			if s == last {
+				continue
+			}
+			if s < last {
+				var t dedupTable
+				n = 0
+				for _, a := range addrs {
+					ps := a &^ segMask
+					if t.insert(ps) {
+						out[n] = ps
+						n++
+					}
+				}
+				return n
+			}
+		}
+		out[n] = s
+		n++
+		last = s
+	}
+	return n
+}
+
+// DistinctAddrsFull is DistinctAddrsFast for a fully-active warp.
+func DistinctAddrsFull(addrs []uint32) int {
+	if len(addrs) > 64 {
+		return DistinctAddrs(addrs, ^uint64(0))
+	}
+	n := 0
+	var last uint32
+	for lane := 0; lane < len(addrs); lane++ {
+		a := addrs[lane]
+		if n > 0 {
+			if a == last {
+				continue
+			}
+			if a < last {
+				var t dedupTable
+				n = 0
+				for _, v := range addrs {
+					if t.insert(v) {
+						n++
+					}
+				}
+				return n
+			}
+		}
+		n++
+		last = a
+	}
+	return n
+}
+
 // BankConflictFactorFast is BankConflictFactor with a single-pass exact
 // computation for the overwhelmingly common shared-memory shapes —
 // broadcasts, non-decreasing sweeps and periodic row repeats (see

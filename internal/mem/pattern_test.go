@@ -110,6 +110,42 @@ func TestFastVariantsMatchReference(t *testing.T) {
 	}
 }
 
+// TestFullVariantsMatchReference pins the mask-free *Full specialisations
+// (used by the threaded engine's block-compiled memory arms, which only
+// execute fully-active full-width warps) to the masked reference routines
+// called with an all-lanes mask, over the same random pattern mix.
+func TestFullVariantsMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		addrs, _, seg := randCase(r)
+		full := ^uint64(0) >> uint(64-len(addrs))
+
+		var refList, fullList [64]uint32
+		nr := CoalesceList(addrs, full, seg, refList[:])
+		nf := CoalesceListFull(addrs, seg, fullList[:])
+		if nr != nf {
+			t.Fatalf("case %d: CoalesceListFull count %d, reference %d (addrs=%v seg=%d)",
+				i, nf, nr, addrs, seg)
+		}
+		for j := 0; j < nr; j++ {
+			if refList[j] != fullList[j] {
+				t.Fatalf("case %d: segment %d: full %#x, reference %#x (addrs=%v seg=%d)",
+					i, j, fullList[j], refList[j], addrs, seg)
+			}
+		}
+
+		if got, want := DistinctAddrsFull(addrs), DistinctAddrs(addrs, full); got != want {
+			t.Fatalf("case %d: DistinctAddrsFull %d, reference %d (addrs=%v)", i, got, want, addrs)
+		}
+		for _, banks := range []int{1, 16, 32} {
+			if got, want := BankConflictFactorFull(addrs, banks), BankConflictFactor(addrs, full, banks); got != want {
+				t.Fatalf("case %d: BankConflictFactorFull(banks=%d) %d, reference %d (addrs=%v)",
+					i, banks, got, want, addrs)
+			}
+		}
+	}
+}
+
 func benchAddrs(pattern string) ([]uint32, uint64) {
 	var a [32]uint32
 	switch pattern {

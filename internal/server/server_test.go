@@ -245,6 +245,13 @@ func TestMetricsExposition(t *testing.T) {
 		`gpucmpd_job_seconds_count{benchmark="Reduce"} 1`,
 		"gpucmpd_warp_instrs_total",
 		"gpucmpd_lane_instrs_total",
+		"gpucmpd_sim_superinstr_hits_total",
+		"gpucmpd_sim_superinstr_ops_total",
+		"gpucmpd_sim_block_compiles_total",
+		"gpucmpd_sim_threaded_cache_entries",
+		"gpucmpd_sim_threaded_cache_evictions_total",
+		`gpucmpd_sim_engine_warp_instrs_total{engine="threaded"}`,
+		`gpucmpd_sim_engine_lane_instrs_total{engine="reference"}`,
 	} {
 		if !strings.Contains(string(text), want) {
 			t.Errorf("/metrics missing %q\n%s", want, text)
@@ -254,6 +261,11 @@ func TestMetricsExposition(t *testing.T) {
 	// lane instructions weight warp instructions by active lanes.
 	if m := regexp.MustCompile(`gpucmpd_warp_instrs_total (\d+)`).FindStringSubmatch(string(text)); m == nil || m[1] == "0" {
 		t.Errorf("gpucmpd_warp_instrs_total not positive:\n%s", text)
+	}
+	// The default engine is threaded, so a real job must have retired work
+	// through fused-segment dispatches.
+	if m := regexp.MustCompile(`gpucmpd_sim_superinstr_hits_total (\d+)`).FindStringSubmatch(string(text)); m == nil || m[1] == "0" {
+		t.Errorf("gpucmpd_sim_superinstr_hits_total not positive after a threaded-engine job:\n%s", text)
 	}
 
 	resp, jsonText := get(t, ts.URL+"/metrics?format=json")

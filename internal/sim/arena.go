@@ -29,6 +29,7 @@ type cuArena struct {
 type fblock struct {
 	cu             *cuState
 	dk             *decodedKernel
+	prog           *tProgram // fused program; nil when the plain fast engine runs
 	k              *ptx.Kernel
 	grid, block    Dim3
 	ctaidX, ctaidY uint32

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+
+	"gpucmp/internal/mem"
+)
+
+// Memory arms of the block-compiled executor. Like the ALU arms these only
+// run for a fully-active, full-width warp, which licenses three shortcuts
+// over execMemFast: operand resolution is precomputed (register base +
+// static offset — no resolve/srcv machinery), the address pattern is
+// classified with the mask-free mem.*Full routines, and the per-lane
+// load/store loop is a plain pass in lane order (one bulk Gather/Scatter
+// call for global memory) instead of a bit-mask walk of per-word calls.
+//
+// Counter accounting, walk order, bounds checks and error strings mirror
+// fastmem.go line for line — the full-corpus equivalence gate in
+// internal/fuzz holds traces and error strings bit-identical across
+// engines, so any divergence here is a test failure, not a tuning knob.
+
+// guardMaskVec is guardMask with the lane walk replaced by a branchless
+// full-width pass; compiled guard arms use it because they always hold a
+// full warp mask, where the sparse bit-walk has no advantage.
+func (w *fwarp) guardMaskVec(d *decodedOp, mask uint64) uint64 {
+	base := int(d.guard) * w.b.W
+	if w.getUni(d.guard) {
+		if (w.regs[base] != 0) != d.guardNeg {
+			return mask
+		}
+		return 0
+	}
+	gv := w.regs[base : base+w.b.W]
+	var out uint64
+	for l, v := range gv {
+		out |= uint64((v|-v)>>31) << uint(l)
+	}
+	if d.guardNeg {
+		out = ^out
+	}
+	return out & mask
+}
+
+// fillAddrs materialises the warp's byte addresses for a register-based
+// access with a static offset.
+func (w *fwarp) fillAddrs(av []uint32, off uint32) []uint32 {
+	addrs := w.addrBuf[:len(av)]
+	for l, a := range av {
+		addrs[l] = a + off
+	}
+	return addrs
+}
+
+func (w *fwarp) ldSharedFull(u *microOp) error {
+	cu := w.b.cu
+	W := w.b.W
+	sh := w.b.shared
+	av := w.regs[u.aBase : u.aBase+W]
+	cu.mem.SharedAccesses++
+	if w.getUni(u.aReg) {
+		cu.mem.SharedSerial++ // all-equal addresses broadcast: factor 1
+		a := av[0] + u.off
+		i := a / 4
+		if int(i) >= len(sh) {
+			return fmt.Errorf("shared access at 0x%x beyond %d bytes", a, len(sh)*4)
+		}
+		w.writeLanes(u.dReg, w.fullMask, sh[i])
+		return nil
+	}
+	addrs := w.fillAddrs(av, u.off)
+	cu.mem.SharedSerial += int64(mem.BankConflictFactorFull(addrs, cu.dev.Arch.SharedMemBanks))
+	dst := w.regs[u.dBase : u.dBase+W]
+	w.clearUni(u.dReg)
+	for l, a := range addrs {
+		i := a / 4
+		if int(i) >= len(sh) {
+			return fmt.Errorf("shared access at 0x%x beyond %d bytes", a, len(sh)*4)
+		}
+		dst[l] = sh[i]
+	}
+	return nil
+}
+
+func (w *fwarp) stSharedFull(u *microOp) error {
+	cu := w.b.cu
+	W := w.b.W
+	sh := w.b.shared
+	av := w.regs[u.aBase : u.aBase+W]
+	cu.mem.SharedAccesses++
+	if w.getUni(u.aReg) {
+		cu.mem.SharedSerial++
+		a := av[0] + u.off
+		i := a / 4
+		if int(i) >= len(sh) {
+			return fmt.Errorf("shared access at 0x%x beyond %d bytes", a, len(sh)*4)
+		}
+		// Every lane stores to one address: the last lane's write wins.
+		if u.bReg >= 0 {
+			sh[i] = w.regs[u.bBase+W-1]
+		} else {
+			sh[i] = u.imm
+		}
+		return nil
+	}
+	addrs := w.fillAddrs(av, u.off)
+	cu.mem.SharedSerial += int64(mem.BankConflictFactorFull(addrs, cu.dev.Arch.SharedMemBanks))
+	if u.bReg >= 0 {
+		bv := w.regs[u.bBase : u.bBase+W]
+		for l, a := range addrs {
+			i := a / 4
+			if int(i) >= len(sh) {
+				return fmt.Errorf("shared access at 0x%x beyond %d bytes", a, len(sh)*4)
+			}
+			sh[i] = bv[l]
+		}
+		return nil
+	}
+	for _, a := range addrs {
+		i := a / 4
+		if int(i) >= len(sh) {
+			return fmt.Errorf("shared access at 0x%x beyond %d bytes", a, len(sh)*4)
+		}
+		sh[i] = u.imm
+	}
+	return nil
+}
+
+func (w *fwarp) ldGlobalFull(u *microOp) error {
+	cu := w.b.cu
+	W := w.b.W
+	seg := uint32(cu.dev.Arch.GlobalSegmentSize)
+	av := w.regs[u.aBase : u.aBase+W]
+	var segs [64]uint32
+	nseg := 1
+	uni := w.getUni(u.aReg)
+	var uaddr uint32
+	var addrs []uint32
+	if uni {
+		uaddr = av[0] + u.off
+		segs[0] = segBase(uaddr, seg)
+	} else {
+		addrs = w.fillAddrs(av, u.off)
+		nseg = mem.CoalesceListFull(addrs, seg, segs[:])
+	}
+	cu.mem.GlobalLoadAccesses++
+	if cu.l1 != nil {
+		for i := 0; i < nseg; i++ {
+			if cu.l1.Access(segs[i]) {
+				cu.mem.L1Hits++
+			} else {
+				cu.mem.L1Misses++
+				if cu.l2.Access(segs[i]) {
+					cu.mem.L2Hits++
+				} else {
+					cu.mem.L2Misses++
+					cu.mem.GlobalLoadTrans++
+				}
+			}
+		}
+	} else {
+		cu.mem.GlobalLoadTrans += int64(nseg)
+	}
+	if uni {
+		v, err := cu.dev.Global.Load(uaddr)
+		if err != nil {
+			return err
+		}
+		w.writeLanes(u.dReg, w.fullMask, v)
+		return nil
+	}
+	dst := w.regs[u.dBase : u.dBase+W]
+	w.clearUni(u.dReg)
+	return cu.dev.Global.Gather(addrs, dst)
+}
+
+func (w *fwarp) stGlobalFull(u *microOp) error {
+	cu := w.b.cu
+	W := w.b.W
+	seg := uint32(cu.dev.Arch.GlobalSegmentSize)
+	av := w.regs[u.aBase : u.aBase+W]
+	var segs [64]uint32
+	nseg := 1
+	uni := w.getUni(u.aReg)
+	var uaddr uint32
+	var addrs []uint32
+	if uni {
+		uaddr = av[0] + u.off
+		segs[0] = segBase(uaddr, seg)
+	} else {
+		addrs = w.fillAddrs(av, u.off)
+		nseg = mem.CoalesceListFull(addrs, seg, segs[:])
+	}
+	cu.mem.GlobalStoreAccesses++
+	if cu.l2 != nil {
+		for i := 0; i < nseg; i++ {
+			if cu.l2.Access(segs[i]) {
+				cu.mem.L2Hits++
+			} else {
+				cu.mem.L2Misses++
+				cu.mem.GlobalStoreTrans++
+			}
+		}
+	} else {
+		cu.mem.GlobalStoreTrans += int64(nseg)
+	}
+	if uni {
+		// One destination address: the last lane's value wins.
+		return cu.dev.Global.Store(uaddr, w.regs[u.bBase+W-1])
+	}
+	return cu.dev.Global.Scatter(addrs, w.regs[u.bBase:u.bBase+W])
+}

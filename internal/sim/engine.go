@@ -1,0 +1,135 @@
+package sim
+
+import "sync/atomic"
+
+// Engine selects the interpreter implementation a Device uses. All engines
+// are observationally identical — same results, traces, error strings and
+// watchdog verdicts — which the full-corpus equivalence gate in
+// internal/fuzz pins. They differ only in host-side speed:
+//
+//   - EngineReference is the pre-optimization interpreter (warp.go), kept
+//     as the bit-identity oracle and the speedup baseline.
+//   - EngineFast adds predecoding, per-CU arenas and uniformity tracking
+//     (fast.go) — the PR 5 engine.
+//   - EngineThreaded goes past predecode to threaded code: straight-line
+//     op sequences are fused into superinstructions with a single dispatch
+//     (fuse.go), and hot fused blocks are compiled into specialised Go
+//     closures over the arena state (compile.go).
+type Engine uint8
+
+const (
+	EngineThreaded Engine = iota // default: fused + block-compiled
+	EngineFast
+	EngineReference
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineFast:
+		return "fast"
+	case EngineReference:
+		return "reference"
+	default:
+		return "threaded"
+	}
+}
+
+// ParseEngine maps the CLI spelling to an Engine.
+func ParseEngine(s string) (Engine, bool) {
+	switch s {
+	case "threaded":
+		return EngineThreaded, true
+	case "fast":
+		return EngineFast, true
+	case "reference":
+		return EngineReference, true
+	}
+	return EngineThreaded, false
+}
+
+// defaultEngine is the engine NewDevice installs; settable process-wide so
+// a daemon can A/B engines live (gpucmpd -sim-engine).
+var defaultEngine atomic.Uint32
+
+// SetDefaultEngine changes the engine future NewDevice calls install.
+// Existing devices are unaffected.
+func SetDefaultEngine(e Engine) { defaultEngine.Store(uint32(e)) }
+
+// DefaultEngine returns the engine NewDevice currently installs.
+func DefaultEngine() Engine { return Engine(defaultEngine.Load()) }
+
+// engine returns the effective engine of the device: the legacy Reference
+// switch (kept because the oracle role predates the Engine knob) wins over
+// the Engine field.
+func (d *Device) engine() Engine {
+	if d.Reference {
+		return EngineReference
+	}
+	return d.Engine
+}
+
+// EngineStats is a snapshot of the process-wide interpreter counters. The
+// superinstruction and block-compile numbers exist so the fusion layer is
+// observable (simbench hit rates, /metrics) without touching the Trace,
+// which must stay bit-identical across engines.
+type EngineStats struct {
+	// SuperinstrHits counts fused-segment executions (one hit = one
+	// dispatch covering SuperinstrOps/SuperinstrHits ops on average).
+	SuperinstrHits int64 `json:"superinstr_hits"`
+	// SuperinstrOps counts warp instructions retired inside fused segments.
+	SuperinstrOps int64 `json:"superinstr_ops"`
+	// BlockCompiles counts fused segments compiled into closures after
+	// crossing the hotness threshold.
+	BlockCompiles int64 `json:"block_compiles"`
+	// ThreadedCacheSize / ThreadedCacheEvictions describe the per-device
+	// (kernel, device) threaded-program caches, summed over live devices.
+	ThreadedCacheSize      int64 `json:"threaded_cache_size"`
+	ThreadedCacheEvictions int64 `json:"threaded_cache_evictions"`
+
+	// Per-engine retirement counters: warp and lane instructions executed
+	// by completed launches, keyed by engine name.
+	WarpInstrs map[string]int64 `json:"warp_instrs"`
+	LaneInstrs map[string]int64 `json:"lane_instrs"`
+}
+
+// engineGlobals holds the process-wide atomic counters behind EngineStats.
+var engineGlobals struct {
+	superHits     atomic.Int64
+	superOps      atomic.Int64
+	blockCompiles atomic.Int64
+	tcacheSize    atomic.Int64
+	tcacheEvicts  atomic.Int64
+
+	warpInstrs [3]atomic.Int64 // indexed by Engine
+	laneInstrs [3]atomic.Int64
+}
+
+// GlobalEngineStats snapshots the process-wide interpreter counters.
+func GlobalEngineStats() EngineStats {
+	g := &engineGlobals
+	s := EngineStats{
+		SuperinstrHits:         g.superHits.Load(),
+		SuperinstrOps:          g.superOps.Load(),
+		BlockCompiles:          g.blockCompiles.Load(),
+		ThreadedCacheSize:      g.tcacheSize.Load(),
+		ThreadedCacheEvictions: g.tcacheEvicts.Load(),
+		WarpInstrs:             map[string]int64{},
+		LaneInstrs:             map[string]int64{},
+	}
+	for e := EngineThreaded; e <= EngineReference; e++ {
+		if n := g.warpInstrs[e].Load(); n != 0 {
+			s.WarpInstrs[e.String()] = n
+		}
+		if n := g.laneInstrs[e].Load(); n != 0 {
+			s.LaneInstrs[e.String()] = n
+		}
+	}
+	return s
+}
+
+// DeviceEngineStats reports this device's own fusion counters (superinstr
+// hits / ops covered / block compiles) accumulated since creation —
+// simbench uses the per-cell deltas for hit rates.
+func (d *Device) DeviceEngineStats() (hits, ops, compiles int64) {
+	return d.superHits.Load(), d.superOps.Load(), d.blockCompiles.Load()
+}

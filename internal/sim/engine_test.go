@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+
+	"gpucmp/internal/arch"
+	"gpucmp/internal/compiler"
+	"gpucmp/internal/kir"
+)
+
+// TestAggregateNanos is the regression test for the ExecNanos aggregation
+// bug under Parallel=true: per-unit busy times used to be summed even when
+// the units ran concurrently, overstating the engine's cost by up to the
+// compute-unit count. Concurrent units overlap, so the launch contributes
+// the critical path (max), not the sum.
+func TestAggregateNanos(t *testing.T) {
+	per := []int64{5, 3, 9, 1}
+	if got := aggregateNanos(per, false); got != 18 {
+		t.Errorf("sequential: got %d, want the sum 18", got)
+	}
+	if got := aggregateNanos(per, true); got != 9 {
+		t.Errorf("parallel: got %d, want the critical path 9", got)
+	}
+	if got := aggregateNanos(nil, true); got != 0 {
+		t.Errorf("empty: got %d, want 0", got)
+	}
+}
+
+// TestExecNanosAccumulates pins the wiring: every launch, on every engine
+// and under either parallelism setting, adds a positive contribution to
+// the device's cumulative ExecNanos. (The max-vs-sum split itself is
+// covered by TestAggregateNanos — on a single-CPU host Launch downgrades
+// Parallel, so the parallel aggregation cannot be timed end to end here.)
+func TestExecNanosAccumulates(t *testing.T) {
+	b := kir.NewKernel("nanos_probe")
+	out := b.GlobalBuffer("out", kir.U32)
+	b.For("i", kir.U(0), kir.U(64), kir.U(1), func(i kir.Expr) {
+		b.Store(out, b.GlobalIDX(), kir.Add(i, b.GlobalIDX()))
+	})
+	pk := compile(t, b.MustBuild(), compiler.CUDA())
+
+	for _, eng := range []Engine{EngineThreaded, EngineFast, EngineReference} {
+		for _, parallel := range []bool{false, true} {
+			d := newDev(t, arch.GTX480())
+			d.Engine = eng
+			d.Reference = eng == EngineReference
+			d.Parallel = parallel
+			addr := uploadU32(t, d, make([]uint32, 1024))
+			last := d.ExecNanos()
+			if last != 0 {
+				t.Fatalf("%s: fresh device has ExecNanos %d", eng, last)
+			}
+			for i := 0; i < 2; i++ {
+				if _, err := d.Launch(pk, Dim3{X: 16, Y: 1}, Dim3{X: 64, Y: 1}, []uint32{addr}); err != nil {
+					t.Fatal(err)
+				}
+				now := d.ExecNanos()
+				if now <= last {
+					t.Fatalf("%s parallel=%v: ExecNanos did not grow after launch %d: %d -> %d",
+						eng, parallel, i, last, now)
+				}
+				last = now
+			}
+		}
+	}
+}

@@ -33,7 +33,7 @@ import (
 //     what the reference derives per lane) and perform a single backing
 //     access; non-uniform accesses classify the warp in one pass through
 //     the mem.*Fast routines.
-func (cu *cuState) runBlockFast(dk *decodedKernel, k *ptx.Kernel, grid, block Dim3, bx, by int) error {
+func (cu *cuState) runBlockFast(dk *decodedKernel, prog *tProgram, k *ptx.Kernel, grid, block Dim3, bx, by int) error {
 	W := cu.dev.Arch.SIMDWidth
 	if W > 64 {
 		return fmt.Errorf("sim: SIMD width %d exceeds the 64-lane model limit", W)
@@ -42,6 +42,7 @@ func (cu *cuState) runBlockFast(dk *decodedKernel, k *ptx.Kernel, grid, block Di
 	fb := &ar.blk
 	fb.cu = cu
 	fb.dk = dk
+	fb.prog = prog
 	fb.k = k
 	fb.grid, fb.block = grid, block
 	fb.ctaidX, fb.ctaidY = uint32(bx), uint32(by)
@@ -125,7 +126,13 @@ func (cu *cuState) runBlockFast(dk *decodedKernel, k *ptx.Kernel, grid, block Di
 			if w.atBarrier {
 				continue
 			}
-			if err := w.run(); err != nil {
+			var err error
+			if prog != nil {
+				err = w.runThreaded()
+			} else {
+				err = w.run()
+			}
+			if err != nil {
 				return err
 			}
 		}

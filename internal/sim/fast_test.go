@@ -36,15 +36,13 @@ func cancelProbeKIR() *kir.Kernel {
 // instead of returning the error. Both engines must observe the abort.
 func TestLaunchErrorCancelsSiblings(t *testing.T) {
 	pk := compile(t, cancelProbeKIR(), compiler.CUDA())
-	for _, reference := range []bool{false, true} {
-		name := "fast"
-		if reference {
-			name = "reference"
-		}
-		t.Run(name, func(t *testing.T) {
+	for _, eng := range []Engine{EngineThreaded, EngineFast, EngineReference} {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
 			d := newDev(t, arch.GTX480())
 			d.Parallel = true
-			d.Reference = reference
+			d.Engine = eng
+			d.Reference = eng == EngineReference
 			d.StepBudget = 0 // unbounded: the watchdog cannot save us
 			out := uploadU32(t, d, make([]uint32, 64))
 
@@ -97,10 +95,10 @@ func stressKIR() *kir.Kernel {
 }
 
 // TestParallelMatchesSequentialStress pins the bit-identical contract at
-// the fast engine's hot paths under -race: parallel fast, sequential fast
-// and the sequential reference engine must produce the same memory image
-// and a DeepEqual trace for a kernel with divergence, shared memory,
-// barriers and atomics.
+// the optimised engines' hot paths under -race: each of fast and threaded,
+// sequential and parallel, must produce the same memory image and a
+// DeepEqual trace as the sequential reference engine for a kernel with
+// divergence, shared memory, barriers and atomics.
 func TestParallelMatchesSequentialStress(t *testing.T) {
 	const (
 		blocks    = 33 // not a multiple of the unit count: uneven tails
@@ -111,10 +109,11 @@ func TestParallelMatchesSequentialStress(t *testing.T) {
 	for i := range in {
 		in[i] = uint32(i*2654435761) % 251
 	}
-	run := func(parallel, reference bool) (*Trace, []uint32, uint32) {
+	run := func(parallel bool, eng Engine) (*Trace, []uint32, uint32) {
 		d := newDev(t, arch.GTX480())
 		d.Parallel = parallel
-		d.Reference = reference
+		d.Engine = eng
+		d.Reference = eng == EngineReference
 		pk := compile(t, stressKIR(), compiler.OpenCL())
 		inAddr := uploadU32(t, d, in)
 		outAddr := uploadU32(t, d, make([]uint32, n))
@@ -134,24 +133,24 @@ func TestParallelMatchesSequentialStress(t *testing.T) {
 		}
 		return tr, outv, ctrv[0]
 	}
-	trSeq, outSeq, ctrSeq := run(false, false)
-	trPar, outPar, ctrPar := run(true, false)
-	trRef, outRef, ctrRef := run(false, true)
-
-	if !reflect.DeepEqual(outSeq, outPar) || ctrSeq != ctrPar {
-		t.Fatal("parallel fast engine output differs from sequential")
+	trRef, outRef, ctrRef := run(false, EngineReference)
+	for _, eng := range []Engine{EngineFast, EngineThreaded} {
+		for _, parallel := range []bool{false, true} {
+			tr, out, ctr := run(parallel, eng)
+			label := eng.String()
+			if parallel {
+				label += "/parallel"
+			}
+			if !reflect.DeepEqual(out, outRef) || ctr != ctrRef {
+				t.Fatalf("%s engine output differs from reference engine", label)
+			}
+			if !reflect.DeepEqual(tr, trRef) {
+				t.Fatalf("%s trace differs:\nref: %s\ngot: %s", label, trRef.Summary(), tr.Summary())
+			}
+		}
 	}
-	if !reflect.DeepEqual(outSeq, outRef) || ctrSeq != ctrRef {
-		t.Fatal("fast engine output differs from reference engine")
-	}
-	if !reflect.DeepEqual(trSeq, trPar) {
-		t.Fatalf("parallel trace differs:\nseq: %s\npar: %s", trSeq.Summary(), trPar.Summary())
-	}
-	if !reflect.DeepEqual(trSeq, trRef) {
-		t.Fatalf("reference trace differs:\nfast: %s\nref:  %s", trSeq.Summary(), trRef.Summary())
-	}
-	if trSeq.DivergentBranches == 0 || trSeq.Mem.AtomicOps == 0 || trSeq.Mem.SharedAccesses == 0 {
-		t.Fatalf("stress kernel did not exercise the intended paths: %s", trSeq.Summary())
+	if trRef.DivergentBranches == 0 || trRef.Mem.AtomicOps == 0 || trRef.Mem.SharedAccesses == 0 {
+		t.Fatalf("stress kernel did not exercise the intended paths: %s", trRef.Summary())
 	}
 }
 

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gpucmp/internal/ptx"
+)
+
+// This file builds the threaded engine's fused program: straight-line runs
+// of predecoded ALU and memory ops are grouped into superinstruction
+// segments that execute under a single dispatch (threaded.go), and hot
+// segments are compiled into closure sequences (compile.go). Fusion is a
+// pure analysis over []decodedOp — it never changes what executes, only
+// how often the interpreter's outer loop runs.
+
+const (
+	// compileThreshold is how many times a fused segment must execute on a
+	// device before it is compiled into closures. Low enough that every
+	// loop body compiles almost immediately; high enough that straight-line
+	// prologue code executed once per warp never pays the compile.
+	compileThreshold = 8
+
+	// threadedCacheCap bounds the per-device fused-program cache, mirroring
+	// the predecode cache's role but with an explicit ceiling because fused
+	// programs additionally pin compiled closures.
+	threadedCacheCap = 256
+)
+
+// tSeg is one fused superinstruction: the ops in [start, end) are all
+// straight-line (no branch, barrier or ret, and no branch target inside),
+// so a warp that reaches start with some mask executes every op in order
+// under that mask. hits counts executions until the segment crosses
+// compileThreshold and is compiled; compiled is published with a CAS so
+// parallel compute units racing to compile agree on one winner.
+type tSeg struct {
+	start, end int32
+	hits       atomic.Uint32
+	compiled   atomic.Pointer[compiledSeg]
+
+	// counts are the segment's dynamic-instruction-mix deltas (dynOps
+	// buckets are per warp instruction, so they are mask-independent and
+	// exact for any execution of the segment); nUnguarded is how many of
+	// its ops have no guard, whose lane-instruction contribution is
+	// nUnguarded x ActiveLanes(mask). Together they let both execution
+	// paths replace per-op counting with one batched update, with only
+	// guarded ops left to account individually.
+	counts     []countDelta
+	nUnguarded int32
+}
+
+// tProgram is the fused form of one decoded kernel on one device. segAt
+// maps a pc to the segment starting there (-1 otherwise); the interpreter
+// consults it once per dispatch.
+type tProgram struct {
+	dk    *decodedKernel
+	segs  []tSeg
+	segAt []int32
+}
+
+// threadedCache caches fused programs per kernel, keyed by pointer
+// identity like the predecode cache (kernels are immutable and shared).
+// It is bounded: at capacity an arbitrary entry is evicted, counted in the
+// process-wide engine stats so a fleet can see churn on /metrics.
+type threadedCache struct {
+	mu sync.Mutex
+	m  map[*ptx.Kernel]*tProgram
+}
+
+func (c *threadedCache) get(k *ptx.Kernel, dk *decodedKernel) *tProgram {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.m[k]; ok {
+		return p
+	}
+	if c.m == nil {
+		c.m = make(map[*ptx.Kernel]*tProgram)
+	}
+	if len(c.m) >= threadedCacheCap {
+		for key := range c.m {
+			delete(c.m, key)
+			engineGlobals.tcacheSize.Add(-1)
+			engineGlobals.tcacheEvicts.Add(1)
+			break
+		}
+	}
+	p := fuseKernel(dk)
+	c.m[k] = p
+	engineGlobals.tcacheSize.Add(1)
+	return p
+}
+
+// fusable reports whether an op may live inside a superinstruction: ALU
+// and memory ops qualify (guarded ones included — the guard mask is
+// re-derived per op inside the segment); control flow never does.
+func fusable(d *decodedOp) bool { return d.kind == dkALU || d.kind == dkMem }
+
+// fuseKernel partitions the program into superinstruction segments. A pc
+// is a leader — a position some frame can resume at — if it is the entry,
+// a branch target or reconvergence point, or the successor of a branch,
+// barrier or ret. Segments are maximal runs of fusable ops that contain no
+// leader after their first op, so a warp can never need to enter one in
+// the middle; runs of length one stay plain interpreted ops.
+func fuseKernel(dk *decodedKernel) *tProgram {
+	ops := dk.ops
+	n := len(ops)
+	leader := make([]bool, n+1)
+	leader[0] = true
+	for i := range ops {
+		switch ops[i].kind {
+		case dkBra:
+			if t := int(ops[i].target); t >= 0 && t <= n {
+				leader[t] = true
+			}
+			if j := int(ops[i].join); j >= 0 && j <= n {
+				leader[j] = true
+			}
+			leader[i+1] = true
+		case dkBar, dkRet:
+			leader[i+1] = true
+		}
+	}
+	p := &tProgram{dk: dk, segAt: make([]int32, n)}
+	for i := range p.segAt {
+		p.segAt[i] = -1
+	}
+	// Two passes so segs is allocated exactly once: tSeg embeds atomics,
+	// which must not be moved by slice growth once handed to the engine.
+	nseg := 0
+	scan := func(emit func(i, j int)) {
+		for i := 0; i < n; {
+			if !fusable(&ops[i]) {
+				i++
+				continue
+			}
+			j := i + 1
+			for j < n && !leader[j] && fusable(&ops[j]) {
+				j++
+			}
+			if j-i >= 2 {
+				emit(i, j)
+			}
+			i = j
+		}
+	}
+	scan(func(i, j int) { nseg++ })
+	p.segs = make([]tSeg, 0, nseg)
+	scan(func(i, j int) {
+		p.segAt[i] = int32(len(p.segs))
+		p.segs = p.segs[:len(p.segs)+1]
+		s := &p.segs[len(p.segs)-1]
+		s.start, s.end = int32(i), int32(j)
+		s.counts, s.nUnguarded = segCounts(ops[i:j])
+	})
+	return p
+}
+
+// segCounts precomputes a segment's dynamic-instruction-mix deltas (the
+// same dynOps bucket scheme as cuState.countOp) and its unguarded-op
+// count.
+func segCounts(ops []decodedOp) ([]countDelta, int32) {
+	var acc [512]int64 // same shape as cuState.dynOps
+	var idxs []int32
+	nUnguarded := int32(0)
+	for i := range ops {
+		d := &ops[i]
+		idx := int32(d.op) << 3
+		if d.kind == dkMem {
+			idx |= int32(d.space)
+		}
+		if acc[idx] == 0 {
+			idxs = append(idxs, idx)
+		}
+		acc[idx]++
+		if d.guard < 0 {
+			nUnguarded++
+		}
+	}
+	counts := make([]countDelta, len(idxs))
+	for i, idx := range idxs {
+		counts[i] = countDelta{idx: idx, n: acc[idx]}
+	}
+	return counts, nUnguarded
+}

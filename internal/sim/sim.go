@@ -72,6 +72,10 @@ type Device struct {
 	// Parallel controls whether compute units run on separate goroutines.
 	Parallel bool
 
+	// Engine selects the interpreter implementation (threaded, fast or
+	// reference); NewDevice installs the process default (DefaultEngine).
+	Engine Engine
+
 	// StepBudget bounds the warp instructions one work-group may execute
 	// before the launch is killed with ErrWatchdog (0 = unbounded). The
 	// budget is per work-group, so the verdict is independent of grid size
@@ -88,23 +92,53 @@ type Device struct {
 	// watchdog checkpoints inside the warp interpreter loop.
 	cancelled atomic.Bool
 
-	// dec caches predecoded programs per kernel; arenas hold each compute
-	// unit's reusable block-execution state and cus the reusable per-unit
-	// cache/counter shards (fast engine only — the reference engine builds
-	// fresh state per launch, as the pre-optimization code did).
+	// dec caches predecoded programs per kernel; tcache the fused threaded
+	// programs built on top of them; arenas hold each compute unit's
+	// reusable block-execution state and cus the reusable per-unit
+	// cache/counter shards (fast/threaded engines only — the reference
+	// engine builds fresh state per launch, as the pre-optimization code
+	// did).
 	dec    decodeCache
+	tcache threadedCache
 	arenas []*cuArena
 	cus    []*cuState
 
-	// execNanos accumulates wall-clock time spent executing launches — the
-	// interpreter's own cost, excluding host-side compile and staging. It
-	// is what cmd/simbench compares across engines.
+	// execNanos accumulates the interpreter's own execution cost,
+	// excluding host-side compile and staging. Under Parallel it is the
+	// critical path — the maximum busy time across the concurrently
+	// running compute units, not their sum — so it is the number a
+	// wall-clock comparison of engines wants (cmd/simbench).
 	execNanos atomic.Int64
+
+	// superHits/superOps/blockCompiles are this device's fusion counters
+	// (see DeviceEngineStats); process-wide totals live in engineGlobals.
+	superHits     atomic.Int64
+	superOps      atomic.Int64
+	blockCompiles atomic.Int64
 }
 
-// ExecNanos returns the cumulative wall-clock nanoseconds this device has
-// spent inside Launch.
+// ExecNanos returns the cumulative nanoseconds this device's compute units
+// have spent executing launches: the sum of per-unit busy time for
+// sequential launches, the critical path (maximum per-unit busy time) when
+// the units ran on goroutines.
 func (d *Device) ExecNanos() int64 { return d.execNanos.Load() }
+
+// aggregateNanos folds per-compute-unit busy times into the launch's
+// ExecNanos contribution: concurrent units overlap, so only the slowest
+// one's time is wall-clock (critical path); sequential units add up.
+func aggregateNanos(per []int64, parallel bool) int64 {
+	var agg int64
+	for _, n := range per {
+		if parallel {
+			if n > agg {
+				agg = n
+			}
+		} else {
+			agg += n
+		}
+	}
+	return agg
+}
 
 // Cancel asynchronously kills any in-flight or future launch on the device:
 // the warp loops observe the flag at their next checkpoint (every
@@ -144,6 +178,7 @@ func NewDeviceWithMemory(a *arch.Device, backingBytes uint32) (*Device, error) {
 		constSeg:   make([]uint32, constSegBytes/4),
 		constBrk:   paramAreaBytes,
 		Parallel:   true,
+		Engine:     DefaultEngine(),
 		StepBudget: DefaultStepBudget,
 	}, nil
 }
@@ -251,14 +286,16 @@ func (d *Device) Launch(k *ptx.Kernel, grid, block Dim3, args []uint32) (*Trace,
 	// Mirror arguments into the param area of the constant segment.
 	copy(d.constSeg[:len(args)], args)
 
-	start := time.Now()
-	defer func() { d.execNanos.Add(time.Since(start).Nanoseconds()) }()
-
 	numCU := d.Arch.ComputeUnits
-	useFast := !d.Reference
+	eng := d.engine()
+	useFast := eng != EngineReference
 	var dk *decodedKernel
+	var prog *tProgram
 	if useFast {
 		dk = d.dec.get(k)
+		if eng == EngineThreaded {
+			prog = d.tcache.get(k, dk)
+		}
 		for len(d.arenas) < numCU {
 			d.arenas = append(d.arenas, &cuArena{})
 		}
@@ -285,7 +322,14 @@ func (d *Device) Launch(k *ptx.Kernel, grid, block Dim3, args []uint32) (*Trace,
 	}
 	totalBlocks := grid.Count()
 
-	runCU := func(cu *cuState) error {
+	// Per-unit busy time feeds the ExecNanos aggregation below: the static
+	// b += numCU block partition (no work stealing) keeps each unit's
+	// workload — and therefore the simulated results — byte-deterministic,
+	// and lets the critical path be read off as max-per-unit time.
+	perNanos := make([]int64, numCU)
+	runCU := func(ci int, cu *cuState) error {
+		t0 := time.Now()
+		defer func() { perNanos[ci] = time.Since(t0).Nanoseconds() }()
 		for b := cu.index; b < totalBlocks; b += numCU {
 			if abort.Load() {
 				return errAborted
@@ -294,7 +338,7 @@ func (d *Device) Launch(k *ptx.Kernel, grid, block Dim3, args []uint32) (*Trace,
 			by := b / grid.X
 			var err error
 			if useFast {
-				err = cu.runBlockFast(dk, k, grid, block, bx, by)
+				err = cu.runBlockFast(dk, prog, k, grid, block, bx, by)
 			} else {
 				err = cu.runBlock(k, grid, block, bx, by, args)
 			}
@@ -306,38 +350,67 @@ func (d *Device) Launch(k *ptx.Kernel, grid, block Dim3, args []uint32) (*Trace,
 		return nil
 	}
 
-	if d.Parallel && runtime.NumCPU() > 1 && totalBlocks > 1 {
+	usedParallel := d.Parallel && runtime.NumCPU() > 1 && totalBlocks > 1
+	var launchErr error
+	if usedParallel {
 		var wg sync.WaitGroup
 		errs := make([]error, numCU)
 		for i := range cus {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				errs[i] = runCU(cus[i])
+				errs[i] = runCU(i, cus[i])
 			}(i)
 		}
 		wg.Wait()
 		for _, err := range errs {
 			if err != nil && !errors.Is(err, errAborted) {
-				return nil, err
+				launchErr = err
+				break
 			}
 		}
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
+		if launchErr == nil {
+			for _, err := range errs {
+				if err != nil {
+					launchErr = err
+					break
+				}
 			}
 		}
 	} else {
 		for i := range cus {
-			if err := runCU(cus[i]); err != nil {
-				return nil, err
+			if err := runCU(i, cus[i]); err != nil {
+				launchErr = err
+				break
 			}
 		}
+	}
+	d.execNanos.Add(aggregateNanos(perNanos, usedParallel))
+	if useFast {
+		var hits, ops, compiles int64
+		for _, cu := range cus {
+			hits += cu.superRuns
+			ops += cu.superOps
+			compiles += cu.blockCompiles
+		}
+		if hits != 0 || compiles != 0 {
+			d.superHits.Add(hits)
+			d.superOps.Add(ops)
+			d.blockCompiles.Add(compiles)
+			engineGlobals.superHits.Add(hits)
+			engineGlobals.superOps.Add(ops)
+			engineGlobals.blockCompiles.Add(compiles)
+		}
+	}
+	if launchErr != nil {
+		return nil, launchErr
 	}
 
 	tr := newTrace(k, d, grid, block)
 	for _, cu := range cus {
 		tr.merge(cu)
 	}
+	engineGlobals.warpInstrs[eng].Add(tr.Dyn.Total)
+	engineGlobals.laneInstrs[eng].Add(tr.LaneInstrs)
 	return tr, nil
 }

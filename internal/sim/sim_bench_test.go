@@ -54,6 +54,77 @@ func benchInterp(b *testing.B, parallel, reference bool) {
 func BenchmarkInterpreterSequential(b *testing.B) { benchInterp(b, false, false) }
 func BenchmarkInterpreterParallel(b *testing.B)   { benchInterp(b, true, false) }
 
+// benchInterpEngine pins a specific engine, so the fast-vs-threaded gap is
+// measurable on one machine regardless of the process default.
+func benchInterpEngine(b *testing.B, eng Engine) {
+	pk, err := compiler.Compile(simBenchKernel(), compiler.CUDA())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := NewDevice(arch.GTX480())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev.Parallel = false
+	dev.Engine = eng
+	const threads = 64 * 1024
+	addr, _ := dev.Global.Alloc(4 * threads)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Launch(pk, Dim3{X: threads / 256, Y: 1}, Dim3{X: 256, Y: 1}, []uint32{addr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpreterFastSequential(b *testing.B)     { benchInterpEngine(b, EngineFast) }
+func BenchmarkInterpreterThreadedSequential(b *testing.B) { benchInterpEngine(b, EngineThreaded) }
+
+// straightLineKernel is a fully unrolled mad chain — one giant basic block,
+// the best case for superinstruction fusion and the shape of the MaxFlops
+// paper probe.
+func straightLineKernel() *kir.Kernel {
+	bb := kir.NewKernel("madchain")
+	out := bb.GlobalBuffer("out", kir.F32)
+	gid := bb.Declare("gid", bb.GlobalIDX())
+	a := bb.Declare("a", kir.Add(kir.CastTo(kir.F32, gid), kir.F(0.5)))
+	s := bb.Declare("s", kir.F(1.000001))
+	c := bb.Declare("c", kir.F(0.999))
+	bb.ForUnroll("r", kir.U(0), kir.U(64), kir.U(1), kir.UnrollFull, func(r kir.Expr) {
+		for i := 0; i < 8; i++ {
+			bb.Assign(a, kir.Add(kir.Mul(a, s), c))
+		}
+	})
+	bb.Store(out, gid, a)
+	return bb.MustBuild()
+}
+
+func benchStraightLine(b *testing.B, eng Engine) {
+	pk, err := compiler.Compile(straightLineKernel(), compiler.CUDA())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := NewDevice(arch.GTX480())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev.Parallel = false
+	dev.Engine = eng
+	const threads = 64 * 1024
+	addr, _ := dev.Global.Alloc(4 * threads)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Launch(pk, Dim3{X: threads / 256, Y: 1}, Dim3{X: 256, Y: 1}, []uint32{addr}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStraightLineFast(b *testing.B)     { benchStraightLine(b, EngineFast) }
+func BenchmarkStraightLineThreaded(b *testing.B) { benchStraightLine(b, EngineThreaded) }
+
 // The Reference variants run the retained pre-optimization engine on the
 // same workload, so `go test -bench Interpreter` prints the speedup of the
 // predecoded engine directly.
